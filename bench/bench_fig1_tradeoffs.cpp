@@ -1,0 +1,72 @@
+// Fig. 1 reproduction — "Profiling on existing GNN training frameworks".
+//
+// (a) PaGraph's training-speedup / memory-consumption trade-off: sweeping
+//     the static cache ratio on Reddit2+SAGE, epoch time falls while
+//     memory consumption grows (the paper reports 1.86x speedup at the
+//     largest cache vs the smallest).
+// (b) 2PGraph's epoch-time / accuracy trade-off against PaGraph: per-epoch
+//     training accuracy curves plus the epoch-time speedup (paper: 2.45x
+//     with ~3% accuracy drop).
+#include <cstdio>
+
+#include "navigator/navigator.hpp"
+#include "support/string_utils.hpp"
+#include "support/table.hpp"
+
+using namespace gnav;
+
+int main() {
+  graph::Dataset dataset = graph::load_dataset("reddit2");
+  navigator::GNNavigator nav(std::move(dataset),
+                             hw::make_profile("rtx4090"),
+                             dse::BaseSettings{});
+  const int epochs = 4;
+
+  // ---- Fig. 1a: PaGraph cache-ratio sweep --------------------------------
+  std::printf("Fig. 1a — PaGraph speedup vs memory (Reddit2 + SAGE)\n\n");
+  Table fig1a({"cache ratio", "memory (MiB)", "epoch time (s)",
+               "speedup vs smallest", "hit rate (%)"});
+  double slowest = 0.0;
+  std::vector<std::tuple<double, double, double, double>> rows;
+  for (double ratio : {0.02, 0.08, 0.2, 0.35, 0.5}) {
+    runtime::TrainConfig c = runtime::template_pagraph_full();
+    c.cache_ratio = ratio;
+    const auto r = nav.train(c, epochs);
+    if (slowest == 0.0) slowest = r.epoch_time_s;
+    rows.emplace_back(ratio, r.peak_memory_gb * 1024.0, r.epoch_time_s,
+                      r.cache_hit_rate);
+  }
+  for (const auto& [ratio, mem, t, hit] : rows) {
+    fig1a.add_row({format_double(ratio, 2), format_double(mem, 1),
+                   format_double(t, 2), format_double(slowest / t, 2) + "x",
+                   format_double(100.0 * hit, 1)});
+  }
+  std::printf("%s\n", fig1a.to_ascii().c_str());
+  fig1a.write_csv("fig1a_pagraph_tradeoff.csv");
+
+  // ---- Fig. 1b: 2PGraph vs PaGraph accuracy/time curves ------------------
+  std::printf("Fig. 1b — 2PGraph vs PaGraph (Reddit2 + SAGE)\n\n");
+  // The paper's Fig. 1b profiles PaGraph on a memory-limited cluster
+  // node; the pagraph-low template models that setting.
+  const auto pa = nav.reproduce("pagraph-low", epochs);
+  const auto twop = nav.reproduce("2pgraph", epochs);
+  Table fig1b({"epoch", "PaGraph train acc (%)", "2PGraph train acc (%)",
+               "PaGraph epoch time (s)", "2PGraph epoch time (s)"});
+  for (int e = 0; e < epochs; ++e) {
+    fig1b.add_row(
+        {std::to_string(e + 1),
+         format_double(100.0 * pa.epoch_train_accuracy[static_cast<std::size_t>(e)], 2),
+         format_double(100.0 * twop.epoch_train_accuracy[static_cast<std::size_t>(e)], 2),
+         format_double(pa.epoch_times_s[static_cast<std::size_t>(e)], 2),
+         format_double(twop.epoch_times_s[static_cast<std::size_t>(e)], 2)});
+  }
+  std::printf("%s\n", fig1b.to_ascii().c_str());
+  fig1b.write_csv("fig1b_2pgraph_vs_pagraph.csv");
+  std::printf(
+      "2PGraph speedup over PaGraph: %.2fx   test-accuracy delta: %+.2f%%\n",
+      pa.epoch_time_s / twop.epoch_time_s,
+      100.0 * (twop.test_accuracy - pa.test_accuracy));
+  std::printf("(paper reports 2.45x speedup at ~3%% accuracy drop; the\n"
+              " shape — faster with an accuracy cost — is the claim)\n");
+  return 0;
+}

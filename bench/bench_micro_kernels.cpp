@@ -1,0 +1,158 @@
+// Micro-benchmarks (google-benchmark) for the hot kernels under the
+// runtime backend: neighbor sampling, sparse aggregation, dense matmul,
+// cache lookups, and full train steps. These are CPU-substrate numbers,
+// not paper figures — they document where simulator time goes.
+#include <benchmark/benchmark.h>
+
+#include "cache/device_cache.hpp"
+#include "graph/dataset.hpp"
+#include "graph/generators.hpp"
+#include "nn/aggregate.hpp"
+#include "nn/model.hpp"
+#include "sampling/sampler_factory.hpp"
+#include "tensor/ops.hpp"
+
+using namespace gnav;
+
+namespace {
+
+const graph::CsrGraph& bench_graph() {
+  static const graph::CsrGraph g = [] {
+    Rng rng(1);
+    return graph::power_law_configuration(20000, 2.2, 4, 500, rng);
+  }();
+  return g;
+}
+
+void BM_NodeWiseSampling(benchmark::State& state) {
+  const auto& g = bench_graph();
+  Rng rng(2);
+  sampling::SamplerSettings settings;
+  settings.hop_list = {static_cast<int>(state.range(0)),
+                       static_cast<int>(state.range(0))};
+  const auto sampler = sampling::make_sampler(settings, nullptr);
+  std::vector<graph::NodeId> seeds;
+  for (auto v : rng.sample_without_replacement(g.num_nodes(), 512)) {
+    seeds.push_back(v);
+  }
+  for (auto _ : state) {
+    auto mb = sampler->sample(g, seeds, rng);
+    benchmark::DoNotOptimize(mb.nodes.data());
+    state.counters["batch_nodes"] =
+        static_cast<double>(mb.num_nodes());
+  }
+}
+BENCHMARK(BM_NodeWiseSampling)->Arg(5)->Arg(10)->Arg(25);
+
+void BM_SaintWalkSampling(benchmark::State& state) {
+  const auto& g = bench_graph();
+  Rng rng(3);
+  sampling::SamplerSettings settings;
+  settings.kind = sampling::SamplerKind::kSaintWalk;
+  settings.hop_list = std::vector<int>(4, 1);
+  const auto sampler = sampling::make_sampler(settings, nullptr);
+  std::vector<graph::NodeId> seeds;
+  for (auto v : rng.sample_without_replacement(g.num_nodes(), 512)) {
+    seeds.push_back(v);
+  }
+  for (auto _ : state) {
+    auto mb = sampler->sample(g, seeds, rng);
+    benchmark::DoNotOptimize(mb.nodes.data());
+  }
+}
+BENCHMARK(BM_SaintWalkSampling);
+
+void BM_AggregateMean(benchmark::State& state) {
+  const auto& g = bench_graph();
+  Rng rng(4);
+  const auto x = tensor::Tensor::uniform(
+      static_cast<std::size_t>(g.num_nodes()),
+      static_cast<std::size_t>(state.range(0)), -1, 1, rng);
+  for (auto _ : state) {
+    auto y = nn::aggregate_mean(g, x);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_AggregateMean)->Arg(32)->Arg(128);
+
+void BM_AggregateGcn(benchmark::State& state) {
+  const auto& g = bench_graph();
+  Rng rng(5);
+  const auto x = tensor::Tensor::uniform(
+      static_cast<std::size_t>(g.num_nodes()), 64, -1, 1, rng);
+  for (auto _ : state) {
+    auto y = nn::aggregate_gcn(g, x);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_AggregateGcn);
+
+void BM_Matmul(benchmark::State& state) {
+  Rng rng(6);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = tensor::Tensor::uniform(n, 64, -1, 1, rng);
+  const auto b = tensor::Tensor::uniform(64, 64, -1, 1, rng);
+  for (auto _ : state) {
+    auto c = tensor::matmul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(n) * 64 *
+                          64 * 2);
+}
+BENCHMARK(BM_Matmul)->Arg(1024)->Arg(8192);
+
+void BM_CacheLookup(benchmark::State& state) {
+  const auto& g = bench_graph();
+  const auto policy = static_cast<cache::CachePolicy>(state.range(0));
+  cache::DeviceCache dc(policy, 4000, g);
+  Rng rng(7);
+  std::vector<graph::NodeId> batch;
+  for (int i = 0; i < 4000; ++i) {
+    batch.push_back(static_cast<graph::NodeId>(
+        rng.uniform_index(static_cast<std::uint64_t>(g.num_nodes()))));
+  }
+  for (auto _ : state) {
+    auto res = dc.lookup_and_update(batch);
+    benchmark::DoNotOptimize(res.misses.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(batch.size()));
+}
+BENCHMARK(BM_CacheLookup)
+    ->Arg(static_cast<int>(cache::CachePolicy::kStatic))
+    ->Arg(static_cast<int>(cache::CachePolicy::kLru))
+    ->Arg(static_cast<int>(cache::CachePolicy::kFifo));
+
+void BM_GnnTrainStep(benchmark::State& state) {
+  Rng rng(8);
+  const auto kind = static_cast<nn::ModelKind>(state.range(0));
+  const auto g = [] {
+    Rng r(9);
+    return graph::power_law_configuration(3000, 2.2, 4, 120, r);
+  }();
+  nn::ModelConfig mc;
+  mc.kind = kind;
+  mc.in_dim = 48;
+  mc.hidden_dim = 64;
+  mc.out_dim = 8;
+  mc.num_layers = 2;
+  nn::GnnModel model(mc, rng);
+  const auto x = tensor::Tensor::uniform(
+      static_cast<std::size_t>(g.num_nodes()), 48, -1, 1, rng);
+  tensor::Tensor grad(static_cast<std::size_t>(g.num_nodes()), 8, 1e-3f);
+  for (auto _ : state) {
+    auto out = model.forward(g, x, true, rng);
+    model.backward(grad);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_GnnTrainStep)
+    ->Arg(static_cast<int>(nn::ModelKind::kGcn))
+    ->Arg(static_cast<int>(nn::ModelKind::kSage))
+    ->Arg(static_cast<int>(nn::ModelKind::kGat));
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,163 @@
+// Table 1 reproduction — "Performance of GNNavigator across different
+// tasks": three applications (PR+SAGE, RD2+SAGE, AR+GAT), four baselines
+// reproduced on the unified backend (PyG, Pa-Full, Pa-Low, 2P) and four
+// GNNavigator guidelines (Bal, Ex-TM, Ex-MA, Ex-TA), reporting epoch
+// time T, peak memory Γ, accuracy Acc, and the relative deltas vs PyG
+// that the paper annotates.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "navigator/navigator.hpp"
+#include "support/error.hpp"
+#include "support/string_utils.hpp"
+#include "support/table.hpp"
+
+using namespace gnav;
+
+namespace {
+
+struct Task {
+  const char* dataset;
+  const char* label;
+  nn::ModelKind model;
+};
+
+std::string delta_time(double t, double pyg_t) {
+  if (t == pyg_t) return "";
+  return "(" + format_double(pyg_t / t, 1) + "x)";
+}
+
+std::string delta_mem(double m, double pyg_m) {
+  if (m == pyg_m) return "";
+  const double pct = 100.0 * (m - pyg_m) / pyg_m;
+  return std::string("(") + (pct >= 0 ? "+" : "") + format_double(pct, 1) +
+         "%)";
+}
+
+}  // namespace
+
+int main() {
+  const Task tasks[] = {
+      {"ogbn-products", "PR + SAGE", nn::ModelKind::kSage},
+      {"reddit2", "RD2 + SAGE", nn::ModelKind::kSage},
+      {"ogbn-arxiv", "AR + GAT", nn::ModelKind::kGat},
+  };
+  const int epochs = 4;
+
+  double best_speedup = 0.0;
+  double best_mem_reduction = 0.0;
+  std::vector<double> speedups;
+  std::vector<double> mem_deltas;
+
+  Table table({"task", "method", "time T (s)", "", "memory G (GB)", "",
+               "accuracy"});
+
+  for (const Task& task : tasks) {
+    navigator::GNNavigator nav(graph::load_dataset(task.dataset),
+                               hw::make_profile("rtx4090"),
+                               [&] {
+                                 dse::BaseSettings b;
+                                 b.model = task.model;
+                                 return b;
+                               }());
+    std::printf("[%s] preparing estimator (leave-one-dataset-out)...\n",
+                task.label);
+    nav.prepare_default(/*configs_per_dataset=*/10,
+                        /*augmentation_graphs=*/1, /*profiling_epochs=*/1);
+
+    // Baselines. Each method runs under its own RNG seed — unbiased
+    // samplers are mathematically identical under caching, so seed noise
+    // is the only source of the small accuracy differences the paper's
+    // Table 1 shows between PyG and PaGraph.
+    const auto pyg = nav.reproduce("pyg", epochs, /*seed=*/11);
+    struct Row {
+      std::string method;
+      runtime::TrainReport report;
+    };
+    std::vector<Row> rows;
+    rows.push_back({"PyG", pyg});
+    rows.push_back({"Pa-Full", nav.reproduce("pagraph-full", epochs, 12)});
+    rows.push_back({"Pa-Low", nav.reproduce("pagraph-low", epochs, 13)});
+    rows.push_back({"2P", nav.reproduce("2pgraph", epochs, 14)});
+
+    // GNNavigator guidelines under the four priorities. Per the paper's
+    // methodology the guidelines keep accuracy comparable (Ex-TM's drop
+    // is "negligible ... 2.8%"). The floor is anchored to the estimator's
+    // *predicted* PyG accuracy rather than the measured one so that any
+    // systematic bias of the leave-one-out accuracy model cancels out.
+    runtime::TrainConfig pyg_cfg = runtime::template_pyg();
+    pyg_cfg.model = task.model;
+    const double predicted_pyg_acc =
+        nav.estimator().predict(pyg_cfg, nav.dataset_stats()).accuracy;
+    dse::RuntimeConstraints constraints;
+    constraints.max_memory_gb = nav.hardware().device.memory_gb;
+    constraints.min_accuracy = predicted_pyg_acc - 0.03;
+    const std::pair<const char*, dse::ExploreTargets> priorities[] = {
+        {"Bal", dse::targets_balance()},
+        {"Ex-TM", dse::targets_extreme_time_memory()},
+        {"Ex-MA", dse::targets_extreme_memory_accuracy()},
+        {"Ex-TA", dse::targets_extreme_time_accuracy()},
+    };
+    std::uint64_t seed = 20;
+    for (const auto& [name, targets] : priorities) {
+      navigator::Guideline guideline;
+      try {
+        guideline = nav.generate_guideline(targets, constraints);
+      } catch (const gnav::Error&) {
+        // The predicted-accuracy floor can be unsatisfiable when the
+        // leave-one-out estimator is pessimistic on this dataset; fall
+        // back to the unfloored exploration (the paper's Ex arms accept
+        // small accuracy trade-offs anyway).
+        dse::RuntimeConstraints relaxed = constraints;
+        relaxed.min_accuracy = 0.0;
+        guideline = nav.generate_guideline(targets, relaxed);
+      }
+      rows.push_back({name, nav.train(guideline.config, epochs, seed++)});
+    }
+
+    for (const Row& row : rows) {
+      table.add_row({task.label, row.method,
+                     format_double(row.report.epoch_time_s, 2),
+                     delta_time(row.report.epoch_time_s, pyg.epoch_time_s),
+                     format_double(row.report.peak_memory_gb, 2),
+                     delta_mem(row.report.peak_memory_gb,
+                               pyg.peak_memory_gb),
+                     format_double(100.0 * row.report.test_accuracy, 2) +
+                         "%"});
+      if (row.method != "PyG") {
+        const double speedup =
+            pyg.epoch_time_s / row.report.epoch_time_s;
+        const double mem_delta = (pyg.peak_memory_gb -
+                                  row.report.peak_memory_gb) /
+                                 pyg.peak_memory_gb;
+        if (row.method == "Bal" || row.method.rfind("Ex-", 0) == 0) {
+          speedups.push_back(speedup);
+          mem_deltas.push_back(mem_delta);
+          best_speedup = std::max(best_speedup, speedup);
+          best_mem_reduction = std::max(best_mem_reduction, mem_delta);
+        }
+      }
+    }
+  }
+
+  std::printf("\nTable 1 — overall performance (4 training epochs):\n\n%s\n",
+              table.to_ascii().c_str());
+  table.write_csv("table1_overall.csv");
+
+  double avg_speedup = 0.0;
+  double avg_mem = 0.0;
+  for (double s : speedups) avg_speedup += s;
+  for (double m : mem_deltas) avg_mem += m;
+  avg_speedup /= static_cast<double>(speedups.size());
+  avg_mem /= static_cast<double>(mem_deltas.size());
+  std::printf("GNNavigator guidelines vs PyG: max speedup %.1fx, max peak-"
+              "memory reduction %.1f%%\n",
+              best_speedup, 100.0 * best_mem_reduction);
+  std::printf("                               avg speedup %.1fx, avg memory "
+              "delta %.1f%%\n",
+              avg_speedup, 100.0 * avg_mem);
+  std::printf("(paper: up to 3.1x speedup, 44.9%% memory reduction; avg "
+              "2.3x / 27%%)\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Estimator playground: trains the gray-box performance estimator on a
+// small profiled corpus, then compares its predictions against actual
+// training runs on configurations it has never seen — including the
+// Eq. 12 mini-batch size model against the measured batch sizes.
+//
+//   ./build/examples/estimator_playground
+#include <cstdio>
+
+#include "estimator/perf_estimator.hpp"
+#include "navigator/navigator.hpp"
+#include "support/table.hpp"
+#include "support/string_utils.hpp"
+
+using namespace gnav;
+
+int main() {
+  hw::HardwareProfile gpu = hw::make_profile("rtx4090");
+
+  // Train the estimator with ogbn-arxiv held out (leave-one-dataset-out).
+  estimator::CollectorOptions opts;
+  opts.configs_per_dataset = 12;
+  opts.epochs = 1;
+  const auto corpus = estimator::collect_lodo_corpus(
+      graph::dataset_names(), /*held_out=*/"ogbn-arxiv",
+      /*augmentation_graphs=*/1, gpu, opts);
+  estimator::PerfEstimator est(gpu);
+  est.fit(corpus);
+  std::printf("estimator trained on %zu profiled runs\n", corpus.size());
+
+  // Evaluate on the held-out dataset.
+  const graph::Dataset ds = graph::load_dataset("ogbn-arxiv");
+  const estimator::DatasetStats stats = estimator::compute_dataset_stats(ds);
+  runtime::RuntimeBackend backend(ds, gpu);
+
+  Table table({"config", "T pred", "T meas", "Mem pred", "Mem meas",
+               "|Vi| pred", "|Vi| meas", "Acc pred", "Acc meas"});
+  Rng rng(2024);
+  runtime::RunOptions ro;
+  ro.epochs = 2;
+  ro.evaluate_every_epoch = false;
+  for (int i = 0; i < 6; ++i) {
+    const runtime::TrainConfig cfg = estimator::random_config(rng);
+    const estimator::PerfPrediction pred = est.predict(cfg, stats);
+    const runtime::TrainReport meas = backend.run(cfg, ro);
+    table.add_row({cfg.summary(), format_double(pred.time_s, 2),
+                   format_double(meas.epoch_time_s, 2),
+                   format_double(pred.memory_gb, 2),
+                   format_double(meas.peak_memory_gb, 2),
+                   format_double(pred.batch_nodes, 0),
+                   format_double(meas.avg_batch_nodes, 0),
+                   format_double(pred.accuracy, 3),
+                   format_double(meas.test_accuracy, 3)});
+  }
+  std::printf("\npredictions vs measurements on held-out ogbn-arxiv:\n\n%s\n",
+              table.to_ascii().c_str());
+  return 0;
+}

@@ -1,0 +1,122 @@
+// gnavigator_cli — command-line front end for the full workflow.
+//
+//   gnavigator_cli --dataset reddit2 --model sage --hw rtx4090 \
+//                  --priority ex-tm --max-memory-gb 8 --epochs 4 \
+//                  [--corpus corpus.csv] [--save-corpus corpus.csv]
+//
+// Runs Step 1 (input analysis), Step 2 (guideline generation — reusing a
+// cached profiling corpus when --corpus is given), trains the baseline
+// PyG configuration and the generated guideline, and prints both.
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "estimator/corpus_io.hpp"
+#include "support/error.hpp"
+#include "navigator/navigator.hpp"
+#include "support/string_utils.hpp"
+
+using namespace gnav;
+
+namespace {
+
+std::map<std::string, std::string> parse_args(int argc, char** argv) {
+  std::map<std::string, std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    std::string key = argv[i];
+    if (!starts_with(key, "--")) {
+      throw Error("expected --flag, got '" + key + "'");
+    }
+    key = key.substr(2);
+    GNAV_CHECK(i + 1 < argc, "flag --" + key + " needs a value");
+    args[key] = argv[++i];
+  }
+  return args;
+}
+
+dse::ExploreTargets priority_by_name(const std::string& name) {
+  if (name == "balance" || name == "bal") return dse::targets_balance();
+  if (name == "ex-tm") return dse::targets_extreme_time_memory();
+  if (name == "ex-ma") return dse::targets_extreme_memory_accuracy();
+  if (name == "ex-ta") return dse::targets_extreme_time_accuracy();
+  throw Error("unknown priority '" + name +
+              "' (balance | ex-tm | ex-ma | ex-ta)");
+}
+
+void print_report(const char* tag, const runtime::TrainReport& r) {
+  std::printf("%-12s T=%7.2f s   Mem=%6.2f GB   test-acc=%6.2f%%   "
+              "hit=%5.1f%%\n",
+              tag, r.epoch_time_s, r.peak_memory_gb,
+              100.0 * r.test_accuracy, 100.0 * r.cache_hit_rate);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const auto args = parse_args(argc, argv);
+    const std::string dataset_name =
+        args.contains("dataset") ? args.at("dataset") : "reddit2";
+    const std::string hw_name =
+        args.contains("hw") ? args.at("hw") : "rtx4090";
+    const std::string model_name =
+        args.contains("model") ? args.at("model") : "sage";
+    const std::string priority_name =
+        args.contains("priority") ? args.at("priority") : "balance";
+    const int epochs = args.contains("epochs")
+                           ? static_cast<int>(parse_int(args.at("epochs")))
+                           : 4;
+
+    dse::BaseSettings base;
+    base.model = nn::model_kind_from_string(model_name);
+    navigator::GNNavigator nav(graph::load_dataset(dataset_name),
+                               hw::make_profile(hw_name), base);
+    std::printf("input analysis: %s\n",
+                nav.dataset_stats().profile.to_string().c_str());
+
+    // Estimator preparation, optionally from / to a cached corpus.
+    if (args.contains("corpus")) {
+      std::printf("loading profiling corpus from %s...\n",
+                  args.at("corpus").c_str());
+      nav.prepare(estimator::load_corpus(args.at("corpus")));
+    } else {
+      std::printf("profiling other datasets (leave-one-out)...\n");
+      nav.prepare_default(/*configs_per_dataset=*/12,
+                          /*augmentation_graphs=*/1,
+                          /*profiling_epochs=*/1);
+      if (args.contains("save-corpus")) {
+        const auto corpus = estimator::collect_lodo_corpus(
+            graph::dataset_names(), dataset_name, 1, nav.hardware(), {});
+        estimator::save_corpus(corpus, args.at("save-corpus"));
+        std::printf("corpus saved to %s\n", args.at("save-corpus").c_str());
+      }
+    }
+
+    dse::RuntimeConstraints constraints;
+    constraints.max_memory_gb =
+        args.contains("max-memory-gb")
+            ? parse_double(args.at("max-memory-gb"))
+            : nav.hardware().device.memory_gb;
+    if (args.contains("max-epoch-s")) {
+      constraints.max_epoch_time_s = parse_double(args.at("max-epoch-s"));
+    }
+    if (args.contains("min-accuracy")) {
+      constraints.min_accuracy = parse_double(args.at("min-accuracy"));
+    }
+
+    const auto guideline =
+        nav.generate_guideline(priority_by_name(priority_name), constraints);
+    std::printf("\ngenerated guideline (%s):\n%s\n", priority_name.c_str(),
+                guideline.text.c_str());
+    std::printf("explored %zu candidates, pruned %zu subtrees\n\n",
+                guideline.exploration_stats.leaves_evaluated,
+                guideline.exploration_stats.subtrees_pruned);
+
+    print_report("pyg:", nav.reproduce("pyg", epochs));
+    print_report("guideline:", nav.train(guideline.config, epochs));
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,55 @@
+// Quickstart: train a GraphSAGE model on the Reddit2 analogue with a
+// hand-written configuration, then let GNNavigator generate a balanced
+// guideline automatically and compare.
+//
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "navigator/navigator.hpp"
+
+using namespace gnav;
+
+namespace {
+void print_report(const char* tag, const runtime::TrainReport& r) {
+  std::printf("%-22s T=%6.2f s   Mem=%5.2f GB   test-acc=%5.2f%%   "
+              "hit-rate=%4.1f%%\n",
+              tag, r.epoch_time_s, r.peak_memory_gb,
+              100.0 * r.test_accuracy, 100.0 * r.cache_hit_rate);
+}
+}  // namespace
+
+int main() {
+  // Step 1 — inputs: dataset, model spec, hardware platform.
+  graph::Dataset dataset = graph::load_dataset("reddit2");
+  hw::HardwareProfile gpu = hw::make_profile("rtx4090");
+  dse::BaseSettings model;
+  model.model = nn::ModelKind::kSage;
+  model.num_layers = 2;
+
+  navigator::GNNavigator nav(std::move(dataset), gpu, model);
+
+  // Train with a manual configuration (this is what PyG users write).
+  runtime::TrainConfig manual = runtime::template_pyg();
+  print_report("manual (PyG-style):", nav.train(manual, /*epochs=*/4));
+
+  // Step 2 — automatic guideline generation. prepare_default() profiles
+  // the *other* registry datasets (leave-one-out) to train the gray-box
+  // performance estimator, then the explorer searches the design space.
+  std::printf("preparing estimator (profiles other datasets)...\n");
+  nav.prepare_default(/*configs_per_dataset=*/12,
+                      /*augmentation_graphs=*/1, /*profiling_epochs=*/1);
+
+  dse::RuntimeConstraints constraints;
+  constraints.max_memory_gb = gpu.device.memory_gb;  // fit on the card
+  const navigator::Guideline guideline =
+      nav.generate_guideline(dse::targets_balance(), constraints);
+
+  std::printf("\ngenerated guideline:\n%s\n", guideline.text.c_str());
+  std::printf("predicted: T=%.2f s, Mem=%.2f GB, Acc=%.2f%%\n\n",
+              guideline.predicted.time_s, guideline.predicted.memory_gb,
+              100.0 * guideline.predicted.accuracy);
+
+  // Step 3 — train under the guideline and verify the actual performance.
+  print_report("guideline (balance):", nav.train(guideline.config, 4));
+  return 0;
+}

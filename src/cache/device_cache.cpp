@@ -1,0 +1,151 @@
+#include "cache/device_cache.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace gnav::cache {
+
+std::string to_string(CachePolicy policy) {
+  switch (policy) {
+    case CachePolicy::kNone:
+      return "none";
+    case CachePolicy::kStatic:
+      return "static";
+    case CachePolicy::kLru:
+      return "lru";
+    case CachePolicy::kFifo:
+      return "fifo";
+    case CachePolicy::kWeightedDegree:
+      return "wdeg";
+  }
+  return "?";
+}
+
+CachePolicy cache_policy_from_string(const std::string& s) {
+  if (s == "none") return CachePolicy::kNone;
+  if (s == "static") return CachePolicy::kStatic;
+  if (s == "lru") return CachePolicy::kLru;
+  if (s == "fifo") return CachePolicy::kFifo;
+  if (s == "wdeg") return CachePolicy::kWeightedDegree;
+  throw Error("unknown cache policy '" + s + "'");
+}
+
+DeviceCache::DeviceCache(CachePolicy policy, std::size_t capacity,
+                         const graph::CsrGraph& graph)
+    : policy_(policy),
+      capacity_(capacity),
+      graph_(graph),
+      resident_(static_cast<std::size_t>(graph.num_nodes()), 0),
+      last_used_(static_cast<std::size_t>(graph.num_nodes()), 0) {
+  if (policy_ == CachePolicy::kNone) capacity_ = 0;
+  capacity_ = std::min(capacity_,
+                       static_cast<std::size_t>(graph.num_nodes()));
+  if (policy_ == CachePolicy::kStatic && capacity_ > 0) {
+    // PaGraph preloads the highest-degree vertices: they appear in the
+    // most neighborhoods, maximizing expected hit rate for one-time cost.
+    std::vector<graph::NodeId> order(
+        static_cast<std::size_t>(graph.num_nodes()));
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      order[i] = static_cast<graph::NodeId>(i);
+    }
+    std::stable_sort(order.begin(), order.end(),
+                     [&](graph::NodeId a, graph::NodeId b) {
+                       return graph.degree(a) > graph.degree(b);
+                     });
+    for (std::size_t i = 0; i < capacity_; ++i) {
+      resident_[static_cast<std::size_t>(order[i])] = 1;
+      resident_list_.push_back(order[i]);
+    }
+  }
+}
+
+void DeviceCache::evict_one(LookupResult& result) {
+  GNAV_ASSERT(!resident_list_.empty());
+  std::size_t victim_pos = 0;
+  switch (policy_) {
+    case CachePolicy::kFifo:
+      victim_pos = 0;  // front of insertion order
+      break;
+    case CachePolicy::kLru: {
+      std::uint64_t best = last_used_[static_cast<std::size_t>(
+          resident_list_[0])];
+      for (std::size_t i = 1; i < resident_list_.size(); ++i) {
+        const auto ts =
+            last_used_[static_cast<std::size_t>(resident_list_[i])];
+        if (ts < best) {
+          best = ts;
+          victim_pos = i;
+        }
+      }
+      break;
+    }
+    case CachePolicy::kWeightedDegree: {
+      auto best = graph_.degree(resident_list_[0]);
+      for (std::size_t i = 1; i < resident_list_.size(); ++i) {
+        const auto d = graph_.degree(resident_list_[i]);
+        if (d < best) {
+          best = d;
+          victim_pos = i;
+        }
+      }
+      break;
+    }
+    case CachePolicy::kNone:
+    case CachePolicy::kStatic:
+      GNAV_ASSERT(false && "evict_one called for non-evicting policy");
+  }
+  const graph::NodeId victim = resident_list_[victim_pos];
+  resident_[static_cast<std::size_t>(victim)] = 0;
+  resident_list_.erase(resident_list_.begin() +
+                       static_cast<std::ptrdiff_t>(victim_pos));
+  ++stats_.evictions;
+  ++result.replaced;
+}
+
+void DeviceCache::insert(graph::NodeId v, LookupResult& result) {
+  if (capacity_ == 0) return;
+  if (resident_list_.size() >= capacity_) {
+    if (policy_ == CachePolicy::kWeightedDegree) {
+      // Admission check: only displace a lower-degree resident.
+      auto min_deg = graph_.degree(resident_list_[0]);
+      for (std::size_t i = 1; i < resident_list_.size(); ++i) {
+        min_deg = std::min(min_deg, graph_.degree(resident_list_[i]));
+      }
+      if (graph_.degree(v) <= min_deg) return;
+    }
+    evict_one(result);
+  }
+  resident_[static_cast<std::size_t>(v)] = 1;
+  resident_list_.push_back(v);
+  ++stats_.insertions;
+}
+
+LookupResult DeviceCache::lookup_and_update(
+    const std::vector<graph::NodeId>& batch) {
+  LookupResult result;
+  ++tick_;
+  for (graph::NodeId v : batch) {
+    GNAV_CHECK(graph_.contains(v), "cache lookup: vertex out of range");
+    ++stats_.lookups;
+    if (resident_[static_cast<std::size_t>(v)] != 0) {
+      ++stats_.hits;
+      ++result.hits;
+      last_used_[static_cast<std::size_t>(v)] = tick_;
+    } else {
+      result.misses.push_back(v);
+    }
+  }
+  // Update phase: static/none policies never admit after construction.
+  if (policy_ == CachePolicy::kLru || policy_ == CachePolicy::kFifo ||
+      policy_ == CachePolicy::kWeightedDegree) {
+    for (graph::NodeId v : result.misses) {
+      insert(v, result);
+      last_used_[static_cast<std::size_t>(v)] = tick_;
+    }
+  }
+  GNAV_ASSERT(resident_list_.size() <= capacity_);
+  return result;
+}
+
+}  // namespace gnav::cache

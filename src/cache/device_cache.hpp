@@ -1,0 +1,92 @@
+// Device-side feature cache — the unified abstraction of the paper's
+// transmission-strategy category (Sec. 3.2): free device memory holds
+// feature rows of selected vertices; each mini-batch is split into a
+// cached part (no transfer) and a miss part (transferred host->device),
+// after which the cache updates per its policy.
+//
+// Policy templates:
+//   kNone    — no cache; everything transfers (PyG behavior).
+//   kStatic  — preload the top-`capacity` degree-ranked vertices, never
+//              update (PaGraph's static computation-aware cache).
+//   kLru/kFifo — classic dynamic replacement.
+//   kWeightedDegree — dynamic, but a resident vertex is only evicted for a
+//              higher-degree one (degree-weighted admission).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace gnav::cache {
+
+enum class CachePolicy { kNone, kStatic, kLru, kFifo, kWeightedDegree };
+
+std::string to_string(CachePolicy policy);
+CachePolicy cache_policy_from_string(const std::string& s);
+
+struct CacheStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+
+  double hit_rate() const {
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(lookups);
+  }
+};
+
+struct LookupResult {
+  std::size_t hits = 0;
+  /// Vertices that must be fetched from the host this iteration.
+  std::vector<graph::NodeId> misses;
+  /// Vertices newly admitted to the cache (replaced stale entries) —
+  /// |replaced| drives t_replace in Eq. 5.
+  std::size_t replaced = 0;
+};
+
+class DeviceCache {
+ public:
+  /// `capacity` is the number of feature rows the device can hold
+  /// (r * |V| in the paper's notation). Static policy preloads by degree.
+  DeviceCache(CachePolicy policy, std::size_t capacity,
+              const graph::CsrGraph& graph);
+
+  /// Processes one mini-batch worth of vertex ids: classifies hits vs
+  /// misses and applies the update policy to the misses.
+  LookupResult lookup_and_update(const std::vector<graph::NodeId>& batch);
+
+  CachePolicy policy() const { return policy_; }
+  std::size_t capacity() const { return capacity_; }
+  std::size_t resident_count() const { return resident_list_.size(); }
+  const CacheStats& stats() const { return stats_; }
+
+  bool is_resident(graph::NodeId v) const {
+    return resident_[static_cast<std::size_t>(v)] != 0;
+  }
+
+  /// Residency bitmap (size |V|) — handed to locality-aware samplers so
+  /// cache-aware sampling (2PGraph) can prefer resident vertices.
+  const std::vector<char>& residency_bitmap() const { return resident_; }
+
+ private:
+  void insert(graph::NodeId v, LookupResult& result);
+  void evict_one(LookupResult& result);
+
+  CachePolicy policy_;
+  std::size_t capacity_;
+  const graph::CsrGraph& graph_;
+  std::vector<char> resident_;
+  /// Queue order for LRU/FIFO (front = next eviction victim). For
+  /// kWeightedDegree the list is kept unordered and eviction scans for the
+  /// minimum degree (capacities are modest; O(c) eviction is fine).
+  std::vector<graph::NodeId> resident_list_;
+  CacheStats stats_;
+  std::uint64_t tick_ = 0;
+  std::vector<std::uint64_t> last_used_;  // LRU timestamps
+};
+
+}  // namespace gnav::cache

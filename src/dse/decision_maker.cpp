@@ -1,0 +1,60 @@
+#include "dse/decision_maker.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+#include "support/stats.hpp"
+
+namespace gnav::dse {
+
+DecisionMaker::DecisionMaker(ExploreTargets targets)
+    : targets_(std::move(targets)) {
+  GNAV_CHECK(targets_.time_weight >= 0.0 && targets_.memory_weight >= 0.0 &&
+                 targets_.accuracy_weight >= 0.0,
+             "weights must be non-negative");
+  GNAV_CHECK(targets_.time_weight + targets_.memory_weight +
+                     targets_.accuracy_weight >
+                 0.0,
+             "at least one weight must be positive");
+}
+
+double DecisionMaker::score(const PerfPoint& p,
+                            const PerfPoint& reference) const {
+  const double t_ref = std::max(reference.time_s, 1e-9);
+  const double m_ref = std::max(reference.memory_gb, 1e-9);
+  const double a_ref = std::max(reference.accuracy, 1e-9);
+  return targets_.time_weight * (p.time_s / t_ref) +
+         targets_.memory_weight * (p.memory_gb / m_ref) -
+         targets_.accuracy_weight * (p.accuracy / a_ref);
+}
+
+Decision DecisionMaker::decide(const ExplorationResult& result) const {
+  GNAV_CHECK(!result.feasible.empty(),
+             "no feasible candidate — relax the runtime constraints");
+  GNAV_CHECK(!result.pareto.empty(), "empty Pareto front");
+
+  std::vector<double> times;
+  std::vector<double> mems;
+  std::vector<double> accs;
+  for (const Candidate& c : result.feasible) {
+    times.push_back(c.predicted.time_s);
+    mems.push_back(c.predicted.memory_gb);
+    accs.push_back(c.predicted.accuracy);
+  }
+  const PerfPoint reference{median(times), median(mems), median(accs)};
+
+  Decision best;
+  bool first = true;
+  for (std::size_t idx : result.pareto) {
+    const double s = score(result.feasible[idx].point(), reference);
+    if (first || s < best.score) {
+      best.chosen = result.feasible[idx];
+      best.score = s;
+      best.feasible_index = idx;
+      first = false;
+    }
+  }
+  return best;
+}
+
+}  // namespace gnav::dse

@@ -1,0 +1,40 @@
+// Decision maker (paper Fig. 4 step 4): given the feasible candidates and
+// their Pareto front, scalarize Perf{T, Γ, Acc} with the application's
+// priority weights and emit the training guideline.
+//
+// Scalarization: each metric is normalized by the median over the
+// feasible set (so weights are unit-free), then
+//   score = w_t * T/T_med + w_m * Γ/Γ_med - w_a * Acc/Acc_med
+// and the minimizing Pareto-front member wins.
+#pragma once
+
+#include "dse/explorer.hpp"
+#include "dse/objectives.hpp"
+
+namespace gnav::dse {
+
+struct Decision {
+  Candidate chosen;
+  double score = 0.0;
+  /// Index of the winner within the exploration result's feasible list.
+  std::size_t feasible_index = 0;
+};
+
+class DecisionMaker {
+ public:
+  explicit DecisionMaker(ExploreTargets targets);
+
+  /// Scalarized score of a point given reference medians.
+  double score(const PerfPoint& p, const PerfPoint& reference) const;
+
+  /// Picks the best Pareto-front candidate. Throws when no candidate is
+  /// feasible (the caller should then relax constraints).
+  Decision decide(const ExplorationResult& result) const;
+
+  const ExploreTargets& targets() const { return targets_; }
+
+ private:
+  ExploreTargets targets_;
+};
+
+}  // namespace gnav::dse

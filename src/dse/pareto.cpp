@@ -1,0 +1,60 @@
+#include "dse/pareto.hpp"
+
+namespace gnav::dse {
+namespace {
+
+/// Projects a point to (minimize, minimize) coordinates for a plane.
+std::pair<double, double> project(const PerfPoint& p, Plane plane) {
+  switch (plane) {
+    case Plane::kTimeMemory:
+      return {p.time_s, p.memory_gb};
+    case Plane::kMemoryAccuracy:
+      return {p.memory_gb, -p.accuracy};
+    case Plane::kTimeAccuracy:
+      return {p.time_s, -p.accuracy};
+  }
+  return {0.0, 0.0};
+}
+
+}  // namespace
+
+bool dominates(const PerfPoint& a, const PerfPoint& b) {
+  const bool no_worse = a.time_s <= b.time_s && a.memory_gb <= b.memory_gb &&
+                        a.accuracy >= b.accuracy;
+  const bool strictly_better = a.time_s < b.time_s ||
+                               a.memory_gb < b.memory_gb ||
+                               a.accuracy > b.accuracy;
+  return no_worse && strictly_better;
+}
+
+std::vector<std::size_t> pareto_front(const std::vector<PerfPoint>& points) {
+  std::vector<std::size_t> front;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < points.size() && !dominated; ++j) {
+      if (j != i && dominates(points[j], points[i])) dominated = true;
+    }
+    if (!dominated) front.push_back(i);
+  }
+  return front;
+}
+
+std::vector<std::size_t> pareto_front_2d(const std::vector<PerfPoint>& points,
+                                         Plane plane) {
+  std::vector<std::size_t> front;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto [xi, yi] = project(points[i], plane);
+    bool dominated = false;
+    for (std::size_t j = 0; j < points.size() && !dominated; ++j) {
+      if (j == i) continue;
+      const auto [xj, yj] = project(points[j], plane);
+      const bool no_worse = xj <= xi && yj <= yi;
+      const bool strictly = xj < xi || yj < yi;
+      if (no_worse && strictly) dominated = true;
+    }
+    if (!dominated) front.push_back(i);
+  }
+  return front;
+}
+
+}  // namespace gnav::dse

@@ -1,0 +1,28 @@
+// Pareto-front extraction over Perf{T, Γ, Acc} (minimize T and Γ,
+// maximize Acc) — the optimality notion of the paper's decision maker.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace gnav::dse {
+
+struct PerfPoint {
+  double time_s = 0.0;
+  double memory_gb = 0.0;
+  double accuracy = 0.0;
+};
+
+/// True when `a` dominates `b`: no worse on every metric, strictly better
+/// on at least one.
+bool dominates(const PerfPoint& a, const PerfPoint& b);
+
+/// Indices of the non-dominated subset, in input order.
+std::vector<std::size_t> pareto_front(const std::vector<PerfPoint>& points);
+
+/// 2-D projections used by Fig. 6: dominance restricted to two metrics.
+enum class Plane { kTimeMemory, kMemoryAccuracy, kTimeAccuracy };
+std::vector<std::size_t> pareto_front_2d(const std::vector<PerfPoint>& points,
+                                         Plane plane);
+
+}  // namespace gnav::dse

@@ -1,0 +1,76 @@
+#include "estimator/batch_size_estimator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "estimator/features.hpp"
+#include "support/error.hpp"
+
+namespace gnav::estimator {
+namespace {
+
+/// Fig. 5 ground truth: the measured mean |V_i| of a profiled run.
+double measured_batch_nodes(const ProfiledRun& run) {
+  return run.report.avg_batch_nodes;
+}
+
+}  // namespace
+
+void GrayBoxBatchSizeEstimator::fit(const std::vector<ProfiledRun>& runs) {
+  GNAV_CHECK(!runs.empty(), "no profiled runs");
+  ml::Matrix x;
+  std::vector<double> y;
+  hw::HardwareProfile dummy_hw;  // features also carry hw, keep per-run hw
+  for (const ProfiledRun& run : runs) {
+    const double analytic = analytic_batch_nodes(run.config, run.stats);
+    const double measured = measured_batch_nodes(run);
+    if (analytic <= 0.0 || measured <= 0.0) continue;
+    x.push_back(extract_features(run.config, run.stats, dummy_hw));
+    // Learn the log-ratio: multiplicative penalties compose additively in
+    // log space, which trees fit far more stably than raw ratios.
+    y.push_back(std::log(measured / analytic));
+  }
+  GNAV_CHECK(!x.empty(), "no usable profiled runs");
+  penalty_model_.fit(x, y);
+  fitted_ = true;
+}
+
+double GrayBoxBatchSizeEstimator::predict(
+    const runtime::TrainConfig& config, const DatasetStats& stats,
+    const hw::HardwareProfile& hw) const {
+  GNAV_CHECK(fitted_, "predict before fit");
+  const double analytic = analytic_batch_nodes(config, stats);
+  const double log_penalty =
+      penalty_model_.predict_one(extract_features(config, stats, hw));
+  // The penalty corrects overlap mis-estimation; clamp to a sane band so
+  // an extrapolating tree cannot produce absurd batch sizes.
+  const double penalty = std::clamp(std::exp(log_penalty), 0.1, 10.0);
+  const double n = static_cast<double>(stats.profile.num_nodes);
+  return std::clamp(analytic * penalty,
+                    static_cast<double>(std::min<std::size_t>(
+                        config.batch_size,
+                        static_cast<std::size_t>(std::max(n, 1.0)))),
+                    n);
+}
+
+void BlackBoxBatchSizeEstimator::fit(const std::vector<ProfiledRun>& runs) {
+  GNAV_CHECK(!runs.empty(), "no profiled runs");
+  ml::Matrix x;
+  std::vector<double> y;
+  hw::HardwareProfile dummy_hw;
+  for (const ProfiledRun& run : runs) {
+    x.push_back(extract_features(run.config, run.stats, dummy_hw));
+    y.push_back(measured_batch_nodes(run));
+  }
+  model_.fit(x, y);
+}
+
+double BlackBoxBatchSizeEstimator::predict(
+    const runtime::TrainConfig& config, const DatasetStats& stats,
+    const hw::HardwareProfile& hw) const {
+  GNAV_CHECK(model_.is_fitted(), "predict before fit");
+  return std::max(
+      model_.predict_one(extract_features(config, stats, hw)), 1.0);
+}
+
+}  // namespace gnav::estimator

@@ -1,0 +1,45 @@
+// Mini-batch size estimators (paper Eq. 12 + Fig. 5).
+//
+// Gray-box: E[|V_i|] = analytic_core * f_overlapping, where the analytic
+// core is the damped expansion product with collision correction
+// (sampling/batch_size_model) and f_overlapping is a learned multiplicative
+// penalty (gradient-boosted trees on the config/dataset features).
+//
+// Black-box baseline: a single decision-tree regression straight from the
+// features to |V_i| — the comparison arm in Fig. 5.
+#pragma once
+
+#include <vector>
+
+#include "estimator/profile_collector.hpp"
+#include "ml/decision_tree.hpp"
+#include "ml/gradient_boosting.hpp"
+
+namespace gnav::estimator {
+
+class GrayBoxBatchSizeEstimator {
+ public:
+  void fit(const std::vector<ProfiledRun>& runs);
+  double predict(const runtime::TrainConfig& config,
+                 const DatasetStats& stats,
+                 const hw::HardwareProfile& hw) const;
+  bool is_fitted() const { return fitted_; }
+
+ private:
+  ml::GradientBoostingRegressor penalty_model_;
+  bool fitted_ = false;
+};
+
+class BlackBoxBatchSizeEstimator {
+ public:
+  void fit(const std::vector<ProfiledRun>& runs);
+  double predict(const runtime::TrainConfig& config,
+                 const DatasetStats& stats,
+                 const hw::HardwareProfile& hw) const;
+  bool is_fitted() const { return model_.is_fitted(); }
+
+ private:
+  ml::DecisionTreeRegressor model_;
+};
+
+}  // namespace gnav::estimator

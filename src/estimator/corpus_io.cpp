@@ -1,0 +1,134 @@
+#include "estimator/corpus_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/string_utils.hpp"
+
+namespace gnav::estimator {
+namespace {
+
+// Config is embedded as its guideline text with ';' separators (already
+// its native single-statement form), so the CSV stays one row per run.
+constexpr const char* kHeader =
+    "dataset,num_nodes,num_edges,avg_degree,max_degree,degree_stddev,"
+    "degree_gini,power_law_alpha,top10_coverage,num_train_nodes,"
+    "feature_dim,num_classes,real_scale,real_feature_scale,"
+    "real_volume_scale,coverage10,coverage25,coverage50,"
+    "epoch_time_s,peak_memory_gb,test_accuracy,avg_batch_nodes,"
+    "avg_batch_edges,cache_hit_rate,iterations_per_epoch,"
+    "sample_s,transfer_s,replace_s,compute_s,config";
+
+std::string config_cell(const runtime::TrainConfig& config) {
+  // One line: "key = value; key = value; ..."
+  std::string text = config.to_config_map().to_guideline_text();
+  for (char& c : text) {
+    if (c == '\n') c = ' ';
+  }
+  return trim(text);
+}
+
+}  // namespace
+
+void save_corpus(const std::vector<ProfiledRun>& corpus,
+                 const std::string& path) {
+  std::ofstream f(path);
+  GNAV_CHECK(f.good(), "cannot open '" + path + "' for writing");
+  f << kHeader << '\n';
+  f.precision(17);  // exact double round-trip
+  for (const ProfiledRun& run : corpus) {
+    const DatasetStats& s = run.stats;
+    const runtime::TrainReport& r = run.report;
+    f << s.name << ',' << s.profile.num_nodes << ',' << s.profile.num_edges
+      << ',' << s.profile.avg_degree << ',' << s.profile.max_degree << ','
+      << s.profile.degree_stddev << ',' << s.profile.degree_gini << ','
+      << s.profile.power_law_alpha << ',' << s.profile.top10_edge_coverage
+      << ',' << s.num_train_nodes << ',' << s.feature_dim << ','
+      << s.num_classes << ',' << s.real_scale_factor << ','
+      << s.real_feature_scale << ',' << s.real_volume_scale << ','
+      << s.coverage_at_10 << ',' << s.coverage_at_25 << ','
+      << s.coverage_at_50 << ',' << r.epoch_time_s << ','
+      << r.peak_memory_gb << ',' << r.test_accuracy << ','
+      << r.avg_batch_nodes << ',' << r.avg_batch_edges << ','
+      << r.cache_hit_rate << ',' << r.iterations_per_epoch << ','
+      << r.epoch_phases.sample_s << ',' << r.epoch_phases.transfer_s << ','
+      << r.epoch_phases.replace_s << ',' << r.epoch_phases.compute_s << ','
+      << '"' << config_cell(run.config) << '"' << '\n';
+  }
+  GNAV_CHECK(f.good(), "write to '" + path + "' failed");
+}
+
+std::vector<ProfiledRun> load_corpus(const std::string& path) {
+  std::ifstream f(path);
+  GNAV_CHECK(f.good(), "cannot open '" + path + "'");
+  std::string line;
+  GNAV_CHECK(static_cast<bool>(std::getline(f, line)),
+             "empty corpus file");
+  GNAV_CHECK(trim(line) == kHeader,
+             "corpus header mismatch — file written by another version?");
+  std::vector<ProfiledRun> corpus;
+  while (std::getline(f, line)) {
+    if (trim(line).empty()) continue;
+    // The config cell is quoted and contains commas: split off the quoted
+    // tail first, then comma-split the scalar prefix.
+    const auto quote = line.find('"');
+    GNAV_CHECK(quote != std::string::npos && line.back() == '"',
+               "malformed corpus row (missing quoted config)");
+    const std::string scalars = line.substr(0, quote);
+    const std::string config_text =
+        line.substr(quote + 1, line.size() - quote - 2);
+    auto cells = split(scalars, ',');
+    GNAV_CHECK(cells.size() == 30 && cells.back().empty(),
+               "malformed corpus row (expected 29 scalar cells)");
+    cells.pop_back();
+
+    ProfiledRun run;
+    std::size_t i = 0;
+    DatasetStats& s = run.stats;
+    s.name = cells[i++];
+    s.profile.num_nodes = parse_int(cells[i++]);
+    s.profile.num_edges = parse_int(cells[i++]);
+    s.profile.avg_degree = parse_double(cells[i++]);
+    s.profile.max_degree =
+        static_cast<std::size_t>(parse_int(cells[i++]));
+    s.profile.degree_stddev = parse_double(cells[i++]);
+    s.profile.degree_gini = parse_double(cells[i++]);
+    s.profile.power_law_alpha = parse_double(cells[i++]);
+    s.profile.top10_edge_coverage = parse_double(cells[i++]);
+    s.num_train_nodes = static_cast<std::size_t>(parse_int(cells[i++]));
+    s.feature_dim = static_cast<int>(parse_int(cells[i++]));
+    s.num_classes = static_cast<int>(parse_int(cells[i++]));
+    s.real_scale_factor = parse_double(cells[i++]);
+    s.real_feature_scale = parse_double(cells[i++]);
+    s.real_volume_scale = parse_double(cells[i++]);
+    s.coverage_at_10 = parse_double(cells[i++]);
+    s.coverage_at_25 = parse_double(cells[i++]);
+    s.coverage_at_50 = parse_double(cells[i++]);
+    runtime::TrainReport& r = run.report;
+    r.epoch_time_s = parse_double(cells[i++]);
+    r.peak_memory_gb = parse_double(cells[i++]);
+    r.test_accuracy = parse_double(cells[i++]);
+    r.avg_batch_nodes = parse_double(cells[i++]);
+    r.avg_batch_edges = parse_double(cells[i++]);
+    r.cache_hit_rate = parse_double(cells[i++]);
+    r.iterations_per_epoch =
+        static_cast<std::size_t>(parse_int(cells[i++]));
+    r.epoch_phases.sample_s = parse_double(cells[i++]);
+    r.epoch_phases.transfer_s = parse_double(cells[i++]);
+    r.epoch_phases.replace_s = parse_double(cells[i++]);
+    r.epoch_phases.compute_s = parse_double(cells[i++]);
+    // The cell stores statements separated by ';' on one line; ConfigMap
+    // parses one statement per line.
+    std::string statements = config_text;
+    for (char& c : statements) {
+      if (c == ';') c = '\n';
+    }
+    run.config =
+        runtime::TrainConfig::from_config_map(ConfigMap::parse(statements));
+    corpus.push_back(std::move(run));
+  }
+  return corpus;
+}
+
+}  // namespace gnav::estimator

@@ -1,0 +1,22 @@
+// Profiled-corpus persistence. Collecting an estimator training corpus
+// means running real training jobs, so users cache it on disk: the
+// corpus CSV round-trips every field the estimator consumes (config,
+// dataset statistics, measured report scalars).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "estimator/profile_collector.hpp"
+
+namespace gnav::estimator {
+
+/// Writes the corpus as CSV; throws on I/O failure.
+void save_corpus(const std::vector<ProfiledRun>& corpus,
+                 const std::string& path);
+
+/// Reads a corpus written by save_corpus; validates the header and every
+/// config. Throws gnav::Error on malformed input.
+std::vector<ProfiledRun> load_corpus(const std::string& path);
+
+}  // namespace gnav::estimator

@@ -1,0 +1,21 @@
+#include "estimator/dataset_stats.hpp"
+
+namespace gnav::estimator {
+
+DatasetStats compute_dataset_stats(const graph::Dataset& ds) {
+  DatasetStats s;
+  s.name = ds.name;
+  s.profile = graph::profile_graph(ds.graph);
+  s.num_train_nodes = ds.train_nodes.size();
+  s.feature_dim = ds.feature_dim;
+  s.num_classes = ds.num_classes;
+  s.real_scale_factor = ds.real_scale_factor;
+  s.real_feature_scale = ds.real_feature_scale;
+  s.real_volume_scale = ds.real_volume_scale;
+  s.coverage_at_10 = graph::degree_cache_coverage(ds.graph, 0.10);
+  s.coverage_at_25 = graph::degree_cache_coverage(ds.graph, 0.25);
+  s.coverage_at_50 = graph::degree_cache_coverage(ds.graph, 0.50);
+  return s;
+}
+
+}  // namespace gnav::estimator

@@ -1,0 +1,31 @@
+// Compact dataset descriptor consumed by the performance estimator —
+// the "Graph Profiling" output of Step 1 (data distribution, sizes) plus
+// the bookkeeping needed to extrapolate to original dataset scale.
+#pragma once
+
+#include <string>
+
+#include "graph/dataset.hpp"
+#include "graph/graph_stats.hpp"
+
+namespace gnav::estimator {
+
+struct DatasetStats {
+  std::string name;
+  graph::GraphProfile profile;
+  std::size_t num_train_nodes = 0;
+  int feature_dim = 0;
+  int num_classes = 0;
+  double real_scale_factor = 1.0;
+  double real_feature_scale = 1.0;
+  double real_volume_scale = 1.0;
+  /// Static-cache coverage priors at a few reference ratios (white-box
+  /// inputs for the hit-rate model).
+  double coverage_at_10 = 0.0;
+  double coverage_at_25 = 0.0;
+  double coverage_at_50 = 0.0;
+};
+
+DatasetStats compute_dataset_stats(const graph::Dataset& ds);
+
+}  // namespace gnav::estimator

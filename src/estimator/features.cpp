@@ -1,0 +1,181 @@
+#include "estimator/features.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sampling/batch_size_model.hpp"
+
+namespace gnav::estimator {
+namespace {
+// Damping exponent of the Eq. 12 expansion product, fit once against
+// profiled runs on the augmentation graphs (see DESIGN.md).
+constexpr double kTau = 0.82;
+}  // namespace
+
+const std::vector<std::string>& feature_names() {
+  static const std::vector<std::string> names = {
+      "log_batch_size",       "num_hops",
+      "mean_fanout",          "log_expansion_bound",
+      "log_analytic_batch",   "sampler_node_wise",
+      "sampler_layer_wise",   "sampler_saint",
+      "bias_rate",            "cache_ratio",
+      "cache_dynamic",        "cache_hit_prior",
+      "hidden_dim",           "num_layers",
+      "sampler_cluster",      "model_gcn",
+      "model_sage",           "model_gat",
+      "reorder",              "compress_features",
+      "pipeline_overlap",
+      "log_num_nodes",        "log_num_edges",
+      "avg_degree",           "degree_gini",
+      "power_law_alpha",      "feature_dim",
+      "log_train_nodes",      "link_bandwidth_gbps",
+      "device_gflops",        "host_sample_mps",
+  };
+  return names;
+}
+
+double analytic_batch_nodes(const runtime::TrainConfig& config,
+                            const DatasetStats& stats) {
+  // SAINT samplers bound the batch by their explicit budget rather than
+  // the hop expansion.
+  const bool saint = config.sampler == sampling::SamplerKind::kSaintWalk ||
+                     config.sampler == sampling::SamplerKind::kSaintNode ||
+                     config.sampler == sampling::SamplerKind::kSaintEdge;
+  if (config.sampler == sampling::SamplerKind::kCluster) {
+    // Cluster batches merge a few parts of ~batch_size/4 vertices each;
+    // the realized batch hovers around 1-2x the seed count.
+    const double n = static_cast<double>(stats.profile.num_nodes);
+    return std::min(n, 1.6 * static_cast<double>(config.batch_size));
+  }
+  if (saint) {
+    double budget = static_cast<double>(config.batch_size);
+    if (config.sampler == sampling::SamplerKind::kSaintWalk) {
+      budget *= 1.0 + static_cast<double>(config.hop_list.size());
+    } else {
+      budget *= 1.0 + config.saint_budget_multiplier;
+    }
+    const double n = static_cast<double>(stats.profile.num_nodes);
+    return std::min(n, n * (1.0 - std::exp(-budget / n)));
+  }
+  return sampling::analytic_batch_size(config.batch_size, config.hop_list,
+                                       stats.profile, kTau);
+}
+
+double analytic_cache_hit_prior(const runtime::TrainConfig& config,
+                                const DatasetStats& stats) {
+  if (config.cache_policy == cache::CachePolicy::kNone ||
+      config.cache_ratio <= 0.0) {
+    return 0.0;
+  }
+  // Piecewise-linear interpolation of the degree-coverage curve measured
+  // during dataset profiling; dynamic policies track the working set and
+  // land near the static prior, biased sampling pushes hits *up*.
+  const double r = config.cache_ratio;
+  double prior = 0.0;
+  if (r <= 0.10) {
+    prior = stats.coverage_at_10 * (r / 0.10);
+  } else if (r <= 0.25) {
+    prior = stats.coverage_at_10 +
+            (stats.coverage_at_25 - stats.coverage_at_10) *
+                ((r - 0.10) / 0.15);
+  } else if (r <= 0.50) {
+    prior = stats.coverage_at_25 +
+            (stats.coverage_at_50 - stats.coverage_at_25) *
+                ((r - 0.25) / 0.25);
+  } else {
+    prior = stats.coverage_at_50 +
+            (1.0 - stats.coverage_at_50) * ((r - 0.50) / 0.50);
+  }
+  // Cache-aware sampling concentrates the batch on resident vertices.
+  prior = std::min(1.0, prior * (1.0 + 0.6 * config.bias_rate));
+  return prior;
+}
+
+double analytic_model_flops(const runtime::TrainConfig& config,
+                            const DatasetStats& stats, double batch_nodes,
+                            double batch_edges) {
+  const auto in0 = static_cast<double>(stats.feature_dim);
+  const auto hid = static_cast<double>(config.hidden_dim);
+  const auto out = static_cast<double>(stats.num_classes);
+  double flops = 0.0;
+  for (std::size_t l = 0; l < config.num_layers; ++l) {
+    const double in = (l == 0) ? in0 : hid;
+    const double o = (l + 1 == config.num_layers) ? out : hid;
+    switch (config.model) {
+      case nn::ModelKind::kGcn:
+        flops += 2.0 * batch_nodes * in * o + 2.0 * batch_edges * o;
+        break;
+      case nn::ModelKind::kSage:
+        flops += 4.0 * batch_nodes * in * o + 2.0 * batch_edges * in;
+        break;
+      case nn::ModelKind::kGat:
+        // 8 cost-modeled attention heads (see GatConv::forward_flops).
+        flops += 8.0 * (2.0 * batch_nodes * in * o +
+                        8.0 * (batch_edges + batch_nodes) * o);
+        break;
+    }
+  }
+  return 3.0 * flops;  // forward + ~2x backward
+}
+
+std::vector<double> extract_features(const runtime::TrainConfig& config,
+                                     const DatasetStats& stats,
+                                     const hw::HardwareProfile& hw) {
+  double fanout_sum = 0.0;
+  for (int k : config.hop_list) {
+    fanout_sum += (k == -1) ? stats.profile.avg_degree
+                            : static_cast<double>(k);
+  }
+  const double mean_fanout =
+      fanout_sum / static_cast<double>(config.hop_list.size());
+  const double bound = sampling::tree_upper_bound(
+      config.batch_size, config.hop_list, stats.profile.avg_degree);
+  const bool saint = config.sampler == sampling::SamplerKind::kSaintWalk ||
+                     config.sampler == sampling::SamplerKind::kSaintNode ||
+                     config.sampler == sampling::SamplerKind::kSaintEdge;
+  const bool dynamic_cache =
+      config.cache_policy == cache::CachePolicy::kLru ||
+      config.cache_policy == cache::CachePolicy::kFifo ||
+      config.cache_policy == cache::CachePolicy::kWeightedDegree;
+
+  std::vector<double> f;
+  f.reserve(feature_names().size());
+  f.push_back(std::log(static_cast<double>(config.batch_size)));
+  f.push_back(static_cast<double>(config.hop_list.size()));
+  f.push_back(mean_fanout);
+  f.push_back(std::log(std::max(bound, 1.0)));
+  f.push_back(std::log(std::max(analytic_batch_nodes(config, stats), 1.0)));
+  f.push_back(config.sampler == sampling::SamplerKind::kNodeWise ? 1.0 : 0.0);
+  f.push_back(config.sampler == sampling::SamplerKind::kLayerWise ? 1.0 : 0.0);
+  f.push_back(saint ? 1.0 : 0.0);
+  f.push_back(config.bias_rate);
+  f.push_back(config.cache_ratio);
+  f.push_back(dynamic_cache ? 1.0 : 0.0);
+  f.push_back(analytic_cache_hit_prior(config, stats));
+  f.push_back(static_cast<double>(config.hidden_dim));
+  f.push_back(static_cast<double>(config.num_layers));
+  f.push_back(config.sampler == sampling::SamplerKind::kCluster ? 1.0
+                                                                 : 0.0);
+  f.push_back(config.model == nn::ModelKind::kGcn ? 1.0 : 0.0);
+  f.push_back(config.model == nn::ModelKind::kSage ? 1.0 : 0.0);
+  f.push_back(config.model == nn::ModelKind::kGat ? 1.0 : 0.0);
+  f.push_back(config.reorder ? 1.0 : 0.0);
+  f.push_back(config.compress_features ? 1.0 : 0.0);
+  f.push_back(config.pipeline_overlap ? 1.0 : 0.0);
+  f.push_back(std::log(static_cast<double>(
+      std::max<graph::NodeId>(stats.profile.num_nodes, 2))));
+  f.push_back(std::log(static_cast<double>(
+      std::max<graph::EdgeId>(stats.profile.num_edges, 2))));
+  f.push_back(stats.profile.avg_degree);
+  f.push_back(stats.profile.degree_gini);
+  f.push_back(stats.profile.power_law_alpha);
+  f.push_back(static_cast<double>(stats.feature_dim));
+  f.push_back(std::log(static_cast<double>(
+      std::max<std::size_t>(stats.num_train_nodes, 2))));
+  f.push_back(hw.link.bandwidth_gbps);
+  f.push_back(hw.device.compute_gflops);
+  f.push_back(hw.host.sample_throughput_per_s / 1e6);
+  return f;
+}
+
+}  // namespace gnav::estimator

@@ -1,0 +1,34 @@
+// Featurization of (candidate configuration, dataset statistics, hardware
+// profile) for the black-box components of the gray-box estimator. The
+// vector deliberately includes the *analytic* quantities (Eq. 12 batch
+// size, cache coverage prior, FLOP estimate) alongside raw knobs — that
+// injection of white-box structure is what makes the learned residuals
+// easy to fit from few profiled runs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "estimator/dataset_stats.hpp"
+#include "hw/platform.hpp"
+#include "runtime/train_config.hpp"
+
+namespace gnav::estimator {
+
+/// Ordered feature names (for documentation and debugging).
+const std::vector<std::string>& feature_names();
+
+std::vector<double> extract_features(const runtime::TrainConfig& config,
+                                     const DatasetStats& stats,
+                                     const hw::HardwareProfile& hw);
+
+/// Analytic white-box helpers shared by the estimator internals.
+double analytic_batch_nodes(const runtime::TrainConfig& config,
+                            const DatasetStats& stats);
+double analytic_cache_hit_prior(const runtime::TrainConfig& config,
+                                const DatasetStats& stats);
+double analytic_model_flops(const runtime::TrainConfig& config,
+                            const DatasetStats& stats, double batch_nodes,
+                            double batch_edges);
+
+}  // namespace gnav::estimator

@@ -1,0 +1,240 @@
+#include "estimator/perf_estimator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "estimator/features.hpp"
+#include "support/error.hpp"
+#include "support/log.hpp"
+
+namespace gnav::estimator {
+namespace {
+
+constexpr double kBytesPerGb = 1e9;
+constexpr double kFrameworkOverheadGb = 0.55;  // matches runtime backend
+constexpr double kOptimizerStateMultiplier = 4.0;
+
+bool dynamic_cache(const runtime::TrainConfig& c) {
+  return c.cache_policy == cache::CachePolicy::kLru ||
+         c.cache_policy == cache::CachePolicy::kFifo ||
+         c.cache_policy == cache::CachePolicy::kWeightedDegree;
+}
+
+double iterations_per_epoch(const runtime::TrainConfig& c,
+                            const DatasetStats& s) {
+  return std::ceil(static_cast<double>(s.num_train_nodes) /
+                   static_cast<double>(c.batch_size));
+}
+
+/// Eq. 10 Γ_runtime: miss staging buffer + activations/grads + attention
+/// coefficients (GAT) + subgraph structure.
+double analytic_runtime_gb(const runtime::TrainConfig& config,
+                           const DatasetStats& stats, double batch_nodes,
+                           double batch_edges, double hit_rate) {
+  const double vol_scale =
+      stats.real_feature_scale * stats.real_volume_scale;
+  const double act_floats =
+      2.0 * (static_cast<double>(stats.feature_dim) +
+             static_cast<double>(config.num_layers - 1) *
+                 static_cast<double>(config.hidden_dim) +
+             static_cast<double>(stats.num_classes));
+  const double miss_floats =
+      static_cast<double>(stats.feature_dim) * (1.0 - hit_rate);
+  const double edge_floats =
+      (config.model == nn::ModelKind::kGat)
+          ? 8.0 * 4.0 * static_cast<double>(config.num_layers)
+          : 0.0;
+  return ((miss_floats + act_floats) * batch_nodes * 4.0 * vol_scale +
+          edge_floats * batch_edges * 4.0 * vol_scale +
+          (8.0 * batch_edges + 8.0 * batch_nodes) *
+              stats.real_volume_scale) /
+         kBytesPerGb;
+}
+
+}  // namespace
+
+PerfEstimator::PerfEstimator(hw::HardwareProfile hw)
+    : hw_(hw), cost_(std::move(hw)) {}
+
+double PerfEstimator::analytic_model_memory_gb(
+    const runtime::TrainConfig& config, const DatasetStats& stats) const {
+  const auto in0 = static_cast<double>(stats.feature_dim);
+  const auto hid = static_cast<double>(config.hidden_dim);
+  const auto out = static_cast<double>(stats.num_classes);
+  double params = 0.0;
+  for (std::size_t l = 0; l < config.num_layers; ++l) {
+    const double in = (l == 0) ? in0 : hid;
+    const double o = (l + 1 == config.num_layers) ? out : hid;
+    switch (config.model) {
+      case nn::ModelKind::kGcn:
+        params += in * o + o;
+        break;
+      case nn::ModelKind::kSage:
+        params += 2.0 * in * o + o;
+        break;
+      case nn::ModelKind::kGat:
+        params += in * o + 3.0 * o;
+        break;
+    }
+  }
+  return params * 4.0 * kOptimizerStateMultiplier * stats.real_feature_scale /
+         kBytesPerGb;
+}
+
+double PerfEstimator::analytic_cache_memory_gb(
+    const runtime::TrainConfig& config, const DatasetStats& stats) const {
+  const double capacity =
+      config.cache_ratio * static_cast<double>(stats.profile.num_nodes);
+  const double feat_bytes = static_cast<double>(stats.feature_dim) * 4.0;
+  return capacity * feat_bytes * stats.real_scale_factor *
+         stats.real_feature_scale / kBytesPerGb;
+}
+
+double PerfEstimator::predict_time_analytic(
+    const runtime::TrainConfig& config, const DatasetStats& stats,
+    double batch_nodes, double batch_edges, double hit_rate,
+    double work_per_node) const {
+  const double feat_bytes = static_cast<double>(stats.feature_dim) * 4.0;
+  const double vol_scale = stats.real_feature_scale * stats.real_volume_scale;
+  const double struct_scale = stats.real_volume_scale;
+
+  hw::IterationVolumes v;
+  // Eq. 7: sampling cost grows with the expansion |V_i| - |B_0|. The
+  // per-node work multiplier is learned (work_model_); the pure white-box
+  // arm falls back to a neutral fanout-scan estimate.
+  if (work_per_node > 0.0) {
+    v.sampling_work = batch_nodes * work_per_node * struct_scale;
+  } else {
+    v.sampling_work =
+        (std::max(batch_nodes - static_cast<double>(config.batch_size),
+                  0.0) *
+             4.0 +
+         batch_nodes) *
+        struct_scale;
+    if (config.reorder) v.sampling_work *= 0.85;
+  }
+  // Eq. 6: transfer = n_attr * |V_i| * (1 - hit) + structure; INT8
+  // compression divides the feature payload by 4.
+  const double wire_feat_bytes =
+      config.compress_features ? feat_bytes / 4.0 : feat_bytes;
+  v.transfer_bytes =
+      batch_nodes * (1.0 - hit_rate) * wire_feat_bytes * vol_scale +
+      (8.0 * batch_edges + 8.0 * batch_nodes) * struct_scale;
+  // Eq. 5: replace only when a dynamic policy rewrites stale lines.
+  v.replace_bytes = dynamic_cache(config)
+                        ? batch_nodes * (1.0 - hit_rate) *
+                              wire_feat_bytes * vol_scale
+                        : 0.0;
+  // Eq. 8: compute from the model's FLOP formula.
+  v.compute_flops =
+      analytic_model_flops(config, stats, batch_nodes, batch_edges) *
+      vol_scale;
+
+  const hw::IterationTimes t = cost_.iteration_times(v);
+  const double per_iter =
+      config.pipeline_overlap ? t.overlapped() : t.sequential();
+  return iterations_per_epoch(config, stats) * per_iter *
+         stats.real_scale_factor;
+}
+
+void PerfEstimator::fit(const std::vector<ProfiledRun>& runs) {
+  GNAV_CHECK(runs.size() >= 8, "estimator needs a reasonable corpus");
+
+  // Stage 1: intermediate quantity models.
+  batch_model_.fit(runs);
+  {
+    ml::Matrix x;
+    std::vector<double> y_hit;
+    std::vector<double> y_density;
+    std::vector<double> y_work;
+    for (const ProfiledRun& run : runs) {
+      x.push_back(extract_features(run.config, run.stats, hw_));
+      y_hit.push_back(run.report.cache_hit_rate);
+      const double nodes = std::max(run.report.avg_batch_nodes, 1.0);
+      y_density.push_back(
+          std::log(std::max(run.report.avg_batch_edges, 1.0) / nodes));
+      // Recover per-node sampling work from the simulated phase time.
+      const double work_total =
+          run.report.epoch_phases.sample_s / run.stats.real_scale_factor /
+          run.stats.real_volume_scale * hw_.host.sample_throughput_per_s;
+      const double iters = std::max(
+          1.0, static_cast<double>(run.report.iterations_per_epoch));
+      y_work.push_back(std::log(
+          std::max(work_total / iters / nodes, 1e-3)));
+    }
+    hit_model_.fit(x, y_hit);
+    density_model_.fit(x, y_density);
+    work_model_.fit(x, y_work);
+  }
+
+  // Stage 2: residuals of the white-box formulas, evaluated through the
+  // same prediction path used at inference time (stacked generalization).
+  {
+    ml::Matrix x;
+    std::vector<double> y_time;
+    std::vector<double> y_mem;
+    std::vector<double> y_acc;
+    for (const ProfiledRun& run : runs) {
+      const auto f = extract_features(run.config, run.stats, hw_);
+      const double b_nodes =
+          batch_model_.predict(run.config, run.stats, hw_);
+      const double b_edges =
+          b_nodes * std::exp(density_model_.predict_one(f));
+      const double hit =
+          std::clamp(hit_model_.predict_one(f), 0.0, 1.0);
+      const double work =
+          std::exp(work_model_.predict_one(f));
+      const double t_white = predict_time_analytic(
+          run.config, run.stats, b_nodes, b_edges, hit, work);
+      const double mem_white =
+          kFrameworkOverheadGb +
+          analytic_model_memory_gb(run.config, run.stats) +
+          analytic_cache_memory_gb(run.config, run.stats) +
+          analytic_runtime_gb(run.config, run.stats, b_nodes, b_edges, hit);
+      x.push_back(f);
+      y_time.push_back(std::log(
+          std::max(run.report.epoch_time_s, 1e-9) /
+          std::max(t_white, 1e-9)));
+      y_mem.push_back(std::log(
+          std::max(run.report.peak_memory_gb, 1e-9) /
+          std::max(mem_white, 1e-9)));
+      y_acc.push_back(run.report.test_accuracy);
+    }
+    time_residual_.fit(x, y_time);
+    mem_residual_.fit(x, y_mem);
+    acc_model_.fit(x, y_acc);
+  }
+  fitted_ = true;
+  log_info("perf estimator fitted on ", runs.size(), " profiled runs");
+}
+
+PerfPrediction PerfEstimator::predict(const runtime::TrainConfig& config,
+                                      const DatasetStats& stats) const {
+  GNAV_CHECK(fitted_, "predict before fit");
+  const auto f = extract_features(config, stats, hw_);
+  PerfPrediction p;
+  p.batch_nodes = batch_model_.predict(config, stats, hw_);
+  p.batch_edges = p.batch_nodes * std::exp(density_model_.predict_one(f));
+  p.cache_hit_rate = std::clamp(hit_model_.predict_one(f), 0.0, 1.0);
+
+  const double work = std::exp(work_model_.predict_one(f));
+  const double t_white = predict_time_analytic(
+      config, stats, p.batch_nodes, p.batch_edges, p.cache_hit_rate, work);
+  const double t_ratio =
+      std::clamp(std::exp(time_residual_.predict_one(f)), 0.25, 4.0);
+  p.time_s = t_white * t_ratio;
+
+  const double mem_white =
+      kFrameworkOverheadGb + analytic_model_memory_gb(config, stats) +
+      analytic_cache_memory_gb(config, stats) +
+      analytic_runtime_gb(config, stats, p.batch_nodes, p.batch_edges,
+                          p.cache_hit_rate);
+  const double m_ratio =
+      std::clamp(std::exp(mem_residual_.predict_one(f)), 0.5, 2.0);
+  p.memory_gb = mem_white * m_ratio;
+
+  p.accuracy = std::clamp(acc_model_.predict_one(f), 0.0, 1.0);
+  return p;
+}
+
+}  // namespace gnav::estimator

@@ -1,0 +1,77 @@
+// Gray-box performance estimator (paper Sec. 3.3, Eq. 4-11).
+//
+// White-box skeleton: Eq. 4's pipelined epoch time over analytic phase
+// volumes, Eq. 9/10's memory decomposition — evaluated with the trained
+// hardware cost model. Black-box members: gradient-boosted trees for the
+// quantities theory cannot pin down (batch overlap penalty, cache hit
+// rate, subgraph density, sampling work per node, residual corrections,
+// and the Eq. 11 accuracy delta, which the paper concedes "is still more
+// like a black box").
+//
+// The estimator is hardware-profile-specific, like the paper's (it is
+// trained from profiles gathered on the platform it predicts for).
+#pragma once
+
+#include <vector>
+
+#include "estimator/batch_size_estimator.hpp"
+#include "estimator/profile_collector.hpp"
+#include "hw/cost_model.hpp"
+#include "ml/gradient_boosting.hpp"
+
+namespace gnav::estimator {
+
+struct PerfPrediction {
+  double time_s = 0.0;      // T  (epoch seconds, original scale)
+  double memory_gb = 0.0;   // Γ
+  double accuracy = 0.0;    // Acc (short-horizon test accuracy)
+  // Intermediate white-box quantities (exposed for tests/diagnostics).
+  double batch_nodes = 0.0;
+  double batch_edges = 0.0;
+  double cache_hit_rate = 0.0;
+};
+
+class PerfEstimator {
+ public:
+  explicit PerfEstimator(hw::HardwareProfile hw);
+
+  /// Fits all learned components on a profiled-run corpus (typically the
+  /// leave-one-dataset-out corpus + power-law augmentation).
+  void fit(const std::vector<ProfiledRun>& runs);
+
+  PerfPrediction predict(const runtime::TrainConfig& config,
+                         const DatasetStats& stats) const;
+
+  bool is_fitted() const { return fitted_; }
+  const GrayBoxBatchSizeEstimator& batch_size_model() const {
+    return batch_model_;
+  }
+
+  /// Analytic Eq. 9/10 components (no learning involved).
+  double analytic_model_memory_gb(const runtime::TrainConfig& config,
+                                  const DatasetStats& stats) const;
+  double analytic_cache_memory_gb(const runtime::TrainConfig& config,
+                                  const DatasetStats& stats) const;
+
+  /// White-box-only T prediction (no learned residual) — the ablation arm.
+  /// `work_per_node` < 0 selects the neutral analytic sampling-work
+  /// multiplier; the full gray-box path passes the learned value.
+  double predict_time_analytic(const runtime::TrainConfig& config,
+                               const DatasetStats& stats, double batch_nodes,
+                               double batch_edges, double hit_rate,
+                               double work_per_node = -1.0) const;
+
+ private:
+  hw::HardwareProfile hw_;
+  hw::CostModel cost_;
+  GrayBoxBatchSizeEstimator batch_model_;
+  ml::GradientBoostingRegressor hit_model_;
+  ml::GradientBoostingRegressor density_model_;   // log(edges per node)
+  ml::GradientBoostingRegressor work_model_;      // log(sampling work per node)
+  ml::GradientBoostingRegressor time_residual_;   // log(T_meas / T_white)
+  ml::GradientBoostingRegressor mem_residual_;    // log(Γ_meas / Γ_white)
+  ml::GradientBoostingRegressor acc_model_;       // Eq. 11 black-box
+  bool fitted_ = false;
+};
+
+}  // namespace gnav::estimator

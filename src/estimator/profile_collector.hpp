@@ -1,0 +1,51 @@
+// Profiled-run collection: the estimator's training data. Sec. 4.1: "The
+// performance estimator is trained on the ground-truth performance
+// covering the whole design space ... established upon the performance
+// across all the datasets available, except the one waiting for
+// estimation" (leave-one-dataset-out), "randomly generate some power-law
+// graphs ... as data enhancement".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "estimator/dataset_stats.hpp"
+#include "hw/platform.hpp"
+#include "runtime/backend.hpp"
+#include "runtime/train_config.hpp"
+
+namespace gnav::estimator {
+
+struct ProfiledRun {
+  DatasetStats stats;
+  runtime::TrainConfig config;
+  runtime::TrainReport report;
+};
+
+struct CollectorOptions {
+  /// Number of randomly drawn configurations per dataset.
+  int configs_per_dataset = 40;
+  /// Profiling epochs per run (1 keeps collection cheap; accuracy targets
+  /// use the short-horizon value, which is what the DSE compares anyway).
+  int epochs = 2;
+  std::uint64_t seed = 99;
+};
+
+/// Draws a random-but-valid configuration from the full design space.
+runtime::TrainConfig random_config(Rng& rng);
+
+/// Profiles `options.configs_per_dataset` random configs on one dataset.
+std::vector<ProfiledRun> collect_profiles(const graph::Dataset& dataset,
+                                          const hw::HardwareProfile& hw,
+                                          const CollectorOptions& options);
+
+/// Leave-one-dataset-out corpus: profiles on every dataset in
+/// `dataset_names` except `held_out`, plus `augmentation_graphs` random
+/// power-law graphs.
+std::vector<ProfiledRun> collect_lodo_corpus(
+    const std::vector<std::string>& dataset_names,
+    const std::string& held_out, int augmentation_graphs,
+    const hw::HardwareProfile& hw, const CollectorOptions& options);
+
+}  // namespace gnav::estimator

@@ -1,0 +1,47 @@
+#include "graph/csr_graph.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace gnav::graph {
+
+CsrGraph::CsrGraph(std::vector<EdgeId> indptr, std::vector<NodeId> indices)
+    : indptr_(std::move(indptr)), indices_(std::move(indices)) {
+  GNAV_CHECK(!indptr_.empty(), "indptr must have at least one entry");
+  GNAV_CHECK(indptr_.front() == 0, "indptr must start at 0");
+  for (std::size_t i = 1; i < indptr_.size(); ++i) {
+    GNAV_CHECK(indptr_[i] >= indptr_[i - 1], "indptr must be non-decreasing");
+  }
+  GNAV_CHECK(static_cast<std::size_t>(indptr_.back()) == indices_.size(),
+             "indptr.back() must equal indices.size()");
+  const NodeId n = num_nodes();
+  for (NodeId u : indices_) {
+    GNAV_CHECK(u >= 0 && u < n, "edge endpoint out of range");
+  }
+}
+
+std::vector<std::size_t> CsrGraph::degrees() const {
+  std::vector<std::size_t> out(static_cast<std::size_t>(num_nodes()));
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    out[static_cast<std::size_t>(v)] = static_cast<std::size_t>(degree(v));
+  }
+  return out;
+}
+
+double CsrGraph::average_degree() const {
+  if (num_nodes() == 0) return 0.0;
+  return static_cast<double>(num_edges()) / static_cast<double>(num_nodes());
+}
+
+bool CsrGraph::is_symmetric() const {
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    for (NodeId u : neighbors(v)) {
+      const auto nb = neighbors(u);
+      if (!std::binary_search(nb.begin(), nb.end(), v)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace gnav::graph

@@ -1,0 +1,219 @@
+#include "graph/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "graph/generators.hpp"
+#include "support/error.hpp"
+
+namespace gnav::graph {
+namespace {
+
+/// Draws per-class mean vectors on a scaled sphere, then emits
+/// x_v = signal * mu_class(v) + N(0, I). Hub vertices receive slightly
+/// noisier features (their activity is more diverse in real social data),
+/// which keeps degree-biased samplers from being a free lunch.
+void fill_features(Dataset& ds, const SyntheticSpec& spec, Rng& rng) {
+  const auto n = static_cast<std::size_t>(ds.graph.num_nodes());
+  const auto d = static_cast<std::size_t>(spec.feature_dim);
+  std::vector<float> class_means(
+      static_cast<std::size_t>(spec.num_classes) * d);
+  for (std::size_t c = 0; c < static_cast<std::size_t>(spec.num_classes); ++c) {
+    double norm_sq = 0.0;
+    for (std::size_t j = 0; j < d; ++j) {
+      const double x = rng.normal();
+      class_means[c * d + j] = static_cast<float>(x);
+      norm_sq += x * x;
+    }
+    const double inv = 1.0 / std::sqrt(std::max(norm_sq, 1e-12));
+    for (std::size_t j = 0; j < d; ++j) {
+      class_means[c * d + j] = static_cast<float>(
+          class_means[c * d + j] * inv * std::sqrt(static_cast<double>(d)));
+    }
+  }
+  const double avg_deg = ds.graph.average_degree();
+  ds.features.resize(n * d);
+  for (std::size_t v = 0; v < n; ++v) {
+    const auto c = static_cast<std::size_t>(ds.labels[v]);
+    const double deg = static_cast<double>(
+        ds.graph.degree(static_cast<NodeId>(v)));
+    // Noise grows mildly with degree above the mean: hubs look "mixed".
+    const double noise =
+        1.0 + 0.55 * std::log1p(std::max(0.0, deg - avg_deg) / (avg_deg + 1.0));
+    for (std::size_t j = 0; j < d; ++j) {
+      ds.features[v * d + j] = static_cast<float>(
+          spec.feature_signal * class_means[c * d + j] +
+          noise * rng.normal());
+    }
+  }
+}
+
+void fill_splits(Dataset& ds, const SyntheticSpec& spec, Rng& rng) {
+  std::vector<NodeId> order(static_cast<std::size_t>(ds.graph.num_nodes()));
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    order[i] = static_cast<NodeId>(i);
+  }
+  rng.shuffle(order);
+  const auto n = order.size();
+  const auto n_train = static_cast<std::size_t>(spec.train_fraction * n);
+  const auto n_val = static_cast<std::size_t>(spec.val_fraction * n);
+  ds.train_nodes.assign(order.begin(), order.begin() + n_train);
+  ds.val_nodes.assign(order.begin() + n_train,
+                      order.begin() + n_train + n_val);
+  ds.test_nodes.assign(order.begin() + n_train + n_val, order.end());
+  std::sort(ds.train_nodes.begin(), ds.train_nodes.end());
+  std::sort(ds.val_nodes.begin(), ds.val_nodes.end());
+  std::sort(ds.test_nodes.begin(), ds.test_nodes.end());
+}
+
+}  // namespace
+
+void Dataset::validate() const {
+  const auto n = static_cast<std::size_t>(graph.num_nodes());
+  GNAV_CHECK(labels.size() == n, "labels size mismatch");
+  GNAV_CHECK(features.size() == n * static_cast<std::size_t>(feature_dim),
+             "features size mismatch");
+  GNAV_CHECK(num_classes >= 2, "need at least two classes");
+  for (int l : labels) {
+    GNAV_CHECK(l >= 0 && l < num_classes, "label out of range");
+  }
+  std::unordered_set<NodeId> seen;
+  for (const auto* split : {&train_nodes, &val_nodes, &test_nodes}) {
+    for (NodeId v : *split) {
+      GNAV_CHECK(graph.contains(v), "split node out of range");
+      GNAV_CHECK(seen.insert(v).second, "splits overlap");
+    }
+  }
+}
+
+Dataset make_synthetic_dataset(const SyntheticSpec& spec,
+                               std::uint64_t seed) {
+  GNAV_CHECK(spec.num_nodes > 10, "dataset too small");
+  GNAV_CHECK(spec.feature_dim >= 1, "feature_dim must be positive");
+  GNAV_CHECK(spec.train_fraction + spec.val_fraction < 1.0,
+             "train+val fractions must leave room for test");
+  Rng rng(seed);
+  Dataset ds;
+  ds.name = spec.name;
+  ds.feature_dim = spec.feature_dim;
+  ds.num_classes = spec.num_classes;
+  ds.real_scale_factor = spec.real_scale_factor;
+  ds.real_feature_scale = spec.real_feature_scale;
+  ds.real_volume_scale = spec.real_volume_scale;
+  std::vector<int> blocks;
+  ds.graph = power_law_community_graph(
+      spec.num_nodes, spec.num_classes, spec.power_law_exponent,
+      spec.min_degree, spec.max_degree, spec.community_rewire_prob, rng,
+      &blocks);
+  ds.labels = std::move(blocks);
+  fill_features(ds, spec, rng);
+  if (spec.label_noise > 0.0) {
+    GNAV_CHECK(spec.label_noise < 1.0, "label noise must be below 1");
+    for (int& label : ds.labels) {
+      if (rng.bernoulli(spec.label_noise)) {
+        label = static_cast<int>(rng.uniform_index(
+            static_cast<std::uint64_t>(spec.num_classes)));
+      }
+    }
+  }
+  fill_splits(ds, spec, rng);
+  ds.validate();
+  return ds;
+}
+
+Dataset load_dataset(const std::string& name, std::uint64_t seed) {
+  SyntheticSpec spec;
+  spec.name = name;
+  if (name == "ogbn-arxiv") {
+    // Real: 169k nodes, avg degree ~13.7, 128-d, 40 classes.
+    spec.num_nodes = 4000;
+    spec.num_classes = 8;
+    spec.feature_dim = 32;
+    spec.power_law_exponent = 2.4;
+    spec.min_degree = 3;
+    spec.max_degree = 240;
+    spec.community_rewire_prob = 0.62;
+    spec.feature_signal = 0.35;
+    spec.real_scale_factor = 169343.0 / 4000.0;
+    spec.real_feature_scale = 128.0 / 32.0;
+    spec.real_volume_scale = 12.0;
+    spec.label_noise = 0.32;
+  } else if (name == "ogbn-products") {
+    // Real: 2.45M nodes, avg degree ~50.5, 100-d, 47 classes.
+    spec.num_nodes = 8000;
+    spec.num_classes = 12;
+    spec.feature_dim = 32;
+    spec.power_law_exponent = 2.15;
+    spec.min_degree = 6;
+    spec.max_degree = 600;
+    spec.community_rewire_prob = 0.7;
+    spec.feature_signal = 0.5;
+    spec.real_scale_factor = 2449029.0 / 8000.0;
+    spec.real_feature_scale = 100.0 / 32.0;
+    spec.real_volume_scale = 5.0;
+    spec.label_noise = 0.09;
+  } else if (name == "reddit") {
+    // Real: 233k nodes, avg degree ~492 (very dense), 602-d, 41 classes.
+    spec.num_nodes = 6000;
+    spec.num_classes = 8;
+    spec.feature_dim = 48;
+    spec.power_law_exponent = 2.0;
+    spec.min_degree = 12;
+    spec.max_degree = 700;
+    spec.community_rewire_prob = 0.68;
+    spec.feature_signal = 0.52;
+    spec.real_scale_factor = 232965.0 / 6000.0;
+    spec.real_feature_scale = 602.0 / 48.0;
+    spec.real_volume_scale = 12.0;
+    spec.label_noise = 0.12;
+  } else if (name == "reddit2") {
+    // Reddit2 = Reddit with a sparsified edge set (GNNAutoScale variant).
+    spec.num_nodes = 6000;
+    spec.num_classes = 8;
+    spec.feature_dim = 48;
+    spec.power_law_exponent = 2.3;
+    spec.min_degree = 5;
+    spec.max_degree = 350;
+    spec.community_rewire_prob = 0.66;
+    spec.feature_signal = 0.45;
+    spec.real_scale_factor = 232965.0 / 6000.0;
+    spec.real_feature_scale = 602.0 / 48.0;
+    spec.real_volume_scale = 8.0;
+    spec.label_noise = 0.16;
+  } else {
+    throw Error("unknown dataset '" + name +
+                "'; available: ogbn-arxiv, ogbn-products, reddit, reddit2");
+  }
+  return make_synthetic_dataset(spec, seed);
+}
+
+std::vector<std::string> dataset_names() {
+  return {"ogbn-arxiv", "ogbn-products", "reddit", "reddit2"};
+}
+
+std::string dataset_code(const std::string& name) {
+  if (name == "ogbn-arxiv") return "AR";
+  if (name == "ogbn-products") return "PR";
+  if (name == "reddit") return "RD";
+  if (name == "reddit2") return "RD2";
+  return name;
+}
+
+Dataset make_power_law_augmentation(int index, std::uint64_t seed) {
+  GNAV_CHECK(index >= 0, "index must be non-negative");
+  SyntheticSpec spec;
+  spec.name = "powerlaw-aug-" + std::to_string(index);
+  spec.num_nodes = 1500 + 700 * (index % 5);
+  spec.num_classes = 4 + (index % 4) * 2;
+  spec.feature_dim = 16 + 8 * (index % 3);
+  spec.power_law_exponent = 1.9 + 0.15 * (index % 6);
+  spec.min_degree = 2 + (index % 4);
+  spec.max_degree = static_cast<std::size_t>(spec.num_nodes / 12);
+  spec.community_rewire_prob = 0.55 + 0.06 * (index % 5);
+  spec.feature_signal = 0.6 + 0.1 * (index % 3);
+  spec.real_scale_factor = 1.0;
+  return make_synthetic_dataset(spec, seed + static_cast<std::uint64_t>(index) * 1315423911ULL);
+}
+
+}  // namespace gnav::graph

@@ -1,0 +1,221 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/graph_builder.hpp"
+#include "support/error.hpp"
+
+namespace gnav::graph {
+namespace {
+
+/// Draws a degree from a discrete power law P(d) ∝ d^-exponent on
+/// [min_degree, max_degree] via inverse-CDF on the continuous
+/// approximation, then rounding.
+std::size_t draw_power_law_degree(double exponent, std::size_t min_degree,
+                                  std::size_t max_degree, Rng& rng) {
+  const double a = 1.0 - exponent;
+  const double lo = std::pow(static_cast<double>(min_degree), a);
+  const double hi = std::pow(static_cast<double>(max_degree) + 1.0, a);
+  const double u = rng.uniform();
+  const double x = std::pow(lo + u * (hi - lo), 1.0 / a);
+  auto d = static_cast<std::size_t>(x);
+  return std::clamp(d, min_degree, max_degree);
+}
+
+}  // namespace
+
+CsrGraph erdos_renyi(NodeId n, double p, Rng& rng) {
+  GNAV_CHECK(n >= 0, "n must be non-negative");
+  GNAV_CHECK(p >= 0.0 && p <= 1.0, "p must be in [0,1]");
+  GraphBuilder b(n);
+  if (p > 0.0 && n > 1) {
+    // Iterate over the upper triangle with geometric jumps between
+    // successful pairs: expected work O(p * n^2) = O(E).
+    const double log1mp = std::log1p(-p);
+    std::int64_t v = 1;
+    std::int64_t w = -1;
+    const bool certain = (p >= 1.0);
+    while (v < n) {
+      if (certain) {
+        ++w;
+      } else {
+        const double r = std::max(rng.uniform(), 1e-300);
+        w += 1 + static_cast<std::int64_t>(std::floor(std::log(r) / log1mp));
+      }
+      while (w >= v && v < n) {
+        w -= v;
+        ++v;
+      }
+      if (v < n) b.add_undirected_edge(v, w);
+    }
+  }
+  return b.deduplicate(true).remove_self_loops(true).build();
+}
+
+CsrGraph barabasi_albert(NodeId n, NodeId m, Rng& rng) {
+  GNAV_CHECK(m >= 1, "attachment count m must be >= 1");
+  GNAV_CHECK(n > m, "n must exceed m");
+  GraphBuilder b(n);
+  // Repeated-endpoint list: sampling a uniform element of `targets` is
+  // equivalent to degree-proportional sampling.
+  std::vector<NodeId> targets;
+  targets.reserve(static_cast<std::size_t>(2 * m * n));
+  // Seed clique over the first m+1 vertices.
+  for (NodeId i = 0; i <= m; ++i) {
+    for (NodeId j = i + 1; j <= m; ++j) {
+      b.add_undirected_edge(i, j);
+      targets.push_back(i);
+      targets.push_back(j);
+    }
+  }
+  for (NodeId v = m + 1; v < n; ++v) {
+    std::vector<NodeId> picked;
+    picked.reserve(static_cast<std::size_t>(m));
+    while (static_cast<NodeId>(picked.size()) < m) {
+      const NodeId u = targets[rng.uniform_index(targets.size())];
+      if (std::find(picked.begin(), picked.end(), u) == picked.end()) {
+        picked.push_back(u);
+      }
+    }
+    for (NodeId u : picked) {
+      b.add_undirected_edge(v, u);
+      targets.push_back(v);
+      targets.push_back(u);
+    }
+  }
+  return b.deduplicate(true).remove_self_loops(true).build();
+}
+
+CsrGraph power_law_configuration(NodeId n, double exponent,
+                                 std::size_t min_degree,
+                                 std::size_t max_degree, Rng& rng) {
+  GNAV_CHECK(n > 1, "need at least two vertices");
+  GNAV_CHECK(exponent > 1.0, "power-law exponent must exceed 1");
+  GNAV_CHECK(min_degree >= 1 && min_degree <= max_degree,
+             "invalid degree bounds");
+  GNAV_CHECK(max_degree < static_cast<std::size_t>(n),
+             "max_degree must be below n");
+  std::vector<NodeId> stubs;
+  for (NodeId v = 0; v < n; ++v) {
+    const std::size_t d =
+        draw_power_law_degree(exponent, min_degree, max_degree, rng);
+    for (std::size_t i = 0; i < d; ++i) stubs.push_back(v);
+  }
+  if (stubs.size() % 2 == 1) stubs.push_back(0);
+  rng.shuffle(stubs);
+  GraphBuilder b(n);
+  for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+    if (stubs[i] != stubs[i + 1]) {
+      b.add_undirected_edge(stubs[i], stubs[i + 1]);
+    }
+  }
+  return b.deduplicate(true).remove_self_loops(true).build();
+}
+
+CsrGraph rmat(int scale, double edge_factor, double a, double b, double c,
+              Rng& rng) {
+  GNAV_CHECK(scale >= 1 && scale < 31, "scale out of range");
+  GNAV_CHECK(a > 0 && b >= 0 && c >= 0 && a + b + c < 1.0,
+             "quadrant probabilities must sum below 1");
+  const NodeId n = NodeId{1} << scale;
+  const auto num_edges =
+      static_cast<std::size_t>(edge_factor * static_cast<double>(n));
+  GraphBuilder bd(n);
+  for (std::size_t e = 0; e < num_edges; ++e) {
+    NodeId src = 0;
+    NodeId dst = 0;
+    for (int bit = 0; bit < scale; ++bit) {
+      const double r = rng.uniform();
+      src <<= 1;
+      dst <<= 1;
+      if (r < a) {
+        // top-left quadrant: both bits 0
+      } else if (r < a + b) {
+        dst |= 1;
+      } else if (r < a + b + c) {
+        src |= 1;
+      } else {
+        src |= 1;
+        dst |= 1;
+      }
+    }
+    if (src != dst) bd.add_undirected_edge(src, dst);
+  }
+  return bd.deduplicate(true).remove_self_loops(true).build();
+}
+
+CsrGraph planted_partition(NodeId n, int num_blocks, double p_in,
+                           double p_out, Rng& rng,
+                           std::vector<int>* block_of) {
+  GNAV_CHECK(num_blocks >= 1, "need at least one block");
+  GNAV_CHECK(p_in >= 0 && p_in <= 1 && p_out >= 0 && p_out <= 1,
+             "probabilities must be in [0,1]");
+  if (block_of != nullptr) {
+    block_of->resize(static_cast<std::size_t>(n));
+    for (NodeId v = 0; v < n; ++v) {
+      (*block_of)[static_cast<std::size_t>(v)] =
+          static_cast<int>(v % num_blocks);
+    }
+  }
+  GraphBuilder b(n);
+  for (NodeId v = 0; v < n; ++v) {
+    for (NodeId u = v + 1; u < n; ++u) {
+      const bool same = (v % num_blocks) == (u % num_blocks);
+      if (rng.bernoulli(same ? p_in : p_out)) {
+        b.add_undirected_edge(v, u);
+      }
+    }
+  }
+  return b.deduplicate(true).remove_self_loops(true).build();
+}
+
+CsrGraph power_law_community_graph(NodeId n, int num_blocks,
+                                   double power_law_exponent,
+                                   std::size_t min_degree,
+                                   std::size_t max_degree,
+                                   double community_rewire_prob, Rng& rng,
+                                   std::vector<int>* block_of) {
+  GNAV_CHECK(num_blocks >= 1, "need at least one block");
+  GNAV_CHECK(community_rewire_prob >= 0.0 && community_rewire_prob <= 1.0,
+             "rewire probability must be in [0,1]");
+  std::vector<int> blocks(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) {
+    blocks[static_cast<std::size_t>(v)] = static_cast<int>(v % num_blocks);
+  }
+  if (block_of != nullptr) *block_of = blocks;
+
+  // Draw a power-law degree sequence, then match stubs preferentially
+  // within the same community: with probability `community_rewire_prob` a
+  // stub is matched inside its block, otherwise globally.
+  std::vector<NodeId> global_stubs;
+  std::vector<std::vector<NodeId>> block_stubs(
+      static_cast<std::size_t>(num_blocks));
+  for (NodeId v = 0; v < n; ++v) {
+    const std::size_t d = draw_power_law_degree(power_law_exponent, min_degree,
+                                                max_degree, rng);
+    for (std::size_t i = 0; i < d; ++i) {
+      if (rng.bernoulli(community_rewire_prob)) {
+        block_stubs[static_cast<std::size_t>(blocks[static_cast<std::size_t>(v)])]
+            .push_back(v);
+      } else {
+        global_stubs.push_back(v);
+      }
+    }
+  }
+  GraphBuilder b(n);
+  auto match = [&](std::vector<NodeId>& stubs) {
+    rng.shuffle(stubs);
+    if (stubs.size() % 2 == 1) stubs.pop_back();
+    for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+      if (stubs[i] != stubs[i + 1]) {
+        b.add_undirected_edge(stubs[i], stubs[i + 1]);
+      }
+    }
+  };
+  for (auto& stubs : block_stubs) match(stubs);
+  match(global_stubs);
+  return b.deduplicate(true).remove_self_loops(true).build();
+}
+
+}  // namespace gnav::graph

@@ -1,0 +1,62 @@
+// Synthetic graph generators.
+//
+// The paper evaluates on ogbn-arxiv / ogbn-products / Reddit / Reddit2 and
+// additionally augments its estimator's training data with "randomly
+// generated power-law graphs" (Sec. 4.1). Those datasets are not
+// redistributable here, so the dataset registry (dataset.hpp) instantiates
+// scaled-down analogues from these generators, matching each dataset's
+// degree skew and density. All generators are deterministic given the Rng.
+#pragma once
+
+#include <cstddef>
+
+#include "graph/csr_graph.hpp"
+#include "support/rng.hpp"
+
+namespace gnav::graph {
+
+/// G(n, p) Erdős–Rényi graph (undirected, simple). Uses geometric skipping,
+/// so sparse graphs cost O(E) rather than O(n^2).
+CsrGraph erdos_renyi(NodeId n, double p, Rng& rng);
+
+/// Barabási–Albert preferential attachment: each new vertex attaches to
+/// `m` existing vertices with probability proportional to degree.
+/// Produces a power-law degree tail with exponent ~3.
+CsrGraph barabasi_albert(NodeId n, NodeId m, Rng& rng);
+
+/// Power-law configuration model: degrees drawn from a discrete power law
+/// with the given exponent (>1) truncated to [min_degree, max_degree], then
+/// stubs matched uniformly. Self-loops/multi-edges are discarded, so the
+/// realized average degree is slightly below the drawn one.
+CsrGraph power_law_configuration(NodeId n, double exponent,
+                                 std::size_t min_degree,
+                                 std::size_t max_degree, Rng& rng);
+
+/// R-MAT / Kronecker-style generator (a,b,c,d quadrant probabilities).
+/// `scale` gives n = 2^scale vertices and edge_factor*n directed edges
+/// before symmetrization. Classic parameters (0.57,0.19,0.19,0.05)
+/// reproduce the heavy skew of web/social graphs.
+CsrGraph rmat(int scale, double edge_factor, double a, double b, double c,
+              Rng& rng);
+
+/// Planted-partition (stochastic block model) graph: `num_blocks` equal
+/// communities, intra-community edge probability p_in, inter p_out.
+/// Community assignment of vertex v is v % num_blocks. Returned alongside
+/// the block id vector via the out-parameter.
+CsrGraph planted_partition(NodeId n, int num_blocks, double p_in,
+                           double p_out, Rng& rng,
+                           std::vector<int>* block_of = nullptr);
+
+/// Overlays a planted-partition edge set on top of a power-law skeleton:
+/// the result keeps a heavy-tailed degree distribution (what caching and
+/// biased sampling respond to) while carrying community structure (what
+/// GNN accuracy responds to). This is the generator behind the dataset
+/// analogues.
+CsrGraph power_law_community_graph(NodeId n, int num_blocks,
+                                   double power_law_exponent,
+                                   std::size_t min_degree,
+                                   std::size_t max_degree,
+                                   double community_rewire_prob, Rng& rng,
+                                   std::vector<int>* block_of = nullptr);
+
+}  // namespace gnav::graph

@@ -1,0 +1,105 @@
+#include "graph/graph_builder.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "support/error.hpp"
+
+namespace gnav::graph {
+
+GraphBuilder::GraphBuilder(NodeId num_nodes) : num_nodes_(num_nodes) {
+  GNAV_CHECK(num_nodes >= 0, "num_nodes must be non-negative");
+}
+
+void GraphBuilder::add_edge(NodeId src, NodeId dst) {
+  GNAV_CHECK(src >= 0 && src < num_nodes_, "edge src out of range");
+  GNAV_CHECK(dst >= 0 && dst < num_nodes_, "edge dst out of range");
+  edges_.push_back({src, dst});
+}
+
+void GraphBuilder::add_undirected_edge(NodeId src, NodeId dst) {
+  add_edge(src, dst);
+  add_edge(dst, src);
+}
+
+GraphBuilder& GraphBuilder::remove_self_loops(bool enabled) {
+  remove_self_loops_ = enabled;
+  return *this;
+}
+
+GraphBuilder& GraphBuilder::deduplicate(bool enabled) {
+  deduplicate_ = enabled;
+  return *this;
+}
+
+GraphBuilder& GraphBuilder::symmetrize(bool enabled) {
+  symmetrize_ = enabled;
+  return *this;
+}
+
+CsrGraph GraphBuilder::build() const {
+  std::vector<Edge> edges = edges_;
+  if (symmetrize_) {
+    const std::size_t original = edges.size();
+    edges.reserve(original * 2);
+    for (std::size_t i = 0; i < original; ++i) {
+      edges.push_back({edges[i].dst, edges[i].src});
+    }
+  }
+  if (remove_self_loops_) {
+    std::erase_if(edges, [](const Edge& e) { return e.src == e.dst; });
+  }
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+  });
+  if (deduplicate_) {
+    edges.erase(std::unique(edges.begin(), edges.end(),
+                            [](const Edge& a, const Edge& b) {
+                              return a.src == b.src && a.dst == b.dst;
+                            }),
+                edges.end());
+  }
+
+  std::vector<EdgeId> indptr(static_cast<std::size_t>(num_nodes_) + 1, 0);
+  for (const Edge& e : edges) {
+    ++indptr[static_cast<std::size_t>(e.src) + 1];
+  }
+  for (std::size_t i = 1; i < indptr.size(); ++i) indptr[i] += indptr[i - 1];
+  std::vector<NodeId> indices(edges.size());
+  // Edges are already sorted by (src, dst), so a linear copy preserves
+  // ascending neighbor order within each vertex.
+  for (std::size_t i = 0; i < edges.size(); ++i) indices[i] = edges[i].dst;
+  return CsrGraph(std::move(indptr), std::move(indices));
+}
+
+CsrGraph build_undirected(NodeId num_nodes, const std::vector<Edge>& edges) {
+  GraphBuilder b(num_nodes);
+  for (const Edge& e : edges) b.add_edge(e.src, e.dst);
+  b.symmetrize(true).deduplicate(true).remove_self_loops(true);
+  return b.build();
+}
+
+CsrGraph induced_subgraph(const CsrGraph& g, const std::vector<NodeId>& nodes) {
+  std::unordered_map<NodeId, NodeId> local;
+  local.reserve(nodes.size() * 2);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    GNAV_CHECK(g.contains(nodes[i]), "induced_subgraph: node out of range");
+    const bool inserted =
+        local.emplace(nodes[i], static_cast<NodeId>(i)).second;
+    GNAV_CHECK(inserted, "induced_subgraph: duplicate node id");
+  }
+  GraphBuilder b(static_cast<NodeId>(nodes.size()));
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    for (NodeId u : g.neighbors(nodes[i])) {
+      auto it = local.find(u);
+      if (it != local.end()) {
+        b.add_edge(static_cast<NodeId>(i), it->second);
+      }
+    }
+  }
+  // The parent graph is already simple; keep dedup on for safety but do not
+  // re-symmetrize (direction structure must be preserved).
+  return b.deduplicate(true).remove_self_loops(true).build();
+}
+
+}  // namespace gnav::graph

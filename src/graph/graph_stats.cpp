@@ -1,0 +1,73 @@
+#include "graph/graph_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/stats.hpp"
+
+namespace gnav::graph {
+namespace {
+
+double gini(std::vector<double> xs) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const auto n = static_cast<double>(xs.size());
+  double cum = 0.0;
+  double weighted = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    cum += xs[i];
+    weighted += static_cast<double>(i + 1) * xs[i];
+  }
+  if (cum <= 0.0) return 0.0;
+  return (2.0 * weighted) / (n * cum) - (n + 1.0) / n;
+}
+
+}  // namespace
+
+std::string GraphProfile::to_string() const {
+  std::ostringstream os;
+  os << "GraphProfile{n=" << num_nodes << ", m=" << num_edges
+     << ", avg_deg=" << avg_degree << ", max_deg=" << max_degree
+     << ", deg_std=" << degree_stddev << ", gini=" << degree_gini
+     << ", alpha=" << power_law_alpha
+     << ", top10_cov=" << top10_edge_coverage << "}";
+  return os.str();
+}
+
+GraphProfile profile_graph(const CsrGraph& g) {
+  GraphProfile p;
+  p.num_nodes = g.num_nodes();
+  p.num_edges = g.num_edges();
+  p.avg_degree = g.average_degree();
+  const auto degs = g.degrees();
+  std::vector<double> degs_d(degs.size());
+  for (std::size_t i = 0; i < degs.size(); ++i) {
+    degs_d[i] = static_cast<double>(degs[i]);
+    p.max_degree = std::max(p.max_degree, degs[i]);
+  }
+  p.degree_stddev = stddev(degs_d);
+  p.degree_gini = gini(degs_d);
+  const std::size_t x_min = std::max<std::size_t>(
+      2, static_cast<std::size_t>(p.avg_degree));
+  p.power_law_alpha = fit_power_law_alpha(degs, x_min);
+  p.top10_edge_coverage = degree_cache_coverage(g, 0.10);
+  return p;
+}
+
+double degree_cache_coverage(const CsrGraph& g, double ratio) {
+  GNAV_CHECK(ratio >= 0.0 && ratio <= 1.0, "ratio must be in [0,1]");
+  if (g.num_nodes() == 0 || g.num_edges() == 0) return 0.0;
+  auto degs = g.degrees();
+  std::sort(degs.begin(), degs.end(), std::greater<>());
+  const auto k = static_cast<std::size_t>(
+      ratio * static_cast<double>(degs.size()));
+  const std::size_t covered =
+      std::accumulate(degs.begin(), degs.begin() + static_cast<std::ptrdiff_t>(k),
+                      std::size_t{0});
+  return static_cast<double>(covered) / static_cast<double>(g.num_edges());
+}
+
+}  // namespace gnav::graph

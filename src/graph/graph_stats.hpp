@@ -1,0 +1,37 @@
+// Graph profiling — Step 1 of the paper's workflow ("Graph Profiling:
+// e.g. data distribution") computes these statistics to parameterize the
+// performance estimator and prune the design space.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "graph/csr_graph.hpp"
+
+namespace gnav::graph {
+
+struct GraphProfile {
+  NodeId num_nodes = 0;
+  EdgeId num_edges = 0;
+  double avg_degree = 0.0;
+  std::size_t max_degree = 0;
+  double degree_stddev = 0.0;
+  /// Gini coefficient of the degree distribution — the skew signal that
+  /// decides how effective degree-ordered caching can be.
+  double degree_gini = 0.0;
+  /// MLE power-law exponent for the degree tail (0 when not heavy-tailed).
+  double power_law_alpha = 0.0;
+  /// Fraction of all edges incident to the top 10% highest-degree nodes —
+  /// an upper bound proxy for static cache hit rate at 10% cache ratio.
+  double top10_edge_coverage = 0.0;
+
+  std::string to_string() const;
+};
+
+GraphProfile profile_graph(const CsrGraph& g);
+
+/// Fraction of edge endpoints covered by caching the `ratio` highest-degree
+/// fraction of vertices (the analytic prior for static-cache hit rates).
+double degree_cache_coverage(const CsrGraph& g, double ratio);
+
+}  // namespace gnav::graph

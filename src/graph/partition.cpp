@@ -1,0 +1,113 @@
+#include "graph/partition.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+
+#include "support/error.hpp"
+
+namespace gnav::graph {
+
+double Partitioning::edge_cut_fraction(const CsrGraph& g) const {
+  if (g.num_edges() == 0) return 0.0;
+  EdgeId cut = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (NodeId u : g.neighbors(v)) {
+      if (part_of[static_cast<std::size_t>(v)] !=
+          part_of[static_cast<std::size_t>(u)]) {
+        ++cut;
+      }
+    }
+  }
+  return static_cast<double>(cut) / static_cast<double>(g.num_edges());
+}
+
+void Partitioning::validate(const CsrGraph& g) const {
+  GNAV_CHECK(part_of.size() == static_cast<std::size_t>(g.num_nodes()),
+             "part_of size mismatch");
+  GNAV_CHECK(static_cast<int>(members.size()) == num_parts,
+             "members size mismatch");
+  std::size_t total = 0;
+  for (int p = 0; p < num_parts; ++p) {
+    for (NodeId v : members[static_cast<std::size_t>(p)]) {
+      GNAV_CHECK(g.contains(v), "partition member out of range");
+      GNAV_CHECK(part_of[static_cast<std::size_t>(v)] == p,
+                 "part_of/members disagree");
+    }
+    total += members[static_cast<std::size_t>(p)].size();
+  }
+  GNAV_CHECK(total == static_cast<std::size_t>(g.num_nodes()),
+             "partition does not cover the vertex set");
+}
+
+Partitioning bfs_partition(const CsrGraph& g, int num_parts) {
+  GNAV_CHECK(num_parts >= 1, "need at least one part");
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  GNAV_CHECK(n >= static_cast<std::size_t>(num_parts),
+             "more parts than vertices");
+  Partitioning part;
+  part.num_parts = num_parts;
+  part.part_of.assign(n, -1);
+  part.members.resize(static_cast<std::size_t>(num_parts));
+
+  // Per-part size cap at 1.5x the average keeps parts balanced even when
+  // one BFS region would otherwise swallow the giant component.
+  const std::size_t cap = std::max<std::size_t>(
+      1, (n * 3) / (2 * static_cast<std::size_t>(num_parts)));
+
+  // Seed parts from the highest-degree unassigned vertices.
+  std::vector<NodeId> by_degree(n);
+  std::iota(by_degree.begin(), by_degree.end(), NodeId{0});
+  std::stable_sort(by_degree.begin(), by_degree.end(),
+                   [&](NodeId a, NodeId b) {
+                     return g.degree(a) > g.degree(b);
+                   });
+
+  std::size_t seed_cursor = 0;
+  auto next_unassigned_seed = [&]() -> NodeId {
+    while (seed_cursor < n &&
+           part.part_of[static_cast<std::size_t>(
+               by_degree[seed_cursor])] != -1) {
+      ++seed_cursor;
+    }
+    return seed_cursor < n ? by_degree[seed_cursor] : NodeId{-1};
+  };
+
+  std::deque<NodeId> frontier;
+  while (true) {
+    const NodeId seed = next_unassigned_seed();
+    if (seed < 0) break;
+    // Grow the currently smallest part — keeps sizes tight even when the
+    // BFS regions are lopsided or the graph is disconnected.
+    int current = 0;
+    for (int pnum = 1; pnum < num_parts; ++pnum) {
+      if (part.members[static_cast<std::size_t>(pnum)].size() <
+          part.members[static_cast<std::size_t>(current)].size()) {
+        current = pnum;
+      }
+    }
+    frontier.clear();
+    frontier.push_back(seed);
+    part.part_of[static_cast<std::size_t>(seed)] = current;
+    part.members[static_cast<std::size_t>(current)].push_back(seed);
+    while (!frontier.empty() &&
+           part.members[static_cast<std::size_t>(current)].size() < cap) {
+      const NodeId v = frontier.front();
+      frontier.pop_front();
+      for (NodeId u : g.neighbors(v)) {
+        if (part.part_of[static_cast<std::size_t>(u)] != -1) continue;
+        if (part.members[static_cast<std::size_t>(current)].size() >= cap) {
+          break;
+        }
+        part.part_of[static_cast<std::size_t>(u)] = current;
+        part.members[static_cast<std::size_t>(current)].push_back(u);
+        frontier.push_back(u);
+      }
+    }
+  }
+  for (auto& m : part.members) std::sort(m.begin(), m.end());
+  part.validate(g);
+  return part;
+}
+
+}  // namespace gnav::graph

@@ -1,0 +1,78 @@
+#include "graph/reorder.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+
+#include "graph/graph_builder.hpp"
+#include "support/error.hpp"
+
+namespace gnav::graph {
+
+std::vector<NodeId> degree_descending_order(const CsrGraph& g) {
+  std::vector<NodeId> perm(static_cast<std::size_t>(g.num_nodes()));
+  std::iota(perm.begin(), perm.end(), NodeId{0});
+  std::stable_sort(perm.begin(), perm.end(), [&](NodeId a, NodeId b) {
+    return g.degree(a) > g.degree(b);
+  });
+  return perm;
+}
+
+std::vector<NodeId> bfs_order(const CsrGraph& g, NodeId source) {
+  GNAV_CHECK(g.num_nodes() == 0 || g.contains(source),
+             "BFS source out of range");
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  std::vector<NodeId> order;
+  order.reserve(n);
+  std::vector<char> seen(n, 0);
+  std::deque<NodeId> queue;
+  auto push = [&](NodeId v) {
+    if (!seen[static_cast<std::size_t>(v)]) {
+      seen[static_cast<std::size_t>(v)] = 1;
+      queue.push_back(v);
+    }
+  };
+  if (n > 0) push(source);
+  NodeId scan = 0;  // restart cursor for disconnected components
+  while (order.size() < n) {
+    if (queue.empty()) {
+      while (seen[static_cast<std::size_t>(scan)]) ++scan;
+      push(scan);
+    }
+    const NodeId v = queue.front();
+    queue.pop_front();
+    order.push_back(v);
+    for (NodeId u : g.neighbors(v)) push(u);
+  }
+  return order;
+}
+
+CsrGraph apply_permutation(const CsrGraph& g,
+                           const std::vector<NodeId>& perm) {
+  GNAV_CHECK(perm.size() == static_cast<std::size_t>(g.num_nodes()),
+             "permutation size mismatch");
+  const auto inv = invert_permutation(perm);
+  GraphBuilder b(g.num_nodes());
+  for (NodeId new_v = 0; new_v < g.num_nodes(); ++new_v) {
+    const NodeId old_v = perm[static_cast<std::size_t>(new_v)];
+    for (NodeId old_u : g.neighbors(old_v)) {
+      b.add_edge(new_v, inv[static_cast<std::size_t>(old_u)]);
+    }
+  }
+  return b.deduplicate(false).remove_self_loops(false).build();
+}
+
+std::vector<NodeId> invert_permutation(const std::vector<NodeId>& perm) {
+  std::vector<NodeId> inv(perm.size(), NodeId{-1});
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    const NodeId old_id = perm[i];
+    GNAV_CHECK(old_id >= 0 && static_cast<std::size_t>(old_id) < perm.size(),
+               "permutation entry out of range");
+    GNAV_CHECK(inv[static_cast<std::size_t>(old_id)] == -1,
+               "permutation has duplicates");
+    inv[static_cast<std::size_t>(old_id)] = static_cast<NodeId>(i);
+  }
+  return inv;
+}
+
+}  // namespace gnav::graph

@@ -1,0 +1,26 @@
+// Vertex reordering — the "Reorder" knob in the paper's model-design /
+// computation category (Fig. 3). Degree ordering groups hot vertices,
+// which improves static-cache coverage bookkeeping; BFS ordering improves
+// locality for neighbor expansion on the simulated host.
+#pragma once
+
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace gnav::graph {
+
+enum class ReorderKind { kNone, kDegreeDescending, kBfs };
+
+/// Returns perm where perm[new_id] = old_id.
+std::vector<NodeId> degree_descending_order(const CsrGraph& g);
+std::vector<NodeId> bfs_order(const CsrGraph& g, NodeId source = 0);
+
+/// Relabels the graph: new vertex i is old vertex perm[i].
+CsrGraph apply_permutation(const CsrGraph& g,
+                           const std::vector<NodeId>& perm);
+
+/// Inverse permutation: inv[old_id] = new_id.
+std::vector<NodeId> invert_permutation(const std::vector<NodeId>& perm);
+
+}  // namespace gnav::graph

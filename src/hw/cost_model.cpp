@@ -1,0 +1,56 @@
+#include "hw/cost_model.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace gnav::hw {
+
+double IterationTimes::overlapped() const {
+  return std::max(t_sample + t_transfer, t_replace + t_compute);
+}
+
+double IterationTimes::sequential() const {
+  return t_sample + t_transfer + t_replace + t_compute;
+}
+
+CostModel::CostModel(HardwareProfile profile) : profile_(std::move(profile)) {}
+
+double CostModel::sample_time_s(double sampling_work) const {
+  GNAV_CHECK(sampling_work >= 0.0, "negative sampling work");
+  return sampling_work / profile_.host.sample_throughput_per_s;
+}
+
+double CostModel::transfer_time_s(double bytes) const {
+  GNAV_CHECK(bytes >= 0.0, "negative transfer volume");
+  if (bytes == 0.0) return 0.0;
+  return profile_.link.latency_us * 1e-6 +
+         bytes / (profile_.link.bandwidth_gbps * 1e9);
+}
+
+double CostModel::replace_time_s(double bytes) const {
+  GNAV_CHECK(bytes >= 0.0, "negative replace volume");
+  return bytes / (profile_.device.replace_bandwidth_gbps * 1e9);
+}
+
+double CostModel::compute_time_s(double flops) const {
+  GNAV_CHECK(flops >= 0.0, "negative FLOPs");
+  return flops / (profile_.device.compute_gflops * 1e9);
+}
+
+IterationTimes CostModel::iteration_times(
+    const IterationVolumes& volumes) const {
+  IterationTimes t;
+  t.t_sample = sample_time_s(volumes.sampling_work);
+  t.t_transfer = transfer_time_s(volumes.transfer_bytes);
+  t.t_replace = replace_time_s(volumes.replace_bytes);
+  t.t_compute = compute_time_s(volumes.compute_flops);
+  return t;
+}
+
+void SimClock::advance(double seconds) {
+  GNAV_CHECK(seconds >= 0.0, "cannot advance the clock backwards");
+  now_s_ += seconds;
+}
+
+}  // namespace gnav::hw

@@ -1,0 +1,64 @@
+// Phase-level timing model implementing the white-box skeleton of the
+// paper's Eq. 4-8. The runtime backend feeds it measured per-iteration
+// volumes (sampling work, transfer bytes, replace bytes, compute FLOPs)
+// and gets back simulated seconds; Eq. 4's max() models host/device
+// pipeline overlap (sampling+transfer of batch i+1 overlaps cache-update +
+// compute of batch i).
+#pragma once
+
+#include <cstdint>
+
+#include "hw/platform.hpp"
+
+namespace gnav::hw {
+
+/// Per-iteration phase volumes (the inputs of f_sample/f_transfer/...).
+struct IterationVolumes {
+  double sampling_work = 0.0;   // neighbor-candidate scans on the host
+  double transfer_bytes = 0.0;  // miss features + subgraph structure
+  double replace_bytes = 0.0;   // stale cache lines rewritten on device
+  double compute_flops = 0.0;   // forward + backward FLOPs
+};
+
+/// Per-iteration phase times in seconds.
+struct IterationTimes {
+  double t_sample = 0.0;
+  double t_transfer = 0.0;
+  double t_replace = 0.0;
+  double t_compute = 0.0;
+
+  /// Eq. 4 inner term: host pipeline vs device pipeline overlap.
+  double overlapped() const;
+  /// Sequential (no-pipelining) execution, for the ablation bench.
+  double sequential() const;
+};
+
+class CostModel {
+ public:
+  explicit CostModel(HardwareProfile profile);
+
+  double sample_time_s(double sampling_work) const;
+  double transfer_time_s(double bytes) const;
+  double replace_time_s(double bytes) const;
+  double compute_time_s(double flops) const;
+
+  IterationTimes iteration_times(const IterationVolumes& volumes) const;
+
+  const HardwareProfile& profile() const { return profile_; }
+
+ private:
+  HardwareProfile profile_;
+};
+
+/// Accumulates simulated time over the iterations of an epoch/run.
+class SimClock {
+ public:
+  void advance(double seconds);
+  double now_s() const { return now_s_; }
+  void reset() { now_s_ = 0.0; }
+
+ private:
+  double now_s_ = 0.0;
+};
+
+}  // namespace gnav::hw

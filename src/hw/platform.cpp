@@ -1,0 +1,51 @@
+#include "hw/platform.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace gnav::hw {
+
+double HardwareProfile::free_device_memory_gb(double used_gb) const {
+  return std::max(0.0, device.memory_gb - used_gb);
+}
+
+HardwareProfile make_profile(const std::string& name) {
+  HardwareProfile p;
+  p.name = name;
+  // Link bandwidths are *effective scattered-gather* rates: random feature
+  // rows DMA far below peak PCIe throughput.
+  if (name == "rtx4090") {
+    p.host = {150e6, 128.0, 32};
+    p.link = {2.6, 15.0};
+    p.device = {6000.0, 24.0, 700.0};
+  } else if (name == "a100") {
+    p.host = {200e6, 256.0, 64};
+    p.link = {4.2, 12.0};
+    p.device = {8000.0, 40.0, 1200.0};
+  } else if (name == "m90") {
+    p.host = {100e6, 96.0, 24};
+    p.link = {1.8, 20.0};
+    p.device = {2500.0, 16.0, 350.0};
+  } else if (name == "constrained") {
+    // Resource-limited scenario (Pa-Low measurements in the paper).
+    p.host = {60e6, 48.0, 12};
+    p.link = {0.9, 25.0};
+    p.device = {2500.0, 4.0, 350.0};
+  } else if (name == "default") {
+    // Leave defaults.
+  } else {
+    throw Error("unknown hardware profile '" + name +
+                "'; available: rtx4090, a100, m90, constrained, default");
+  }
+  GNAV_CHECK(p.host.sample_throughput_per_s > 0 &&
+                 p.link.bandwidth_gbps > 0 && p.device.compute_gflops > 0,
+             "hardware profile has non-positive throughput");
+  return p;
+}
+
+std::vector<std::string> profile_names() {
+  return {"rtx4090", "a100", "m90", "constrained"};
+}
+
+}  // namespace gnav::hw

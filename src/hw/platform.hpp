@@ -1,0 +1,58 @@
+// Heterogeneous platform model — the simulated stand-in for the paper's
+// CPU + {RTX 4090, A100, M90} testbeds (see DESIGN.md "Substitutions").
+//
+// The paper's cost model (Eq. 4-10) consumes hardware only through three
+// abstractions: host sampling throughput, host-device link bandwidth, and
+// device compute throughput / memory capacity. A HardwareProfile captures
+// exactly those quantities; named presets approximate public spec sheets.
+// "Manual constraints to simulate various scenarios" (Sec. 4.1) are
+// expressed by shrinking device_memory_gb / bandwidth on a preset.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gnav::hw {
+
+struct HostSpec {
+  /// Neighbor-candidate scans per second the sampler sustains on the host
+  /// (calibrated so scaled datasets land near paper-scale epoch times).
+  double sample_throughput_per_s = 40e6;
+  double memory_gb = 128.0;
+  int cores = 32;
+};
+
+struct LinkSpec {
+  /// Effective host->device copy bandwidth (PCIe/DMA), GB/s.
+  double bandwidth_gbps = 12.0;
+  /// Per-transfer fixed latency (driver + DMA setup), microseconds.
+  double latency_us = 15.0;
+};
+
+struct DeviceSpec {
+  /// Sustained training throughput for GNN kernels, GFLOP/s. Deliberately
+  /// far below peak spec: sparse aggregation is memory-bound.
+  double compute_gflops = 3000.0;
+  double memory_gb = 24.0;
+  /// Device-local memory rewrite bandwidth for cache updates, GB/s.
+  double replace_bandwidth_gbps = 400.0;
+};
+
+struct HardwareProfile {
+  std::string name = "default";
+  HostSpec host;
+  LinkSpec link;
+  DeviceSpec device;
+
+  /// Free device memory available for caching after reserving `used_gb`.
+  double free_device_memory_gb(double used_gb) const;
+};
+
+/// Named presets: "rtx4090", "a100", "m90" (a mid-range datacenter card),
+/// plus "constrained" (m90 with halved memory and link bandwidth — the
+/// paper's resource-limited scenario for Pa-Low).
+HardwareProfile make_profile(const std::string& name);
+
+std::vector<std::string> profile_names();
+
+}  // namespace gnav::hw

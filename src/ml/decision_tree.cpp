@@ -1,0 +1,199 @@
+#include "ml/decision_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace gnav::ml {
+
+std::vector<double> Regressor::predict(const Matrix& x) const {
+  std::vector<double> out;
+  out.reserve(x.size());
+  for (const auto& row : x) out.push_back(predict_one(row));
+  return out;
+}
+
+void train_test_split(const Matrix& x, const std::vector<double>& y,
+                      double test_fraction, std::uint64_t seed, Matrix* x_tr,
+                      std::vector<double>* y_tr, Matrix* x_te,
+                      std::vector<double>* y_te) {
+  GNAV_CHECK(x.size() == y.size(), "X/y size mismatch");
+  GNAV_CHECK(test_fraction > 0.0 && test_fraction < 1.0,
+             "test fraction must be in (0,1)");
+  std::vector<std::size_t> idx(x.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  Rng rng(seed);
+  rng.shuffle(idx);
+  const auto n_test = std::max<std::size_t>(
+      1, static_cast<std::size_t>(test_fraction *
+                                  static_cast<double>(x.size())));
+  x_tr->clear();
+  y_tr->clear();
+  x_te->clear();
+  y_te->clear();
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    if (i < n_test) {
+      x_te->push_back(x[idx[i]]);
+      y_te->push_back(y[idx[i]]);
+    } else {
+      x_tr->push_back(x[idx[i]]);
+      y_tr->push_back(y[idx[i]]);
+    }
+  }
+}
+
+DecisionTreeRegressor::DecisionTreeRegressor(TreeParams params)
+    : params_(params) {
+  GNAV_CHECK(params_.max_depth >= 1, "max_depth must be >= 1");
+  GNAV_CHECK(params_.min_samples_leaf >= 1, "min_samples_leaf must be >= 1");
+  GNAV_CHECK(params_.threshold_stride >= 1, "threshold_stride must be >= 1");
+}
+
+namespace {
+
+double subset_mean(const std::vector<double>& y,
+                   const std::vector<std::size_t>& idx) {
+  double s = 0.0;
+  for (std::size_t i : idx) s += y[i];
+  return idx.empty() ? 0.0 : s / static_cast<double>(idx.size());
+}
+
+}  // namespace
+
+void DecisionTreeRegressor::fit(const Matrix& x,
+                                const std::vector<double>& y) {
+  GNAV_CHECK(!x.empty(), "cannot fit on empty data");
+  GNAV_CHECK(x.size() == y.size(), "X/y size mismatch");
+  const std::size_t d = x[0].size();
+  for (const auto& row : x) {
+    GNAV_CHECK(row.size() == d, "ragged design matrix");
+  }
+  nodes_.clear();
+  std::vector<std::size_t> idx(x.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  build(x, y, idx, 0);
+}
+
+int DecisionTreeRegressor::build(const Matrix& x,
+                                 const std::vector<double>& y,
+                                 std::vector<std::size_t>& idx, int depth) {
+  const int node_id = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[static_cast<std::size_t>(node_id)].value = subset_mean(y, idx);
+
+  if (depth >= params_.max_depth ||
+      idx.size() < params_.min_samples_split) {
+    return node_id;
+  }
+
+  // Greedy best split by sum-of-squares reduction. For each feature, sort
+  // the subset once and sweep prefix sums.
+  const std::size_t d = x[0].size();
+  double best_gain = 1e-12;
+  int best_feature = -1;
+  double best_threshold = 0.0;
+
+  double total_sum = 0.0;
+  double total_sq = 0.0;
+  for (std::size_t i : idx) {
+    total_sum += y[i];
+    total_sq += y[i] * y[i];
+  }
+  const auto n = static_cast<double>(idx.size());
+  const double parent_sse = total_sq - total_sum * total_sum / n;
+
+  std::vector<std::size_t> sorted = idx;
+  for (std::size_t f = 0; f < d; ++f) {
+    std::sort(sorted.begin(), sorted.end(),
+              [&](std::size_t a, std::size_t b) { return x[a][f] < x[b][f]; });
+    double left_sum = 0.0;
+    double left_sq = 0.0;
+    std::size_t considered = 0;
+    for (std::size_t i = 0; i + 1 < sorted.size(); ++i) {
+      const double yi = y[sorted[i]];
+      left_sum += yi;
+      left_sq += yi * yi;
+      if (x[sorted[i]][f] == x[sorted[i + 1]][f]) continue;  // same value
+      ++considered;
+      if (static_cast<int>(considered % static_cast<std::size_t>(
+                               params_.threshold_stride)) != 0) {
+        continue;
+      }
+      const auto nl = static_cast<double>(i + 1);
+      const double nr = n - nl;
+      if (nl < static_cast<double>(params_.min_samples_leaf) ||
+          nr < static_cast<double>(params_.min_samples_leaf)) {
+        continue;
+      }
+      const double right_sum = total_sum - left_sum;
+      const double right_sq = total_sq - left_sq;
+      const double sse = (left_sq - left_sum * left_sum / nl) +
+                         (right_sq - right_sum * right_sum / nr);
+      const double gain = parent_sse - sse;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int>(f);
+        best_threshold = 0.5 * (x[sorted[i]][f] + x[sorted[i + 1]][f]);
+      }
+    }
+  }
+
+  if (best_feature < 0) return node_id;
+
+  std::vector<std::size_t> left_idx;
+  std::vector<std::size_t> right_idx;
+  for (std::size_t i : idx) {
+    if (x[i][static_cast<std::size_t>(best_feature)] <= best_threshold) {
+      left_idx.push_back(i);
+    } else {
+      right_idx.push_back(i);
+    }
+  }
+  if (left_idx.empty() || right_idx.empty()) return node_id;
+
+  const int left = build(x, y, left_idx, depth + 1);
+  const int right = build(x, y, right_idx, depth + 1);
+  Node& nd = nodes_[static_cast<std::size_t>(node_id)];
+  nd.feature = best_feature;
+  nd.threshold = best_threshold;
+  nd.left = left;
+  nd.right = right;
+  return node_id;
+}
+
+double DecisionTreeRegressor::predict_one(const std::vector<double>& x) const {
+  GNAV_CHECK(is_fitted(), "predict before fit");
+  int cur = 0;
+  while (true) {
+    const Node& nd = nodes_[static_cast<std::size_t>(cur)];
+    if (nd.feature < 0) return nd.value;
+    GNAV_CHECK(static_cast<std::size_t>(nd.feature) < x.size(),
+               "feature index out of range in predict");
+    cur = (x[static_cast<std::size_t>(nd.feature)] <= nd.threshold)
+              ? nd.left
+              : nd.right;
+  }
+}
+
+int DecisionTreeRegressor::depth() const {
+  // Iterative depth computation over the explicit node array.
+  if (nodes_.empty()) return 0;
+  std::vector<std::pair<int, int>> stack = {{0, 1}};
+  int best = 0;
+  while (!stack.empty()) {
+    const auto [id, depth] = stack.back();
+    stack.pop_back();
+    best = std::max(best, depth);
+    const Node& nd = nodes_[static_cast<std::size_t>(id)];
+    if (nd.feature >= 0) {
+      stack.push_back({nd.left, depth + 1});
+      stack.push_back({nd.right, depth + 1});
+    }
+  }
+  return best;
+}
+
+}  // namespace gnav::ml

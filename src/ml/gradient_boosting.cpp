@@ -1,0 +1,53 @@
+#include "ml/gradient_boosting.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace gnav::ml {
+
+GradientBoostingRegressor::GradientBoostingRegressor(BoostingParams params)
+    : params_(params) {
+  GNAV_CHECK(params_.num_rounds >= 1, "need at least one round");
+  GNAV_CHECK(params_.learning_rate > 0.0 && params_.learning_rate <= 1.0,
+             "learning rate must be in (0,1]");
+}
+
+void GradientBoostingRegressor::fit(const Matrix& x,
+                                    const std::vector<double>& y) {
+  GNAV_CHECK(!x.empty() && x.size() == y.size(), "bad training data");
+  trees_.clear();
+  double s = 0.0;
+  for (double v : y) s += v;
+  base_ = s / static_cast<double>(y.size());
+  std::vector<double> residual(y.size());
+  std::vector<double> pred(y.size(), base_);
+  for (int round = 0; round < params_.num_rounds; ++round) {
+    double max_resid = 0.0;
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      residual[i] = y[i] - pred[i];
+      max_resid = std::max(max_resid, std::abs(residual[i]));
+    }
+    if (max_resid < 1e-12) break;  // perfectly fit
+    DecisionTreeRegressor tree(params_.tree);
+    tree.fit(x, residual);
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      pred[i] += params_.learning_rate * tree.predict_one(x[i]);
+    }
+    trees_.push_back(std::move(tree));
+  }
+  fitted_ = true;
+}
+
+double GradientBoostingRegressor::predict_one(
+    const std::vector<double>& x) const {
+  GNAV_CHECK(is_fitted(), "predict before fit");
+  double out = base_;
+  for (const auto& tree : trees_) {
+    out += params_.learning_rate * tree.predict_one(x);
+  }
+  return out;
+}
+
+}  // namespace gnav::ml

@@ -1,0 +1,38 @@
+// Gradient boosting with shallow CART trees (least-squares boosting):
+// F_0 = mean(y); F_k = F_{k-1} + lr * tree_k(residuals). The gray-box
+// estimator uses this as its default residual learner — smooth targets,
+// small data, strong bias control.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/decision_tree.hpp"
+
+namespace gnav::ml {
+
+struct BoostingParams {
+  int num_rounds = 80;
+  double learning_rate = 0.15;
+  TreeParams tree{/*max_depth=*/3, /*min_samples_leaf=*/3,
+                  /*min_samples_split=*/6, /*threshold_stride=*/1};
+};
+
+class GradientBoostingRegressor final : public Regressor {
+ public:
+  explicit GradientBoostingRegressor(BoostingParams params = {});
+
+  void fit(const Matrix& x, const std::vector<double>& y) override;
+  double predict_one(const std::vector<double>& x) const override;
+  bool is_fitted() const override { return fitted_; }
+
+  std::size_t round_count() const { return trees_.size(); }
+
+ private:
+  BoostingParams params_;
+  double base_ = 0.0;
+  bool fitted_ = false;
+  std::vector<DecisionTreeRegressor> trees_;
+};
+
+}  // namespace gnav::ml

@@ -1,0 +1,62 @@
+#include "ml/metrics.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace gnav::ml {
+namespace {
+void check_sizes(const std::vector<double>& a, const std::vector<double>& b) {
+  GNAV_CHECK(a.size() == b.size() && !a.empty(),
+             "metric inputs must be equal-sized and non-empty");
+}
+}  // namespace
+
+double r2_score(const std::vector<double>& y_true,
+                const std::vector<double>& y_pred) {
+  check_sizes(y_true, y_pred);
+  double mean = 0.0;
+  for (double v : y_true) mean += v;
+  mean /= static_cast<double>(y_true.size());
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (std::size_t i = 0; i < y_true.size(); ++i) {
+    ss_res += (y_true[i] - y_pred[i]) * (y_true[i] - y_pred[i]);
+    ss_tot += (y_true[i] - mean) * (y_true[i] - mean);
+  }
+  if (ss_tot <= 0.0) return 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+double mse(const std::vector<double>& y_true,
+           const std::vector<double>& y_pred) {
+  check_sizes(y_true, y_pred);
+  double s = 0.0;
+  for (std::size_t i = 0; i < y_true.size(); ++i) {
+    s += (y_true[i] - y_pred[i]) * (y_true[i] - y_pred[i]);
+  }
+  return s / static_cast<double>(y_true.size());
+}
+
+double mae(const std::vector<double>& y_true,
+           const std::vector<double>& y_pred) {
+  check_sizes(y_true, y_pred);
+  double s = 0.0;
+  for (std::size_t i = 0; i < y_true.size(); ++i) {
+    s += std::abs(y_true[i] - y_pred[i]);
+  }
+  return s / static_cast<double>(y_true.size());
+}
+
+double mape(const std::vector<double>& y_true,
+            const std::vector<double>& y_pred) {
+  check_sizes(y_true, y_pred);
+  double s = 0.0;
+  for (std::size_t i = 0; i < y_true.size(); ++i) {
+    const double denom = std::max(std::abs(y_true[i]), 1e-9);
+    s += std::abs(y_true[i] - y_pred[i]) / denom;
+  }
+  return s / static_cast<double>(y_true.size());
+}
+
+}  // namespace gnav::ml

@@ -1,0 +1,24 @@
+// Regression quality metrics — the paper evaluates its estimator with the
+// R2 score (for T and Γ, which have analytic structure) and MSE (for the
+// black-box accuracy model), Table 2.
+#pragma once
+
+#include <vector>
+
+namespace gnav::ml {
+
+/// R2 = 1 - SS_res / SS_tot; returns 0 when the targets are constant.
+double r2_score(const std::vector<double>& y_true,
+                const std::vector<double>& y_pred);
+
+double mse(const std::vector<double>& y_true,
+           const std::vector<double>& y_pred);
+
+double mae(const std::vector<double>& y_true,
+           const std::vector<double>& y_pred);
+
+/// Mean absolute percentage error (guarding tiny denominators).
+double mape(const std::vector<double>& y_true,
+            const std::vector<double>& y_pred);
+
+}  // namespace gnav::ml

@@ -1,0 +1,47 @@
+#include "ml/random_forest.hpp"
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace gnav::ml {
+
+RandomForestRegressor::RandomForestRegressor(ForestParams params)
+    : params_(params) {
+  GNAV_CHECK(params_.num_trees >= 1, "need at least one tree");
+  GNAV_CHECK(params_.subsample > 0.0 && params_.subsample <= 1.0,
+             "subsample must be in (0,1]");
+}
+
+void RandomForestRegressor::fit(const Matrix& x,
+                                const std::vector<double>& y) {
+  GNAV_CHECK(!x.empty() && x.size() == y.size(), "bad training data");
+  trees_.clear();
+  Rng rng(params_.seed);
+  const auto n = x.size();
+  const auto sample_n = std::max<std::size_t>(
+      1, static_cast<std::size_t>(params_.subsample *
+                                  static_cast<double>(n)));
+  for (int t = 0; t < params_.num_trees; ++t) {
+    Matrix xs;
+    std::vector<double> ys;
+    xs.reserve(sample_n);
+    ys.reserve(sample_n);
+    for (std::size_t i = 0; i < sample_n; ++i) {
+      const auto j = static_cast<std::size_t>(rng.uniform_index(n));
+      xs.push_back(x[j]);
+      ys.push_back(y[j]);
+    }
+    DecisionTreeRegressor tree(params_.tree);
+    tree.fit(xs, ys);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+double RandomForestRegressor::predict_one(const std::vector<double>& x) const {
+  GNAV_CHECK(is_fitted(), "predict before fit");
+  double s = 0.0;
+  for (const auto& tree : trees_) s += tree.predict_one(x);
+  return s / static_cast<double>(trees_.size());
+}
+
+}  // namespace gnav::ml

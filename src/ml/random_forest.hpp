@@ -1,0 +1,34 @@
+// Bagged ensemble of CART trees with per-tree bootstrap resampling.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/decision_tree.hpp"
+
+namespace gnav::ml {
+
+struct ForestParams {
+  int num_trees = 30;
+  TreeParams tree;
+  /// Bootstrap sample fraction per tree.
+  double subsample = 0.9;
+  std::uint64_t seed = 17;
+};
+
+class RandomForestRegressor final : public Regressor {
+ public:
+  explicit RandomForestRegressor(ForestParams params = {});
+
+  void fit(const Matrix& x, const std::vector<double>& y) override;
+  double predict_one(const std::vector<double>& x) const override;
+  bool is_fitted() const override { return !trees_.empty(); }
+
+  std::size_t tree_count() const { return trees_.size(); }
+
+ private:
+  ForestParams params_;
+  std::vector<DecisionTreeRegressor> trees_;
+};
+
+}  // namespace gnav::ml

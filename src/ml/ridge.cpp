@@ -1,0 +1,85 @@
+#include "ml/ridge.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace gnav::ml {
+
+RidgeRegressor::RidgeRegressor(double lambda) : lambda_(lambda) {
+  GNAV_CHECK(lambda >= 0.0, "lambda must be non-negative");
+}
+
+void RidgeRegressor::fit(const Matrix& x, const std::vector<double>& y) {
+  GNAV_CHECK(!x.empty() && x.size() == y.size(), "bad training data");
+  const std::size_t n = x.size();
+  const std::size_t d = x[0].size();
+
+  // Center y and each column, so the intercept falls out.
+  std::vector<double> col_mean(d, 0.0);
+  double y_mean = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    GNAV_CHECK(x[i].size() == d, "ragged design matrix");
+    for (std::size_t j = 0; j < d; ++j) col_mean[j] += x[i][j];
+    y_mean += y[i];
+  }
+  for (double& m : col_mean) m /= static_cast<double>(n);
+  y_mean /= static_cast<double>(n);
+
+  // A = X^T X + lambda I (on centered X), b = X^T y.
+  std::vector<std::vector<double>> a(d, std::vector<double>(d, 0.0));
+  std::vector<double> b(d, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      const double xj = x[i][j] - col_mean[j];
+      b[j] += xj * (y[i] - y_mean);
+      for (std::size_t k = j; k < d; ++k) {
+        a[j][k] += xj * (x[i][k] - col_mean[k]);
+      }
+    }
+  }
+  for (std::size_t j = 0; j < d; ++j) {
+    a[j][j] += lambda_;
+    for (std::size_t k = 0; k < j; ++k) a[j][k] = a[k][j];
+  }
+
+  // Cholesky: A = L L^T. Ridge regularization keeps A positive definite.
+  std::vector<std::vector<double>> l(d, std::vector<double>(d, 0.0));
+  for (std::size_t j = 0; j < d; ++j) {
+    double diag = a[j][j];
+    for (std::size_t k = 0; k < j; ++k) diag -= l[j][k] * l[j][k];
+    GNAV_CHECK(diag > 1e-14, "matrix not positive definite (raise lambda)");
+    l[j][j] = std::sqrt(diag);
+    for (std::size_t i = j + 1; i < d; ++i) {
+      double s = a[i][j];
+      for (std::size_t k = 0; k < j; ++k) s -= l[i][k] * l[j][k];
+      l[i][j] = s / l[j][j];
+    }
+  }
+  // Solve L z = b, then L^T w = z.
+  std::vector<double> z(d, 0.0);
+  for (std::size_t i = 0; i < d; ++i) {
+    double s = b[i];
+    for (std::size_t k = 0; k < i; ++k) s -= l[i][k] * z[k];
+    z[i] = s / l[i][i];
+  }
+  coef_.assign(d, 0.0);
+  for (std::size_t ii = d; ii-- > 0;) {
+    double s = z[ii];
+    for (std::size_t k = ii + 1; k < d; ++k) s -= l[k][ii] * coef_[k];
+    coef_[ii] = s / l[ii][ii];
+  }
+  intercept_ = y_mean;
+  for (std::size_t j = 0; j < d; ++j) intercept_ -= coef_[j] * col_mean[j];
+  fitted_ = true;
+}
+
+double RidgeRegressor::predict_one(const std::vector<double>& x) const {
+  GNAV_CHECK(is_fitted(), "predict before fit");
+  GNAV_CHECK(x.size() == coef_.size(), "feature width mismatch");
+  double out = intercept_;
+  for (std::size_t j = 0; j < x.size(); ++j) out += coef_[j] * x[j];
+  return out;
+}
+
+}  // namespace gnav::ml

@@ -1,0 +1,30 @@
+// Ridge (L2-regularized linear) regression solved by normal equations
+// with Cholesky factorization. Used for the smooth, nearly-linear
+// residuals of the white-box cost terms (e.g. transfer time vs bytes).
+#pragma once
+
+#include <vector>
+
+#include "ml/regressor.hpp"
+
+namespace gnav::ml {
+
+class RidgeRegressor final : public Regressor {
+ public:
+  explicit RidgeRegressor(double lambda = 1e-3);
+
+  void fit(const Matrix& x, const std::vector<double>& y) override;
+  double predict_one(const std::vector<double>& x) const override;
+  bool is_fitted() const override { return fitted_; }
+
+  const std::vector<double>& coefficients() const { return coef_; }
+  double intercept() const { return intercept_; }
+
+ private:
+  double lambda_;
+  std::vector<double> coef_;
+  double intercept_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace gnav::ml

@@ -1,0 +1,97 @@
+#include "navigator/navigator.hpp"
+
+#include "support/error.hpp"
+#include "support/log.hpp"
+
+namespace gnav::navigator {
+
+GNNavigator::GNNavigator(graph::Dataset dataset,
+                         hw::HardwareProfile hardware,
+                         dse::BaseSettings base)
+    : dataset_(std::move(dataset)),
+      hardware_(std::move(hardware)),
+      base_(base) {
+  dataset_.validate();
+  stats_ = estimator::compute_dataset_stats(dataset_);
+  backend_ = std::make_unique<runtime::RuntimeBackend>(dataset_, hardware_);
+  log_info("GNNavigator input analysis: ", stats_.profile.to_string());
+}
+
+void GNNavigator::prepare(
+    const std::vector<estimator::ProfiledRun>& corpus) {
+  estimator_ = std::make_unique<estimator::PerfEstimator>(hardware_);
+  estimator_->fit(corpus);
+}
+
+void GNNavigator::prepare_default(int configs_per_dataset,
+                                  int augmentation_graphs,
+                                  int profiling_epochs, std::uint64_t seed) {
+  estimator::CollectorOptions options;
+  options.configs_per_dataset = configs_per_dataset;
+  options.epochs = profiling_epochs;
+  options.seed = seed;
+  const auto corpus = estimator::collect_lodo_corpus(
+      graph::dataset_names(), dataset_.name, augmentation_graphs, hardware_,
+      options);
+  prepare(corpus);
+}
+
+const estimator::PerfEstimator& GNNavigator::estimator() const {
+  GNAV_CHECK(estimator_ != nullptr,
+             "estimator not prepared — call prepare() first");
+  return *estimator_;
+}
+
+Guideline GNNavigator::generate_guideline(
+    const dse::ExploreTargets& targets,
+    const dse::RuntimeConstraints& constraints) const {
+  GNAV_CHECK(is_prepared(),
+             "estimator not prepared — call prepare() first");
+  const dse::DesignSpace space = dse::DesignSpace::full(base_);
+  const dse::Explorer explorer(space, *estimator_, stats_);
+
+  // Seed with reproductions of existing systems so the guideline is never
+  // worse than the best prior work under these constraints.
+  std::vector<runtime::TrainConfig> seeds = runtime::all_templates();
+
+  const dse::ExplorationResult result =
+      explorer.explore(constraints, seeds);
+  const dse::DecisionMaker maker(targets);
+  const dse::Decision decision = maker.decide(result);
+
+  Guideline g;
+  g.config = decision.chosen.config;
+  g.config.name = "gnav-" + targets.name;
+  g.predicted = decision.chosen.predicted;
+  g.text = g.config.to_config_map().to_guideline_text();
+  g.exploration_stats = result.stats;
+  g.priority_name = targets.name;
+  log_info("guideline (", targets.name, "): ", g.config.summary(),
+           " predicted T=", g.predicted.time_s,
+           "s Mem=", g.predicted.memory_gb,
+           "GB Acc=", g.predicted.accuracy);
+  return g;
+}
+
+runtime::TrainReport GNNavigator::train(const runtime::TrainConfig& config,
+                                        int epochs,
+                                        std::uint64_t seed) const {
+  runtime::RunOptions options;
+  options.epochs = epochs;
+  options.seed = seed;
+  return backend_->run(config, options);
+}
+
+runtime::TrainReport GNNavigator::reproduce(const std::string& template_name,
+                                            int epochs,
+                                            std::uint64_t seed) const {
+  runtime::TrainConfig config = runtime::template_by_name(template_name);
+  config.model = base_.model;
+  config.num_layers = base_.num_layers;
+  config.dropout = base_.dropout;
+  config.learning_rate = base_.learning_rate;
+  config.validate();
+  return train(config, epochs, seed);
+}
+
+}  // namespace gnav::navigator

@@ -1,0 +1,97 @@
+// GNNavigator — the end-to-end facade implementing the paper's three-step
+// workflow (Fig. 2):
+//
+//   Step 1  Input analysis: the user supplies a dataset, a GNN model
+//           specification, a hardware platform, and application
+//           requirements; GNNavigator profiles the graph and hardware.
+//   Step 2  Automatic guideline generation: the gray-box performance
+//           estimator (trained leave-one-dataset-out with power-law
+//           augmentation) scores candidates, the DFS explorer prunes with
+//           runtime constraints, and the decision maker picks from the
+//           Pareto front according to the stated priorities.
+//   Step 3  Training: the chosen guideline configures the reconfigurable
+//           runtime backend, which trains the model and reports the
+//           actual Perf{T, Γ, Acc}.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dse/decision_maker.hpp"
+#include "dse/design_space.hpp"
+#include "dse/explorer.hpp"
+#include "dse/objectives.hpp"
+#include "estimator/perf_estimator.hpp"
+#include "estimator/profile_collector.hpp"
+#include "graph/dataset.hpp"
+#include "hw/platform.hpp"
+#include "runtime/backend.hpp"
+#include "runtime/templates.hpp"
+
+namespace gnav::navigator {
+
+/// A generated training guideline: the chosen configuration, its
+/// predicted performance, and the user-facing guideline text.
+struct Guideline {
+  runtime::TrainConfig config;
+  estimator::PerfPrediction predicted;
+  std::string text;
+  dse::ExplorationStats exploration_stats;
+  std::string priority_name;
+};
+
+class GNNavigator {
+ public:
+  /// Step 1 inputs. The dataset is copied in and owned; `base` pins the
+  /// application-determined model parameters.
+  GNNavigator(graph::Dataset dataset, hw::HardwareProfile hardware,
+              dse::BaseSettings base);
+
+  /// Trains the gray-box estimator. `corpus` is typically produced by
+  /// estimator::collect_lodo_corpus over the *other* datasets (Sec. 4.1's
+  /// leave-one-out protocol); prepare_default() does exactly that.
+  void prepare(const std::vector<estimator::ProfiledRun>& corpus);
+
+  /// Convenience: collects a leave-one-dataset-out corpus (all registry
+  /// datasets except this one + `augmentation_graphs` power-law graphs)
+  /// and fits the estimator.
+  void prepare_default(int configs_per_dataset = 24,
+                       int augmentation_graphs = 2,
+                       int profiling_epochs = 1, std::uint64_t seed = 99);
+
+  bool is_prepared() const {
+    return estimator_ != nullptr && estimator_->is_fitted();
+  }
+
+  /// Step 2: explore and decide. Throws if prepare() was not called or no
+  /// candidate satisfies the constraints.
+  Guideline generate_guideline(const dse::ExploreTargets& targets,
+                               const dse::RuntimeConstraints& constraints)
+      const;
+
+  /// Step 3: train under an arbitrary configuration (guideline or manual).
+  runtime::TrainReport train(const runtime::TrainConfig& config,
+                             int epochs = 4, std::uint64_t seed = 1) const;
+
+  /// Reproduces an existing system by its template name on this backend.
+  runtime::TrainReport reproduce(const std::string& template_name,
+                                 int epochs = 4,
+                                 std::uint64_t seed = 1) const;
+
+  const graph::Dataset& dataset() const { return dataset_; }
+  const estimator::DatasetStats& dataset_stats() const { return stats_; }
+  const hw::HardwareProfile& hardware() const { return hardware_; }
+  const estimator::PerfEstimator& estimator() const;
+  const runtime::RuntimeBackend& backend() const { return *backend_; }
+
+ private:
+  graph::Dataset dataset_;
+  hw::HardwareProfile hardware_;
+  dse::BaseSettings base_;
+  estimator::DatasetStats stats_;
+  std::unique_ptr<runtime::RuntimeBackend> backend_;
+  std::unique_ptr<estimator::PerfEstimator> estimator_;
+};
+
+}  // namespace gnav::navigator

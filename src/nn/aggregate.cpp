@@ -1,0 +1,96 @@
+#include "nn/aggregate.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace gnav::nn {
+
+using tensor::Tensor;
+
+namespace {
+void check_shapes(const graph::CsrGraph& g, const Tensor& x) {
+  GNAV_CHECK(x.rows() == static_cast<std::size_t>(g.num_nodes()),
+             "aggregation: feature rows (" + std::to_string(x.rows()) +
+                 ") != num_nodes (" + std::to_string(g.num_nodes()) + ")");
+}
+}  // namespace
+
+Tensor aggregate_mean(const graph::CsrGraph& g, const Tensor& x) {
+  check_shapes(g, x);
+  Tensor y(x.rows(), x.cols());
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto nb = g.neighbors(v);
+    if (nb.empty()) continue;
+    float* yv = y.row(static_cast<std::size_t>(v));
+    for (graph::NodeId u : nb) {
+      const float* xu = x.row(static_cast<std::size_t>(u));
+      for (std::size_t j = 0; j < x.cols(); ++j) yv[j] += xu[j];
+    }
+    const float inv = 1.0f / static_cast<float>(nb.size());
+    for (std::size_t j = 0; j < x.cols(); ++j) yv[j] *= inv;
+  }
+  return y;
+}
+
+Tensor aggregate_mean_transpose(const graph::CsrGraph& g, const Tensor& dy) {
+  check_shapes(g, dy);
+  Tensor dx(dy.rows(), dy.cols());
+  // dX[u] += dY[v]/deg(v) for each edge (v,u). Iterating v's neighbor list
+  // scatter-adds into dx rows; single-threaded, so no atomicity concerns.
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto nb = g.neighbors(v);
+    if (nb.empty()) continue;
+    const float inv = 1.0f / static_cast<float>(nb.size());
+    const float* dyv = dy.row(static_cast<std::size_t>(v));
+    for (graph::NodeId u : nb) {
+      float* dxu = dx.row(static_cast<std::size_t>(u));
+      for (std::size_t j = 0; j < dy.cols(); ++j) dxu[j] += inv * dyv[j];
+    }
+  }
+  return dx;
+}
+
+Tensor aggregate_gcn(const graph::CsrGraph& g, const Tensor& x) {
+  check_shapes(g, x);
+  Tensor y(x.rows(), x.cols());
+  std::vector<float> inv_sqrt(static_cast<std::size_t>(g.num_nodes()));
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    inv_sqrt[static_cast<std::size_t>(v)] =
+        1.0f / std::sqrt(static_cast<float>(g.degree(v) + 1));
+  }
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    float* yv = y.row(static_cast<std::size_t>(v));
+    const float sv = inv_sqrt[static_cast<std::size_t>(v)];
+    // self loop contribution
+    const float* xv = x.row(static_cast<std::size_t>(v));
+    const float wself = sv * sv;
+    for (std::size_t j = 0; j < x.cols(); ++j) yv[j] += wself * xv[j];
+    for (graph::NodeId u : g.neighbors(v)) {
+      const float w = sv * inv_sqrt[static_cast<std::size_t>(u)];
+      const float* xu = x.row(static_cast<std::size_t>(u));
+      for (std::size_t j = 0; j < x.cols(); ++j) yv[j] += w * xu[j];
+    }
+  }
+  return y;
+}
+
+Tensor aggregate_sum(const graph::CsrGraph& g, const Tensor& x) {
+  check_shapes(g, x);
+  Tensor y(x.rows(), x.cols());
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    float* yv = y.row(static_cast<std::size_t>(v));
+    for (graph::NodeId u : g.neighbors(v)) {
+      const float* xu = x.row(static_cast<std::size_t>(u));
+      for (std::size_t j = 0; j < x.cols(); ++j) yv[j] += xu[j];
+    }
+  }
+  return y;
+}
+
+double aggregation_flops(const graph::CsrGraph& g, std::size_t cols) {
+  return 2.0 * static_cast<double>(g.num_edges()) *
+         static_cast<double>(cols);
+}
+
+}  // namespace gnav::nn

@@ -1,0 +1,37 @@
+// Sparse neighborhood aggregation kernels (the Aggregate of Eq. 1).
+//
+// All kernels assume the mini-batch graph has a *symmetric* edge set —
+// samplers in this library always emit symmetrized subgraphs — which makes
+// the GCN-normalized operator self-adjoint and lets mean aggregation use
+// the same CSR for its transpose.
+#pragma once
+
+#include "graph/csr_graph.hpp"
+#include "tensor/tensor.hpp"
+
+namespace gnav::nn {
+
+/// Y[v] = mean over u in N(v) of X[u]; zero row when N(v) is empty.
+tensor::Tensor aggregate_mean(const graph::CsrGraph& g,
+                              const tensor::Tensor& x);
+
+/// Transpose of aggregate_mean for backprop:
+/// dX[u] = sum over v in N(u) of dY[v] / |N(v)|.
+tensor::Tensor aggregate_mean_transpose(const graph::CsrGraph& g,
+                                        const tensor::Tensor& dy);
+
+/// GCN propagation with self-loops and symmetric normalization:
+/// Y[v] = sum over u in N(v) ∪ {v} of X[u] / sqrt((d_v+1)(d_u+1)).
+/// Self-adjoint on symmetric graphs, so it is its own transpose.
+tensor::Tensor aggregate_gcn(const graph::CsrGraph& g,
+                             const tensor::Tensor& x);
+
+/// Y[v] = sum over u in N(v) of X[u] (plain sum aggregation).
+tensor::Tensor aggregate_sum(const graph::CsrGraph& g,
+                             const tensor::Tensor& x);
+
+/// FLOPs of one sparse aggregation pass over g with `cols` channels
+/// (2 flops per edge per channel: multiply + accumulate).
+double aggregation_flops(const graph::CsrGraph& g, std::size_t cols);
+
+}  // namespace gnav::nn

@@ -1,0 +1,75 @@
+#include "nn/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+#include "tensor/ops.hpp"
+
+namespace gnav::nn {
+
+LossResult softmax_cross_entropy(const tensor::Tensor& logits,
+                                 const std::vector<std::int64_t>& rows,
+                                 const std::vector<int>& labels) {
+  GNAV_CHECK(rows.size() == labels.size(), "rows/labels size mismatch");
+  GNAV_CHECK(!rows.empty(), "loss needs at least one target row");
+  LossResult res;
+  res.grad_logits = tensor::Tensor(logits.rows(), logits.cols());
+  res.total = rows.size();
+  const double inv_n = 1.0 / static_cast<double>(rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto r = static_cast<std::size_t>(rows[i]);
+    GNAV_CHECK(r < logits.rows(), "loss row out of range");
+    const int label = labels[i];
+    GNAV_CHECK(label >= 0 && static_cast<std::size_t>(label) < logits.cols(),
+               "label out of range");
+    const float* lr = logits.row(r);
+    float mx = lr[0];
+    std::size_t best = 0;
+    for (std::size_t j = 1; j < logits.cols(); ++j) {
+      if (lr[j] > mx) {
+        mx = lr[j];
+        best = j;
+      }
+    }
+    if (best == static_cast<std::size_t>(label)) ++res.correct;
+    double total = 0.0;
+    for (std::size_t j = 0; j < logits.cols(); ++j) {
+      total += std::exp(static_cast<double>(lr[j] - mx));
+    }
+    const double log_total = std::log(total);
+    res.loss +=
+        (log_total - static_cast<double>(lr[static_cast<std::size_t>(label)] -
+                                         mx)) *
+        inv_n;
+    float* gr = res.grad_logits.row(r);
+    for (std::size_t j = 0; j < logits.cols(); ++j) {
+      const double soft = std::exp(static_cast<double>(lr[j] - mx)) / total;
+      gr[j] = static_cast<float>(
+          (soft - (j == static_cast<std::size_t>(label) ? 1.0 : 0.0)) *
+          inv_n);
+    }
+  }
+  return res;
+}
+
+double accuracy(const tensor::Tensor& logits,
+                const std::vector<std::int64_t>& rows,
+                const std::vector<int>& labels) {
+  GNAV_CHECK(rows.size() == labels.size(), "rows/labels size mismatch");
+  if (rows.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto r = static_cast<std::size_t>(rows[i]);
+    GNAV_CHECK(r < logits.rows(), "accuracy row out of range");
+    const float* lr = logits.row(r);
+    std::size_t best = 0;
+    for (std::size_t j = 1; j < logits.cols(); ++j) {
+      if (lr[j] > lr[best]) best = j;
+    }
+    if (best == static_cast<std::size_t>(labels[i])) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(rows.size());
+}
+
+}  // namespace gnav::nn

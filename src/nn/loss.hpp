@@ -1,0 +1,30 @@
+// Softmax cross-entropy restricted to a subset of rows (mini-batch loss is
+// computed on seed/target vertices only; the rest of the sampled subgraph
+// exists to provide neighborhood context).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace gnav::nn {
+
+struct LossResult {
+  double loss = 0.0;            // mean NLL over the selected rows
+  tensor::Tensor grad_logits;   // same shape as logits; zero on other rows
+  std::size_t correct = 0;      // argmax == label count on selected rows
+  std::size_t total = 0;
+};
+
+/// `rows[i]` selects a logits row; `labels[i]` is its class.
+LossResult softmax_cross_entropy(const tensor::Tensor& logits,
+                                 const std::vector<std::int64_t>& rows,
+                                 const std::vector<int>& labels);
+
+/// Plain accuracy of argmax(logits[rows]) against labels.
+double accuracy(const tensor::Tensor& logits,
+                const std::vector<std::int64_t>& rows,
+                const std::vector<int>& labels);
+
+}  // namespace gnav::nn

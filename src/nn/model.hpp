@@ -1,0 +1,70 @@
+// Multi-layer GNN model container (the M{L, Φ} of Algo. 1): a stack of
+// graph convolutions with inter-layer activation + dropout, plus the
+// bookkeeping the performance model needs (parameter count, FLOPs,
+// activation memory).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "nn/layers.hpp"
+#include "support/rng.hpp"
+
+namespace gnav::nn {
+
+enum class ModelKind { kGcn, kSage, kGat };
+
+std::string to_string(ModelKind kind);
+ModelKind model_kind_from_string(const std::string& s);
+
+struct ModelConfig {
+  ModelKind kind = ModelKind::kSage;
+  std::size_t in_dim = 32;
+  std::size_t hidden_dim = 64;
+  std::size_t out_dim = 8;    // number of classes
+  std::size_t num_layers = 2; // >= 1
+  float dropout = 0.3f;
+};
+
+/// Owns its layers; forward caches activations for one backward pass.
+class GnnModel {
+ public:
+  GnnModel(const ModelConfig& config, Rng& rng);
+
+  /// Full-graph/mini-batch forward. `training` enables dropout.
+  tensor::Tensor forward(const graph::CsrGraph& g, const tensor::Tensor& x,
+                         bool training, Rng& rng);
+
+  /// Backprop from dL/dlogits; accumulates parameter gradients.
+  void backward(const tensor::Tensor& grad_logits);
+
+  std::vector<Parameter*> parameters();
+  std::size_t parameter_count() const;
+
+  const ModelConfig& config() const { return config_; }
+  std::size_t num_layers() const { return convs_.size(); }
+
+  /// Total forward FLOPs for a batch with n nodes / m edges; backward is
+  /// modeled as 2x forward (standard approximation).
+  double forward_flops(std::int64_t n, std::int64_t m) const;
+
+  /// Floats of activation memory held live during training on a batch
+  /// with n nodes (inputs + one hidden per layer + grads).
+  double activation_floats(std::int64_t n) const;
+
+  /// Additional per-edge activation floats (attention scores/coefficients
+  /// for GAT; zero for GCN/SAGE).
+  double activation_edge_floats(std::int64_t m) const;
+
+ private:
+  ModelConfig config_;
+  std::vector<std::unique_ptr<GraphConv>> convs_;
+  // forward caches
+  std::vector<tensor::Tensor> pre_activations_;
+  std::vector<tensor::Tensor> dropout_masks_;
+  bool last_training_ = false;
+};
+
+}  // namespace gnav::nn

@@ -1,0 +1,68 @@
+#include "nn/optim.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace gnav::nn {
+
+Optimizer::Optimizer(std::vector<Parameter*> params)
+    : params_(std::move(params)) {
+  for (Parameter* p : params_) {
+    GNAV_CHECK(p != nullptr, "null parameter");
+  }
+}
+
+void Optimizer::zero_grad() {
+  for (Parameter* p : params_) p->zero_grad();
+}
+
+Sgd::Sgd(std::vector<Parameter*> params, float lr, float weight_decay)
+    : Optimizer(std::move(params)), lr_(lr), weight_decay_(weight_decay) {}
+
+void Sgd::step() {
+  for (Parameter* p : params_) {
+    for (std::size_t i = 0; i < p->value.size(); ++i) {
+      const float g = p->grad.data()[i] + weight_decay_ * p->value.data()[i];
+      p->value.data()[i] -= lr_ * g;
+    }
+  }
+}
+
+Adam::Adam(std::vector<Parameter*> params, float lr, float beta1, float beta2,
+           float eps, float weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (Parameter* p : params_) {
+    m_.emplace_back(p->value.rows(), p->value.cols());
+    v_.emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    Parameter* p = params_[k];
+    for (std::size_t i = 0; i < p->value.size(); ++i) {
+      const float g = p->grad.data()[i] + weight_decay_ * p->value.data()[i];
+      float& m = m_[k].data()[i];
+      float& v = v_[k].data()[i];
+      m = beta1_ * m + (1.0f - beta1_) * g;
+      v = beta2_ * v + (1.0f - beta2_) * g * g;
+      const double mhat = m / bc1;
+      const double vhat = v / bc2;
+      p->value.data()[i] -=
+          static_cast<float>(lr_ * mhat / (std::sqrt(vhat) + eps_));
+    }
+  }
+}
+
+}  // namespace gnav::nn

@@ -1,0 +1,47 @@
+// First-order optimizers over Parameter sets. The optimizer keeps per-
+// parameter state keyed by position, so the parameter list must be stable
+// across steps (it is: GnnModel owns its layers for its whole lifetime).
+#pragma once
+
+#include <vector>
+
+#include "nn/parameter.hpp"
+
+namespace gnav::nn {
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Parameter*> params);
+  virtual ~Optimizer() = default;
+
+  void zero_grad();
+  virtual void step() = 0;
+
+ protected:
+  std::vector<Parameter*> params_;
+};
+
+class Sgd final : public Optimizer {
+ public:
+  Sgd(std::vector<Parameter*> params, float lr, float weight_decay = 0.0f);
+  void step() override;
+
+ private:
+  float lr_;
+  float weight_decay_;
+};
+
+class Adam final : public Optimizer {
+ public:
+  Adam(std::vector<Parameter*> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
+  void step() override;
+
+ private:
+  float lr_, beta1_, beta2_, eps_, weight_decay_;
+  long long t_ = 0;
+  std::vector<tensor::Tensor> m_;
+  std::vector<tensor::Tensor> v_;
+};
+
+}  // namespace gnav::nn

@@ -1,0 +1,27 @@
+// Learnable parameter: value + accumulated gradient. Layers expose their
+// parameters as raw pointers to the optimizer; ownership stays with the
+// layer objects (no shared ownership anywhere in the training stack).
+#pragma once
+
+#include <string>
+
+#include "tensor/tensor.hpp"
+
+namespace gnav::nn {
+
+struct Parameter {
+  std::string name;
+  tensor::Tensor value;
+  tensor::Tensor grad;
+
+  Parameter() = default;
+  Parameter(std::string n, tensor::Tensor v)
+      : name(std::move(n)),
+        value(std::move(v)),
+        grad(value.rows(), value.cols()) {}
+
+  void zero_grad() { grad.zero(); }
+  std::size_t count() const { return value.size(); }
+};
+
+}  // namespace gnav::nn

@@ -1,0 +1,88 @@
+// RuntimeBackend — the reconfigurable training runtime of Fig. 3. Given a
+// Dataset, a HardwareProfile and a TrainConfig, it executes Algo. 1
+// (sample -> cache lookup -> transfer -> cache update -> compute) and
+// reports the measured performance Perf{T, Γ, Acc}:
+//
+//   T   — simulated epoch time from the hardware cost model, with Eq. 4's
+//         host/device pipeline overlap, extrapolated to the original
+//         dataset scale (real_scale_factor);
+//   Γ   — analytic device memory (Eq. 9: model + cache + runtime), also at
+//         original scale;
+//   Acc — REAL accuracy: the GNN is genuinely trained on CPU tensors and
+//         evaluated on the held-out split.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/dataset.hpp"
+#include "hw/cost_model.hpp"
+#include "runtime/profiler.hpp"
+#include "runtime/train_config.hpp"
+
+namespace gnav::runtime {
+
+struct TrainReport {
+  /// Mean simulated epoch time (seconds, original-dataset scale) — the T
+  /// the paper's Table 1 reports.
+  double epoch_time_s = 0.0;
+  std::vector<double> epoch_times_s;
+
+  /// Peak device memory Γ in GB (original-dataset scale) and its Eq. 9
+  /// decomposition.
+  double peak_memory_gb = 0.0;
+  double mem_model_gb = 0.0;
+  double mem_cache_gb = 0.0;
+  double mem_runtime_gb = 0.0;
+
+  /// Real (not simulated) accuracies.
+  double final_train_accuracy = 0.0;
+  double val_accuracy = 0.0;
+  double test_accuracy = 0.0;
+  std::vector<double> epoch_train_accuracy;
+  std::vector<double> epoch_val_accuracy;
+  std::vector<double> epoch_loss;
+
+  /// Diagnostics.
+  PhaseBreakdown epoch_phases;  // per-epoch average
+  double cache_hit_rate = 0.0;
+  double avg_batch_nodes = 0.0;
+  double avg_batch_edges = 0.0;
+  std::vector<double> per_batch_nodes;  // every mini-batch |V_i| (Fig. 5 data)
+  std::size_t model_parameters = 0;
+  std::size_t iterations_per_epoch = 0;
+  double wall_clock_s = 0.0;  // actual CPU time spent by the simulator
+};
+
+struct RunOptions {
+  int epochs = 4;
+  std::uint64_t seed = 1;
+  /// When false, skips per-epoch full-graph validation passes (cheaper
+  /// profiling runs for the estimator's training data).
+  bool evaluate_every_epoch = true;
+  /// Collect per-batch |V_i| samples (Fig. 5 ground truth).
+  bool record_batch_sizes = false;
+};
+
+class RuntimeBackend {
+ public:
+  /// The dataset must outlive the backend.
+  RuntimeBackend(const graph::Dataset& dataset, hw::HardwareProfile profile);
+
+  /// Executes training under `config` and returns the measured report.
+  TrainReport run(const TrainConfig& config, const RunOptions& options) const;
+
+  const graph::Dataset& dataset() const { return *dataset_; }
+  const hw::HardwareProfile& profile() const { return cost_.profile(); }
+
+  /// Eq. 9/10 static components for a given config (used by the estimator
+  /// without running training).
+  double model_memory_gb(const TrainConfig& config) const;
+  double cache_memory_gb(const TrainConfig& config) const;
+
+ private:
+  const graph::Dataset* dataset_;
+  hw::CostModel cost_;
+};
+
+}  // namespace gnav::runtime

@@ -1,0 +1,48 @@
+// Phase-time and memory profiler — the reproduction's analogue of the
+// PyTorch profiler the paper uses to measure T and Γ. Times are simulated
+// seconds from the hardware cost model; memory is analytic bytes tracked
+// against the device budget.
+#pragma once
+
+#include <cstdint>
+
+#include "hw/cost_model.hpp"
+
+namespace gnav::runtime {
+
+struct PhaseBreakdown {
+  double sample_s = 0.0;
+  double transfer_s = 0.0;
+  double replace_s = 0.0;
+  double compute_s = 0.0;
+
+  double total() const {
+    return sample_s + transfer_s + replace_s + compute_s;
+  }
+};
+
+class Profiler {
+ public:
+  /// Accumulates one iteration's phase times; wall time uses Eq. 4's
+  /// pipeline overlap unless `pipelined` is false (sequential runtime).
+  void record_iteration(const hw::IterationTimes& times,
+                        bool pipelined = true);
+
+  /// Tracks the device-memory high-water mark (bytes).
+  void record_device_memory(double bytes);
+
+  void reset_epoch();
+
+  double epoch_wall_s() const { return epoch_wall_s_; }
+  const PhaseBreakdown& epoch_phases() const { return epoch_phases_; }
+  double peak_device_bytes() const { return peak_device_bytes_; }
+  std::uint64_t iterations() const { return iterations_; }
+
+ private:
+  PhaseBreakdown epoch_phases_;
+  double epoch_wall_s_ = 0.0;
+  double peak_device_bytes_ = 0.0;
+  std::uint64_t iterations_ = 0;
+};
+
+}  // namespace gnav::runtime

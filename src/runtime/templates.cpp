@@ -1,0 +1,90 @@
+#include "runtime/templates.hpp"
+
+#include "support/error.hpp"
+
+namespace gnav::runtime {
+
+TrainConfig template_pyg() {
+  TrainConfig c;
+  c.name = "pyg";
+  c.sampler = sampling::SamplerKind::kNodeWise;
+  c.hop_list = {10, 10};
+  c.batch_size = 1024;
+  c.bias_rate = 0.0;
+  c.cache_ratio = 0.0;
+  c.cache_policy = cache::CachePolicy::kNone;
+  c.validate();
+  return c;
+}
+
+TrainConfig template_pagraph_full() {
+  TrainConfig c = template_pyg();
+  c.name = "pagraph-full";
+  // PaGraph fills every free GPU byte with statically cached features;
+  // on the evaluated datasets that reaches roughly half the vertex set.
+  c.cache_ratio = 0.5;
+  c.cache_policy = cache::CachePolicy::kStatic;
+  c.validate();
+  return c;
+}
+
+TrainConfig template_pagraph_low() {
+  TrainConfig c = template_pyg();
+  c.name = "pagraph-low";
+  c.cache_ratio = 0.08;
+  c.cache_policy = cache::CachePolicy::kStatic;
+  c.validate();
+  return c;
+}
+
+TrainConfig template_2pgraph() {
+  TrainConfig c = template_pyg();
+  c.name = "2pgraph";
+  // Cache-aware sampling: neighbor selection strongly prefers resident
+  // vertices, trading sample-distribution fidelity (accuracy) for
+  // transfer volume (speed) — the Fig. 1b trade-off.
+  c.cache_ratio = 0.3;
+  c.cache_policy = cache::CachePolicy::kStatic;
+  c.bias_rate = 0.7;
+  c.validate();
+  return c;
+}
+
+TrainConfig template_graphsaint() {
+  TrainConfig c;
+  c.name = "graphsaint";
+  c.sampler = sampling::SamplerKind::kSaintWalk;
+  c.hop_list = std::vector<int>(4, 1);  // walk length 4
+  c.batch_size = 1024;
+  c.cache_ratio = 0.0;
+  c.cache_policy = cache::CachePolicy::kNone;
+  c.validate();
+  return c;
+}
+
+TrainConfig template_fastgcn() {
+  TrainConfig c;
+  c.name = "fastgcn";
+  c.sampler = sampling::SamplerKind::kLayerWise;
+  c.hop_list = {4, 4};
+  c.batch_size = 1024;
+  c.cache_ratio = 0.0;
+  c.cache_policy = cache::CachePolicy::kNone;
+  c.validate();
+  return c;
+}
+
+std::vector<TrainConfig> all_templates() {
+  return {template_pyg(),        template_pagraph_full(),
+          template_pagraph_low(), template_2pgraph(),
+          template_graphsaint(),  template_fastgcn()};
+}
+
+TrainConfig template_by_name(const std::string& name) {
+  for (TrainConfig& c : all_templates()) {
+    if (c.name == name) return c;
+  }
+  throw Error("unknown template '" + name + "'");
+}
+
+}  // namespace gnav::runtime

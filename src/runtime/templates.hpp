@@ -1,0 +1,40 @@
+// Configuration templates reproducing existing systems on the unified
+// backend (paper Fig. 3 "Templates" and Sec. 4.1 baselines). These are
+// also the seeds of the DSE explorer's initial candidate set, which is
+// how GNNavigator guarantees it never does worse than prior work.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "runtime/train_config.hpp"
+
+namespace gnav::runtime {
+
+/// Vanilla PyG: unbiased node-wise sampling, no device cache.
+TrainConfig template_pyg();
+
+/// PaGraph under ample GPU memory: large static degree-ordered cache,
+/// no cache updates (Pa-Full in Table 1).
+TrainConfig template_pagraph_full();
+
+/// PaGraph under a tight memory budget: small static cache (Pa-Low).
+TrainConfig template_pagraph_low();
+
+/// 2PGraph: static cache + cache-aware (locality-biased) sampling.
+TrainConfig template_2pgraph();
+
+/// GraphSAINT random-walk subgraph training.
+TrainConfig template_graphsaint();
+
+/// FastGCN layer-wise importance sampling.
+TrainConfig template_fastgcn();
+
+/// All templates, in the order the benchmarks report them.
+std::vector<TrainConfig> all_templates();
+
+/// Lookup by name ("pyg", "pagraph-full", "pagraph-low", "2pgraph",
+/// "graphsaint", "fastgcn"); throws for unknown names.
+TrainConfig template_by_name(const std::string& name);
+
+}  // namespace gnav::runtime

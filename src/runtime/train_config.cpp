@@ -1,0 +1,112 @@
+#include "runtime/train_config.hpp"
+
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace gnav::runtime {
+
+void TrainConfig::validate() const {
+  GNAV_CHECK(!hop_list.empty(), "hop list must be non-empty");
+  for (int k : hop_list) {
+    GNAV_CHECK(k == -1 || (k >= 1 && k <= 512), "fanout out of range");
+  }
+  GNAV_CHECK(batch_size >= 1 && batch_size <= 1'000'000,
+             "batch size out of range");
+  GNAV_CHECK(bias_rate >= 0.0 && bias_rate <= 1.0,
+             "bias rate must be in [0,1]");
+  GNAV_CHECK(saint_budget_multiplier > 0.0,
+             "saint budget multiplier must be positive");
+  GNAV_CHECK(cache_ratio >= 0.0 && cache_ratio <= 1.0,
+             "cache ratio must be in [0,1]");
+  if (cache_policy == cache::CachePolicy::kNone) {
+    GNAV_CHECK(cache_ratio == 0.0,
+               "cache_ratio > 0 requires a cache policy");
+    GNAV_CHECK(bias_rate == 0.0,
+               "bias_rate > 0 requires a cache to bias toward");
+  } else {
+    GNAV_CHECK(cache_ratio > 0.0,
+               "cache policy '" + cache::to_string(cache_policy) +
+                   "' requires cache_ratio > 0");
+  }
+  GNAV_CHECK(hidden_dim >= 4 && hidden_dim <= 4096, "hidden dim out of range");
+  GNAV_CHECK(num_layers >= 1 && num_layers <= 8, "layer count out of range");
+  GNAV_CHECK(dropout >= 0.0f && dropout < 1.0f, "dropout must be in [0,1)");
+  GNAV_CHECK(learning_rate > 0.0f && learning_rate <= 1.0f,
+             "learning rate out of range");
+}
+
+ConfigMap TrainConfig::to_config_map() const {
+  ConfigMap cm;
+  cm.set("name", name);
+  cm.set("sampler", sampling::to_string(sampler));
+  cm.set_int_list("hoplist", hop_list);
+  cm.set_int("batchsize", static_cast<long long>(batch_size));
+  cm.set_double("biasrate", bias_rate);
+  cm.set_double("saintbudget", saint_budget_multiplier);
+  cm.set_double("cacheratio", cache_ratio);
+  cm.set("cachepolicy", cache::to_string(cache_policy));
+  cm.set("model", nn::to_string(model));
+  cm.set_int("hiddendim", static_cast<long long>(hidden_dim));
+  cm.set_int("numlayers", static_cast<long long>(num_layers));
+  cm.set_double("dropout", dropout);
+  cm.set_bool("reorder", reorder);
+  cm.set_bool("compress", compress_features);
+  cm.set_bool("pipeline", pipeline_overlap);
+  cm.set_double("lr", learning_rate);
+  return cm;
+}
+
+TrainConfig TrainConfig::from_config_map(const ConfigMap& cm) {
+  TrainConfig c;
+  c.name = cm.get_or("name", "custom");
+  c.sampler = sampling::sampler_kind_from_string(cm.get("sampler"));
+  c.hop_list = cm.get_int_list("hoplist");
+  c.batch_size = static_cast<std::size_t>(cm.get_int("batchsize"));
+  c.bias_rate = cm.get_double("biasrate");
+  c.saint_budget_multiplier = cm.get_double_or("saintbudget", 8.0);
+  c.cache_ratio = cm.get_double("cacheratio");
+  c.cache_policy = cache::cache_policy_from_string(cm.get("cachepolicy"));
+  c.model = nn::model_kind_from_string(cm.get("model"));
+  c.hidden_dim = static_cast<std::size_t>(cm.get_int("hiddendim"));
+  c.num_layers = static_cast<std::size_t>(cm.get_int("numlayers"));
+  c.dropout = static_cast<float>(cm.get_double("dropout"));
+  c.reorder = cm.get_bool("reorder");
+  c.compress_features =
+      cm.contains("compress") ? cm.get_bool("compress") : false;
+  c.pipeline_overlap =
+      cm.contains("pipeline") ? cm.get_bool("pipeline") : true;
+  c.learning_rate = static_cast<float>(cm.get_double("lr"));
+  c.validate();
+  return c;
+}
+
+std::string TrainConfig::summary() const {
+  std::ostringstream os;
+  os << name << "{" << sampling::to_string(sampler) << ", B0="
+     << batch_size << ", hops=[";
+  for (std::size_t i = 0; i < hop_list.size(); ++i) {
+    os << (i ? "," : "") << hop_list[i];
+  }
+  os << "], r=" << cache_ratio << "/" << cache::to_string(cache_policy)
+     << ", bias=" << bias_rate << ", " << nn::to_string(model) << "-"
+     << num_layers << "x" << hidden_dim << (reorder ? ", reorder" : "")
+     << (compress_features ? ", int8" : "")
+     << (pipeline_overlap ? "" : ", no-pipeline") << "}";
+  return os.str();
+}
+
+bool TrainConfig::operator==(const TrainConfig& other) const {
+  return sampler == other.sampler && hop_list == other.hop_list &&
+         batch_size == other.batch_size && bias_rate == other.bias_rate &&
+         saint_budget_multiplier == other.saint_budget_multiplier &&
+         cache_ratio == other.cache_ratio &&
+         cache_policy == other.cache_policy && model == other.model &&
+         hidden_dim == other.hidden_dim && num_layers == other.num_layers &&
+         dropout == other.dropout && reorder == other.reorder &&
+         compress_features == other.compress_features &&
+         pipeline_overlap == other.pipeline_overlap &&
+         learning_rate == other.learning_rate;
+}
+
+}  // namespace gnav::runtime

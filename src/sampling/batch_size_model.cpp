@@ -1,0 +1,43 @@
+#include "sampling/batch_size_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace gnav::sampling {
+
+double expansion_product(const std::vector<int>& hop_list, double avg_degree,
+                         double tau) {
+  GNAV_CHECK(tau > 0.0 && tau <= 1.0, "tau must be in (0,1]");
+  double prod = 1.0;
+  for (int k : hop_list) {
+    const double kk =
+        (k == -1) ? avg_degree
+                  : std::min(static_cast<double>(k), avg_degree);
+    prod *= std::pow(1.0 + kk, tau);
+  }
+  return prod;
+}
+
+double tree_upper_bound(std::size_t batch_size,
+                        const std::vector<int>& hop_list, double avg_degree) {
+  return static_cast<double>(batch_size) *
+         expansion_product(hop_list, avg_degree, 1.0);
+}
+
+double analytic_batch_size(std::size_t batch_size,
+                           const std::vector<int>& hop_list,
+                           const graph::GraphProfile& profile, double tau) {
+  const double n = static_cast<double>(profile.num_nodes);
+  if (n <= 0.0) return 0.0;
+  const double bound = static_cast<double>(batch_size) *
+                       expansion_product(hop_list, profile.avg_degree, tau);
+  // Collision-corrected expectation: sampling `bound` vertex slots with
+  // replacement from n vertices covers n(1 - e^{-bound/n}) distinct ones.
+  const double expected = n * (1.0 - std::exp(-bound / n));
+  return std::max(expected, static_cast<double>(std::min(
+                                batch_size, static_cast<std::size_t>(n))));
+}
+
+}  // namespace gnav::sampling

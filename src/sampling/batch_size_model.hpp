@@ -1,0 +1,36 @@
+// Analytic mini-batch size expectation (paper Eq. 12):
+//
+//   E[|V_i|] = f_overlapping( |B_0| * Π_l (1 + k_l)^τ , p(η) )
+//
+// The unpenalized product is the tree-expansion upper bound; real batches
+// are smaller because fanouts revisit shared neighbors. The white-box part
+// below computes the bound and a saturation-corrected analytic core; the
+// learnable penalty f_overlapping is fit on profiled runs by the gray-box
+// estimator (estimator/batch_size_estimator).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph_stats.hpp"
+
+namespace gnav::sampling {
+
+/// Π_l (1 + min(k_l, avg_degree))^τ expansion with τ damping; k = -1 uses
+/// the graph's average degree (full neighborhood).
+double expansion_product(const std::vector<int>& hop_list, double avg_degree,
+                         double tau);
+
+/// Tree-expansion upper bound |B_0| * Π (1 + k_l).
+double tree_upper_bound(std::size_t batch_size,
+                        const std::vector<int>& hop_list, double avg_degree);
+
+/// Analytic expectation of |V_i| before the learned penalty: the tree
+/// bound clipped against graph saturation (a batch can never exceed the
+/// vertex count, and overlap grows as the bound approaches it):
+///   E ≈ n * (1 - exp(-bound / n)).
+double analytic_batch_size(std::size_t batch_size,
+                           const std::vector<int>& hop_list,
+                           const graph::GraphProfile& profile, double tau);
+
+}  // namespace gnav::sampling

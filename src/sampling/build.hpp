@@ -1,0 +1,36 @@
+// Internal helpers shared by the sampler implementations to materialize
+// MiniBatch objects. Not part of the public sampling API.
+#pragma once
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "sampling/minibatch.hpp"
+
+namespace gnav::sampling::detail {
+
+/// Builds a mini-batch from an explicit sampled edge list (global ids).
+/// `ordered_nodes` lists every vertex that must appear (seeds first);
+/// edges are relabeled to local ids and symmetrized.
+MiniBatch build_from_edges(
+    std::span<const graph::NodeId> seeds,
+    const std::vector<graph::NodeId>& ordered_nodes,
+    const std::vector<std::pair<graph::NodeId, graph::NodeId>>& edges,
+    double sampling_work);
+
+/// Builds a mini-batch as the parent-induced subgraph over
+/// `ordered_nodes` (seeds first).
+MiniBatch build_induced(const graph::CsrGraph& parent,
+                        std::span<const graph::NodeId> seeds,
+                        const std::vector<graph::NodeId>& ordered_nodes,
+                        double sampling_work);
+
+/// Deduplicates `seeds` + `extra` into an ordered node list with seeds
+/// occupying the first |seeds| positions.
+std::vector<graph::NodeId> order_nodes(
+    std::span<const graph::NodeId> seeds,
+    const std::vector<graph::NodeId>& extra);
+
+}  // namespace gnav::sampling::detail

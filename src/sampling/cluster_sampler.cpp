@@ -1,0 +1,82 @@
+#include "sampling/cluster_sampler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "sampling/build.hpp"
+#include "support/error.hpp"
+
+namespace gnav::sampling {
+
+ClusterSampler::ClusterSampler(int num_parts, int max_clusters_per_batch)
+    : num_parts_(num_parts),
+      max_clusters_per_batch_(max_clusters_per_batch) {
+  GNAV_CHECK(num_parts_ >= 1, "need at least one part");
+  GNAV_CHECK(max_clusters_per_batch_ >= 1,
+             "need at least one cluster per batch");
+}
+
+std::vector<int> ClusterSampler::hop_list() const {
+  // Cluster sampling has no per-hop fanout; within the Eq. 2 abstraction
+  // it behaves like one full-neighborhood hop restricted to the cluster.
+  return {-1};
+}
+
+const graph::Partitioning& ClusterSampler::partitioning(
+    const graph::CsrGraph& g) const {
+  if (cached_graph_ != &g) {
+    const int parts = static_cast<int>(
+        std::min<graph::NodeId>(num_parts_, g.num_nodes()));
+    cached_partition_ = std::make_unique<graph::Partitioning>(
+        graph::bfs_partition(g, parts));
+    cached_graph_ = &g;
+  }
+  return *cached_partition_;
+}
+
+MiniBatch ClusterSampler::sample(const graph::CsrGraph& g,
+                                 std::span<const graph::NodeId> seeds,
+                                 Rng& rng) const {
+  GNAV_CHECK(!seeds.empty(), "cannot sample from an empty seed set");
+  const graph::Partitioning& part = partitioning(g);
+
+  // Count seeds per cluster, keep the most seed-heavy clusters.
+  std::unordered_map<int, int> seed_count;
+  for (graph::NodeId s : seeds) {
+    ++seed_count[part.part_of[static_cast<std::size_t>(s)]];
+  }
+  std::vector<std::pair<int, int>> ranked(seed_count.begin(),
+                                          seed_count.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second > b.second : a.first < b.first;
+  });
+  // Target cluster count scales with the seed batch's share of the
+  // graph (Cluster-GCN picks q clusters such that q * avg_part ~= |B_0|),
+  // capped by the configured maximum.
+  const double share = static_cast<double>(seeds.size()) /
+                       static_cast<double>(g.num_nodes());
+  const auto target = static_cast<std::size_t>(std::max(
+      1.0, std::round(share * static_cast<double>(part.num_parts))));
+  const auto keep = std::min<std::size_t>(
+      {ranked.size(), target,
+       static_cast<std::size_t>(max_clusters_per_batch_)});
+
+  std::vector<graph::NodeId> cluster_nodes;
+  double work = static_cast<double>(seeds.size());
+  for (std::size_t i = 0; i < keep; ++i) {
+    const auto& members =
+        part.members[static_cast<std::size_t>(ranked[i].first)];
+    cluster_nodes.insert(cluster_nodes.end(), members.begin(),
+                         members.end());
+    work += static_cast<double>(members.size());
+  }
+  (void)rng;  // cluster choice is deterministic given the seed batch
+
+  const auto ordered = detail::order_nodes(seeds, cluster_nodes);
+  MiniBatch mb = detail::build_induced(g, seeds, ordered, work);
+  mb.sampling_work += static_cast<double>(mb.subgraph.num_edges()) * 0.1;
+  return mb;
+}
+
+}  // namespace gnav::sampling

@@ -1,0 +1,45 @@
+// Cluster-GCN-style partition sampler: the graph is partitioned once
+// (greedy BFS parts, see graph/partition); a mini-batch is the induced
+// subgraph over the union of the clusters its seed vertices live in,
+// capped to roughly |B_0| / avg_part_size clusters per batch.
+//
+// Within the paper's unified abstraction this is subgraph-wise sampling
+// with p(η) concentrated on the seed's own community — it trades a small
+// distribution shift for near-zero neighbor-expansion cost, which is why
+// it enters the design space as another sampler choice.
+#pragma once
+
+#include <memory>
+
+#include "graph/partition.hpp"
+#include "sampling/sampler.hpp"
+
+namespace gnav::sampling {
+
+class ClusterSampler final : public Sampler {
+ public:
+  /// `num_parts` clusters are precomputed lazily on first use (per parent
+  /// graph); `max_clusters_per_batch` caps the batch size.
+  ClusterSampler(int num_parts, int max_clusters_per_batch);
+
+  MiniBatch sample(const graph::CsrGraph& g,
+                   std::span<const graph::NodeId> seeds,
+                   Rng& rng) const override;
+  SamplerKind kind() const override { return SamplerKind::kCluster; }
+  std::vector<int> hop_list() const override;
+
+  /// Exposed for tests: the partitioning used for `g` (computes it if
+  /// not cached yet).
+  const graph::Partitioning& partitioning(const graph::CsrGraph& g) const;
+
+ private:
+  int num_parts_;
+  int max_clusters_per_batch_;
+  // Lazy per-graph cache; the sampler outlives many sample() calls on the
+  // same parent graph, and rebuilding the partition per batch would
+  // dominate runtime. Single-threaded by design.
+  mutable const graph::CsrGraph* cached_graph_ = nullptr;
+  mutable std::unique_ptr<graph::Partitioning> cached_partition_;
+};
+
+}  // namespace gnav::sampling

@@ -1,0 +1,101 @@
+#include "sampling/minibatch.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "graph/graph_builder.hpp"
+#include "sampling/build.hpp"
+#include "support/error.hpp"
+
+namespace gnav::sampling {
+
+void MiniBatch::validate(const graph::CsrGraph& parent) const {
+  GNAV_CHECK(subgraph.num_nodes() == num_nodes(),
+             "subgraph size != node mapping size");
+  std::unordered_set<graph::NodeId> seen;
+  for (graph::NodeId g : nodes) {
+    GNAV_CHECK(parent.contains(g), "global id out of parent range");
+    GNAV_CHECK(seen.insert(g).second, "duplicate global id in mini-batch");
+  }
+  for (std::int64_t s : seed_local) {
+    GNAV_CHECK(s >= 0 && s < num_nodes(), "seed local index out of range");
+  }
+  GNAV_CHECK(subgraph.is_symmetric(), "mini-batch subgraph not symmetric");
+}
+
+namespace detail {
+
+std::vector<graph::NodeId> order_nodes(
+    std::span<const graph::NodeId> seeds,
+    const std::vector<graph::NodeId>& extra) {
+  std::vector<graph::NodeId> ordered;
+  ordered.reserve(seeds.size() + extra.size());
+  std::unordered_set<graph::NodeId> seen;
+  seen.reserve((seeds.size() + extra.size()) * 2);
+  for (graph::NodeId s : seeds) {
+    if (seen.insert(s).second) ordered.push_back(s);
+  }
+  for (graph::NodeId v : extra) {
+    if (seen.insert(v).second) ordered.push_back(v);
+  }
+  return ordered;
+}
+
+MiniBatch build_from_edges(
+    std::span<const graph::NodeId> seeds,
+    const std::vector<graph::NodeId>& ordered_nodes,
+    const std::vector<std::pair<graph::NodeId, graph::NodeId>>& edges,
+    double sampling_work) {
+  std::unordered_map<graph::NodeId, graph::NodeId> local;
+  local.reserve(ordered_nodes.size() * 2);
+  for (std::size_t i = 0; i < ordered_nodes.size(); ++i) {
+    local.emplace(ordered_nodes[i], static_cast<graph::NodeId>(i));
+  }
+  graph::GraphBuilder b(static_cast<graph::NodeId>(ordered_nodes.size()));
+  for (const auto& [u, v] : edges) {
+    const auto iu = local.find(u);
+    const auto iv = local.find(v);
+    GNAV_CHECK(iu != local.end() && iv != local.end(),
+               "sampled edge endpoint missing from node set");
+    b.add_edge(iu->second, iv->second);
+  }
+  MiniBatch mb;
+  mb.subgraph =
+      b.symmetrize(true).deduplicate(true).remove_self_loops(true).build();
+  mb.nodes = ordered_nodes;
+  mb.seed_local.reserve(seeds.size());
+  for (graph::NodeId s : seeds) {
+    mb.seed_local.push_back(local.at(s));
+  }
+  mb.sampling_work = sampling_work;
+  return mb;
+}
+
+MiniBatch build_induced(const graph::CsrGraph& parent,
+                        std::span<const graph::NodeId> seeds,
+                        const std::vector<graph::NodeId>& ordered_nodes,
+                        double sampling_work) {
+  MiniBatch mb;
+  mb.subgraph = graph::induced_subgraph(parent, ordered_nodes);
+  mb.nodes = ordered_nodes;
+  std::unordered_map<graph::NodeId, std::int64_t> local;
+  local.reserve(ordered_nodes.size() * 2);
+  for (std::size_t i = 0; i < ordered_nodes.size(); ++i) {
+    local.emplace(ordered_nodes[i], static_cast<std::int64_t>(i));
+  }
+  std::unordered_set<std::int64_t> seen_seed;
+  mb.seed_local.reserve(seeds.size());
+  for (graph::NodeId s : seeds) {
+    const auto it = local.find(s);
+    GNAV_CHECK(it != local.end(), "seed missing from induced node set");
+    if (seen_seed.insert(it->second).second) {
+      mb.seed_local.push_back(it->second);
+    }
+  }
+  mb.sampling_work = sampling_work;
+  return mb;
+}
+
+}  // namespace detail
+
+}  // namespace gnav::sampling

@@ -1,0 +1,36 @@
+// Mini-batch produced by a sampler: a local-id subgraph plus the mapping
+// back to global vertex ids. Training computes loss only on the seed
+// vertices; the remaining nodes are context gathered by the sampler.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace gnav::sampling {
+
+struct MiniBatch {
+  /// Symmetrized subgraph over local ids 0..nodes.size()-1.
+  graph::CsrGraph subgraph;
+  /// nodes[local] = global vertex id. Seeds occupy the first positions.
+  std::vector<graph::NodeId> nodes;
+  /// Local-row indices of the seed (target) vertices.
+  std::vector<std::int64_t> seed_local;
+  /// Host-side sampling effort in "neighbor candidate" units — the volume
+  /// the cost model feeds f_sample (Eq. 7 uses |V_i| - |B_0|; this work
+  /// counter additionally captures fanout scanning).
+  double sampling_work = 0.0;
+
+  std::int64_t num_nodes() const {
+    return static_cast<std::int64_t>(nodes.size());
+  }
+  std::int64_t num_edges() const { return subgraph.num_edges(); }
+
+  /// Structural sanity: local/global consistency, seeds present, subgraph
+  /// symmetric. Throws gnav::Error on violation (used by tests and debug
+  /// paths).
+  void validate(const graph::CsrGraph& parent) const;
+};
+
+}  // namespace gnav::sampling

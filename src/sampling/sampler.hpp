@@ -1,0 +1,130 @@
+// Unified sampler abstraction (paper Sec. 3.2, Eq. 2): every sampler
+// iteratively fans out k_l neighbors per frontier vertex at a selection
+// probability p(η), then materializes the mini-batch subgraph. Node-wise,
+// layer-wise, subgraph-wise, and locality-biased strategies are all
+// expressed against this one interface, which is what lets the runtime
+// backend reproduce PyG / FastGCN / GraphSAINT / 2PGraph by
+// reconfiguration alone.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "sampling/minibatch.hpp"
+#include "support/rng.hpp"
+
+namespace gnav::sampling {
+
+enum class SamplerKind {
+  kNodeWise,    // GraphSAGE-style fixed fanout per hop
+  kLayerWise,   // FastGCN-style importance sampling per layer
+  kSaintWalk,   // GraphSAINT random-walk subgraph sampling
+  kSaintNode,   // GraphSAINT node-induced subgraph sampling
+  kSaintEdge,   // GraphSAINT edge-induced subgraph sampling
+  kCluster,     // Cluster-GCN partition-based subgraph batching
+};
+
+std::string to_string(SamplerKind kind);
+SamplerKind sampler_kind_from_string(const std::string& s);
+
+/// Bias term of the neighbor-selection probability p(η). `preference`
+/// marks vertices the sampler should prefer (e.g. device-cached vertices
+/// for 2PGraph-style cache-aware sampling); `bias_rate` in [0,1] blends
+/// uniform (0) toward fully preferential (1).
+struct SamplingBias {
+  const std::vector<char>* preference = nullptr;  // size == num_nodes
+  double bias_rate = 0.0;
+
+  bool active() const {
+    return preference != nullptr && bias_rate > 0.0;
+  }
+  double weight(graph::NodeId v) const {
+    if (!active()) return 1.0;
+    const bool preferred = (*preference)[static_cast<std::size_t>(v)] != 0;
+    // Linear interpolation between uniform weight 1 and a strong
+    // preference ratio (preferred vertices are up to ~40x likelier at
+    // full bias — 2PGraph-style samplers pick cached vertices almost
+    // exclusively when available).
+    return preferred ? 1.0 + 39.0 * bias_rate : 1.0;
+  }
+};
+
+class Sampler {
+ public:
+  virtual ~Sampler() = default;
+
+  /// Expands `seeds` (global ids, deduplicated by caller) into a
+  /// mini-batch over graph `g`.
+  virtual MiniBatch sample(const graph::CsrGraph& g,
+                           std::span<const graph::NodeId> seeds,
+                           Rng& rng) const = 0;
+
+  virtual SamplerKind kind() const = 0;
+
+  /// The effective hop list [k_1 .. k_L] this sampler realizes (Eq. 2);
+  /// used by the analytic batch-size model (Eq. 12).
+  virtual std::vector<int> hop_list() const = 0;
+};
+
+/// Fixed fanout per hop (GraphSAGE). `hops[l]` = k_{l+1}; a fanout of -1
+/// keeps the full neighborhood.
+class NodeWiseSampler final : public Sampler {
+ public:
+  NodeWiseSampler(std::vector<int> hops, SamplingBias bias = {});
+  MiniBatch sample(const graph::CsrGraph& g,
+                   std::span<const graph::NodeId> seeds,
+                   Rng& rng) const override;
+  SamplerKind kind() const override { return SamplerKind::kNodeWise; }
+  std::vector<int> hop_list() const override { return hops_; }
+
+ private:
+  std::vector<int> hops_;
+  SamplingBias bias_;
+};
+
+/// Layer-wise importance sampling (FastGCN): per layer l, draw
+/// Δ_l = hops[l] * |B_{l-1}| candidates from the frontier's neighbor pool
+/// with probability proportional to degree x bias weight (Eq. 3 maps this
+/// back to the unified per-vertex fanout expectation).
+class LayerWiseSampler final : public Sampler {
+ public:
+  LayerWiseSampler(std::vector<int> hops, SamplingBias bias = {});
+  MiniBatch sample(const graph::CsrGraph& g,
+                   std::span<const graph::NodeId> seeds,
+                   Rng& rng) const override;
+  SamplerKind kind() const override { return SamplerKind::kLayerWise; }
+  std::vector<int> hop_list() const override { return hops_; }
+
+ private:
+  std::vector<int> hops_;
+  SamplingBias bias_;
+};
+
+/// GraphSAINT family: the paper folds these into Eq. 2 as "many more hops
+/// but single-neighbor fanout". walk variant: |seeds| rooted random walks
+/// of length `walk_length`; node variant: degree-weighted node set of size
+/// budget; edge variant: uniform edge set. All return the induced
+/// subgraph.
+class SaintSampler final : public Sampler {
+ public:
+  enum class Variant { kWalk, kNode, kEdge };
+
+  SaintSampler(Variant variant, int walk_length, double budget_multiplier,
+               SamplingBias bias = {});
+  MiniBatch sample(const graph::CsrGraph& g,
+                   std::span<const graph::NodeId> seeds,
+                   Rng& rng) const override;
+  SamplerKind kind() const override;
+  std::vector<int> hop_list() const override;
+
+ private:
+  Variant variant_;
+  int walk_length_;
+  double budget_multiplier_;
+  SamplingBias bias_;
+};
+
+}  // namespace gnav::sampling

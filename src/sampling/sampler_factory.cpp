@@ -1,0 +1,42 @@
+#include "sampling/sampler_factory.hpp"
+
+#include "sampling/cluster_sampler.hpp"
+#include "support/error.hpp"
+
+namespace gnav::sampling {
+
+std::unique_ptr<Sampler> make_sampler(const SamplerSettings& settings,
+                                      const std::vector<char>* preference) {
+  GNAV_CHECK(settings.bias_rate >= 0.0 && settings.bias_rate <= 1.0,
+             "bias rate must be in [0,1]");
+  SamplingBias bias;
+  bias.preference = preference;
+  bias.bias_rate = settings.bias_rate;
+  switch (settings.kind) {
+    case SamplerKind::kNodeWise:
+      return std::make_unique<NodeWiseSampler>(settings.hop_list, bias);
+    case SamplerKind::kLayerWise:
+      return std::make_unique<LayerWiseSampler>(settings.hop_list, bias);
+    case SamplerKind::kSaintWalk:
+      return std::make_unique<SaintSampler>(
+          SaintSampler::Variant::kWalk,
+          static_cast<int>(settings.hop_list.size()),
+          settings.saint_budget_multiplier, bias);
+    case SamplerKind::kSaintNode:
+      return std::make_unique<SaintSampler>(
+          SaintSampler::Variant::kNode,
+          static_cast<int>(settings.hop_list.size()),
+          settings.saint_budget_multiplier, bias);
+    case SamplerKind::kSaintEdge:
+      return std::make_unique<SaintSampler>(
+          SaintSampler::Variant::kEdge,
+          static_cast<int>(settings.hop_list.size()),
+          settings.saint_budget_multiplier, bias);
+    case SamplerKind::kCluster:
+      return std::make_unique<ClusterSampler>(
+          settings.cluster_num_parts, settings.cluster_max_per_batch);
+  }
+  throw Error("unreachable sampler kind");
+}
+
+}  // namespace gnav::sampling

@@ -1,0 +1,33 @@
+// Constructs a sampler from the reconfigurable settings of the runtime
+// backend (sampler kind + hop list + bias). This is the Fig. 3 "Sampler
+// Choices" switch.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sampling/sampler.hpp"
+
+namespace gnav::sampling {
+
+struct SamplerSettings {
+  SamplerKind kind = SamplerKind::kNodeWise;
+  /// Fanout per hop for node/layer-wise; length = walk length for SAINT.
+  std::vector<int> hop_list = {10, 10};
+  /// Locality bias rate in [0, 1]; 0 disables biased sampling.
+  double bias_rate = 0.0;
+  /// SAINT node/edge budget as a multiple of the seed count.
+  double saint_budget_multiplier = 8.0;
+  /// Cluster sampler: number of precomputed graph parts and the cap on
+  /// clusters merged into one batch.
+  int cluster_num_parts = 40;
+  int cluster_max_per_batch = 8;
+};
+
+/// `preference` (may be null) marks preferred vertices for biased
+/// sampling; the pointer must outlive the sampler (the runtime backend
+/// hands in its device-cache residency bitmap).
+std::unique_ptr<Sampler> make_sampler(const SamplerSettings& settings,
+                                      const std::vector<char>* preference);
+
+}  // namespace gnav::sampling

@@ -1,0 +1,117 @@
+#include "support/config_map.hpp"
+
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/string_utils.hpp"
+
+namespace gnav {
+
+void ConfigMap::set(const std::string& key, const std::string& value) {
+  GNAV_CHECK(!key.empty(), "config key must be non-empty");
+  entries_[key] = value;
+}
+
+void ConfigMap::set_int(const std::string& key, long long value) {
+  set(key, std::to_string(value));
+}
+
+void ConfigMap::set_double(const std::string& key, double value) {
+  std::ostringstream os;
+  // max_digits10: doubles round-trip exactly through the text form.
+  os.precision(17);
+  os << value;
+  set(key, os.str());
+}
+
+void ConfigMap::set_bool(const std::string& key, bool value) {
+  set(key, value ? "true" : "false");
+}
+
+void ConfigMap::set_int_list(const std::string& key,
+                             const std::vector<int>& values) {
+  std::vector<std::string> parts;
+  parts.reserve(values.size());
+  for (int v : values) parts.push_back(std::to_string(v));
+  set(key, "[" + join(parts, ",") + "]");
+}
+
+bool ConfigMap::contains(const std::string& key) const {
+  return entries_.contains(key);
+}
+
+std::string ConfigMap::get(const std::string& key) const {
+  auto it = entries_.find(key);
+  GNAV_CHECK(it != entries_.end(), "missing config key '" + key + "'");
+  return it->second;
+}
+
+long long ConfigMap::get_int(const std::string& key) const {
+  return parse_int(get(key));
+}
+
+double ConfigMap::get_double(const std::string& key) const {
+  return parse_double(get(key));
+}
+
+bool ConfigMap::get_bool(const std::string& key) const {
+  const std::string v = to_lower(get(key));
+  if (v == "true" || v == "1") return true;
+  if (v == "false" || v == "0") return false;
+  throw Error("config key '" + key + "' is not a boolean: '" + v + "'");
+}
+
+std::vector<int> ConfigMap::get_int_list(const std::string& key) const {
+  std::string v = trim(get(key));
+  GNAV_CHECK(v.size() >= 2 && v.front() == '[' && v.back() == ']',
+             "config key '" + key + "' is not a [..] list");
+  v = v.substr(1, v.size() - 2);
+  std::vector<int> out;
+  if (trim(v).empty()) return out;
+  for (const auto& piece : split(v, ',')) {
+    out.push_back(static_cast<int>(parse_int(piece)));
+  }
+  return out;
+}
+
+std::string ConfigMap::get_or(const std::string& key,
+                              const std::string& dflt) const {
+  auto it = entries_.find(key);
+  return it == entries_.end() ? dflt : it->second;
+}
+
+long long ConfigMap::get_int_or(const std::string& key,
+                                long long dflt) const {
+  return contains(key) ? get_int(key) : dflt;
+}
+
+double ConfigMap::get_double_or(const std::string& key, double dflt) const {
+  return contains(key) ? get_double(key) : dflt;
+}
+
+std::string ConfigMap::to_guideline_text() const {
+  std::ostringstream os;
+  for (const auto& [k, v] : entries_) os << k << " = " << v << ";\n";
+  return os.str();
+}
+
+ConfigMap ConfigMap::parse(const std::string& text) {
+  ConfigMap cm;
+  for (auto& raw_line : split(text, '\n')) {
+    std::string line = trim(raw_line);
+    if (line.empty() || starts_with(line, "#") || starts_with(line, "//")) {
+      continue;
+    }
+    if (ends_with(line, ";")) line = trim(line.substr(0, line.size() - 1));
+    const auto eq = line.find('=');
+    GNAV_CHECK(eq != std::string::npos,
+               "malformed guideline line: '" + line + "'");
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    GNAV_CHECK(!key.empty(), "empty key in guideline line: '" + line + "'");
+    cm.set(key, value);
+  }
+  return cm;
+}
+
+}  // namespace gnav

@@ -1,0 +1,58 @@
+// Flat key=value configuration container.
+//
+// Training guidelines are emitted to users as plain-text configuration
+// settings (the paper's Fig. 3 templates look like `batchsize = 1024;`).
+// ConfigMap is the serialization format for those guidelines: a typed
+// string map that round-trips through the `key = value;` syntax.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace gnav {
+
+class ConfigMap {
+ public:
+  ConfigMap() = default;
+
+  void set(const std::string& key, const std::string& value);
+  void set_int(const std::string& key, long long value);
+  void set_double(const std::string& key, double value);
+  void set_bool(const std::string& key, bool value);
+  void set_int_list(const std::string& key, const std::vector<int>& values);
+
+  bool contains(const std::string& key) const;
+
+  /// Typed getters: throw gnav::Error when the key is missing or the value
+  /// does not parse as the requested type.
+  std::string get(const std::string& key) const;
+  long long get_int(const std::string& key) const;
+  double get_double(const std::string& key) const;
+  bool get_bool(const std::string& key) const;
+  std::vector<int> get_int_list(const std::string& key) const;
+
+  /// Getters with defaults (missing key -> default, bad parse still throws).
+  std::string get_or(const std::string& key, const std::string& dflt) const;
+  long long get_int_or(const std::string& key, long long dflt) const;
+  double get_double_or(const std::string& key, double dflt) const;
+
+  std::size_t size() const { return entries_.size(); }
+  const std::map<std::string, std::string>& entries() const {
+    return entries_;
+  }
+
+  /// `key = value;` lines, sorted by key (the guideline text handed to the
+  /// user in Step 2 of the paper's workflow).
+  std::string to_guideline_text() const;
+
+  /// Parses guideline text back into a map; tolerant of blank lines and
+  /// `#` / `//` comments. Throws on malformed lines.
+  static ConfigMap parse(const std::string& text);
+
+ private:
+  std::map<std::string, std::string> entries_;
+};
+
+}  // namespace gnav

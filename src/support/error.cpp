@@ -1,0 +1,23 @@
+#include "support/error.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace gnav::detail {
+
+void throw_check_failure(const char* expr, const char* file, int line,
+                         const std::string& msg) {
+  std::ostringstream os;
+  os << "GNAV_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+void assert_failure(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "GNAV_ASSERT failed: (%s) at %s:%d\n", expr, file,
+               line);
+  std::abort();
+}
+
+}  // namespace gnav::detail

@@ -1,0 +1,45 @@
+// Error handling primitives for GNNavigator.
+//
+// All recoverable API misuse is reported by throwing `gnav::Error`, which
+// carries a human-readable message and (when raised through the GNAV_CHECK
+// family of macros) the source location of the failed check. Internal
+// invariants use GNAV_ASSERT, which is compiled in all build types — this
+// library models hardware and training pipelines, so silent corruption is
+// far worse than an aborted run.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace gnav {
+
+/// Exception type thrown on precondition violations and invalid configuration.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_check_failure(const char* expr, const char* file,
+                                      int line, const std::string& msg);
+[[noreturn]] void assert_failure(const char* expr, const char* file, int line);
+}  // namespace detail
+
+}  // namespace gnav
+
+/// Throws gnav::Error when `cond` is false. `msg` is any streamable message.
+#define GNAV_CHECK(cond, msg)                                          \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::gnav::detail::throw_check_failure(#cond, __FILE__, __LINE__,   \
+                                          (msg));                      \
+    }                                                                  \
+  } while (false)
+
+/// Hard internal invariant; aborts on failure (never throws).
+#define GNAV_ASSERT(cond)                                              \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::gnav::detail::assert_failure(#cond, __FILE__, __LINE__);       \
+    }                                                                  \
+  } while (false)

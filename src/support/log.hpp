@@ -1,0 +1,48 @@
+// Minimal leveled logger.
+//
+// Benchmarks and the DSE explorer emit progress through this logger so
+// tests can silence it globally. Not thread-safe by design: the library
+// is single-threaded (one simulated host + one simulated device).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace gnav {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg);
+}
+
+template <typename... Args>
+void log(LogLevel level, Args&&... args) {
+  if (level < log_level()) return;
+  std::ostringstream os;
+  (os << ... << args);
+  detail::log_emit(level, os.str());
+}
+
+template <typename... Args>
+void log_debug(Args&&... args) {
+  log(LogLevel::kDebug, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_info(Args&&... args) {
+  log(LogLevel::kInfo, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_warn(Args&&... args) {
+  log(LogLevel::kWarn, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_error(Args&&... args) {
+  log(LogLevel::kError, std::forward<Args>(args)...);
+}
+
+}  // namespace gnav

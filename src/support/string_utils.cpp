@@ -1,0 +1,83 @@
+#include "support/string_utils.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+
+#include "support/error.hpp"
+
+namespace gnav {
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+std::vector<std::string> split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == delim) {
+      out.push_back(trim(s.substr(start, i - start)));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string format_double(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+double parse_double(std::string_view s) {
+  const std::string t = trim(s);
+  double value = 0.0;
+  const auto* begin = t.data();
+  const auto* end = t.data() + t.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  GNAV_CHECK(ec == std::errc() && ptr == end,
+             "cannot parse double from '" + t + "'");
+  return value;
+}
+
+long long parse_int(std::string_view s) {
+  const std::string t = trim(s);
+  long long value = 0;
+  const auto* begin = t.data();
+  const auto* end = t.data() + t.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  GNAV_CHECK(ec == std::errc() && ptr == end,
+             "cannot parse integer from '" + t + "'");
+  return value;
+}
+
+}  // namespace gnav

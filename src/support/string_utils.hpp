@@ -1,0 +1,35 @@
+// Small string helpers shared by configuration parsing and table output.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gnav {
+
+/// Splits `s` on `delim`, trimming surrounding whitespace from each piece.
+/// Empty pieces are preserved ("a,,b" -> {"a", "", "b"}).
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Removes leading/trailing whitespace.
+std::string trim(std::string_view s);
+
+/// Case-sensitive prefix / suffix checks (thin wrappers for readability).
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// Lowercases ASCII characters.
+std::string to_lower(std::string_view s);
+
+/// Joins `parts` with `sep`.
+std::string join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/// Formats a double with fixed precision (used for report tables).
+std::string format_double(double v, int precision);
+
+/// Parses a double/int with validation; throws gnav::Error on garbage.
+double parse_double(std::string_view s);
+long long parse_int(std::string_view s);
+
+}  // namespace gnav

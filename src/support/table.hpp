@@ -1,0 +1,35 @@
+// ASCII table / CSV emitter used by the benchmark harness to print the
+// rows of each paper table and the series of each paper figure.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gnav {
+
+/// Accumulates rows of string cells and renders them either as an aligned
+/// ASCII table (for the console) or CSV (for plotting).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Number of data rows added so far.
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Aligned monospace rendering with a header separator.
+  std::string to_ascii() const;
+
+  /// RFC-4180-ish CSV (cells containing commas/quotes are quoted).
+  std::string to_csv() const;
+
+  /// Writes CSV to a file; throws on I/O failure.
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gnav

@@ -1,0 +1,264 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace gnav::tensor {
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  GNAV_CHECK(a.cols() == b.rows(),
+             "matmul shape mismatch " + a.shape_str() + " * " + b.shape_str());
+  Tensor c(a.rows(), b.cols());
+  const std::size_t m = a.rows();
+  const std::size_t k = a.cols();
+  const std::size_t n = b.cols();
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* ai = a.row(i);
+    float* ci = c.row(i);
+    for (std::size_t p = 0; p < k; ++p) {
+      const float av = ai[p];
+      if (av == 0.0f) continue;
+      const float* bp = b.row(p);
+      for (std::size_t j = 0; j < n; ++j) ci[j] += av * bp[j];
+    }
+  }
+  return c;
+}
+
+Tensor matmul_at_b(const Tensor& a, const Tensor& b) {
+  GNAV_CHECK(a.rows() == b.rows(),
+             "matmul_at_b shape mismatch " + a.shape_str() + " , " +
+                 b.shape_str());
+  Tensor c(a.cols(), b.cols());
+  const std::size_t k = a.rows();
+  const std::size_t m = a.cols();
+  const std::size_t n = b.cols();
+  for (std::size_t p = 0; p < k; ++p) {
+    const float* ap = a.row(p);
+    const float* bp = b.row(p);
+    for (std::size_t i = 0; i < m; ++i) {
+      const float av = ap[i];
+      if (av == 0.0f) continue;
+      float* ci = c.row(i);
+      for (std::size_t j = 0; j < n; ++j) ci[j] += av * bp[j];
+    }
+  }
+  return c;
+}
+
+Tensor matmul_a_bt(const Tensor& a, const Tensor& b) {
+  GNAV_CHECK(a.cols() == b.cols(),
+             "matmul_a_bt shape mismatch " + a.shape_str() + " , " +
+                 b.shape_str());
+  Tensor c(a.rows(), b.rows());
+  const std::size_t m = a.rows();
+  const std::size_t k = a.cols();
+  const std::size_t n = b.rows();
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* ai = a.row(i);
+    float* ci = c.row(i);
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* bj = b.row(j);
+      float s = 0.0f;
+      for (std::size_t p = 0; p < k; ++p) s += ai[p] * bj[p];
+      ci[j] = s;
+    }
+  }
+  return c;
+}
+
+Tensor transpose(const Tensor& a) {
+  Tensor t(a.cols(), a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) t.at(j, i) = a.at(i, j);
+  }
+  return t;
+}
+
+namespace {
+void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
+  GNAV_CHECK(a.same_shape(b), std::string(op) + " shape mismatch " +
+                                  a.shape_str() + " vs " + b.shape_str());
+}
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "add");
+  Tensor c = a;
+  for (std::size_t i = 0; i < c.size(); ++i) c.data()[i] += b.data()[i];
+  return c;
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "sub");
+  Tensor c = a;
+  for (std::size_t i = 0; i < c.size(); ++i) c.data()[i] -= b.data()[i];
+  return c;
+}
+
+Tensor hadamard(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "hadamard");
+  Tensor c = a;
+  for (std::size_t i = 0; i < c.size(); ++i) c.data()[i] *= b.data()[i];
+  return c;
+}
+
+void add_inplace(Tensor& y, const Tensor& x) {
+  check_same_shape(y, x, "add_inplace");
+  for (std::size_t i = 0; i < y.size(); ++i) y.data()[i] += x.data()[i];
+}
+
+void axpy(Tensor& y, float alpha, const Tensor& x) {
+  check_same_shape(y, x, "axpy");
+  for (std::size_t i = 0; i < y.size(); ++i) y.data()[i] += alpha * x.data()[i];
+}
+
+void scale_inplace(Tensor& a, float alpha) {
+  for (std::size_t i = 0; i < a.size(); ++i) a.data()[i] *= alpha;
+}
+
+void add_row_bias_inplace(Tensor& a, const Tensor& bias) {
+  GNAV_CHECK(bias.rows() == 1 && bias.cols() == a.cols(),
+             "bias must be [1 x cols], got " + bias.shape_str());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    float* ai = a.row(i);
+    const float* b = bias.row(0);
+    for (std::size_t j = 0; j < a.cols(); ++j) ai[j] += b[j];
+  }
+}
+
+Tensor column_sum(const Tensor& grad) {
+  Tensor out(1, grad.cols());
+  for (std::size_t i = 0; i < grad.rows(); ++i) {
+    const float* gi = grad.row(i);
+    for (std::size_t j = 0; j < grad.cols(); ++j) out.at(0, j) += gi[j];
+  }
+  return out;
+}
+
+Tensor relu(const Tensor& z) {
+  Tensor out = z;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out.data()[i] = std::max(0.0f, out.data()[i]);
+  }
+  return out;
+}
+
+Tensor relu_backward(const Tensor& grad_out, const Tensor& z) {
+  check_same_shape(grad_out, z, "relu_backward");
+  Tensor g = grad_out;
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    if (z.data()[i] <= 0.0f) g.data()[i] = 0.0f;
+  }
+  return g;
+}
+
+Tensor elu(const Tensor& z, float alpha) {
+  Tensor out = z;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const float x = out.data()[i];
+    if (x < 0.0f) out.data()[i] = alpha * (std::exp(x) - 1.0f);
+  }
+  return out;
+}
+
+Tensor elu_backward(const Tensor& grad_out, const Tensor& z, float alpha) {
+  check_same_shape(grad_out, z, "elu_backward");
+  Tensor g = grad_out;
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    const float x = z.data()[i];
+    if (x < 0.0f) g.data()[i] *= alpha * std::exp(x);
+  }
+  return g;
+}
+
+Tensor leaky_relu(const Tensor& z, float slope) {
+  Tensor out = z;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const float x = out.data()[i];
+    if (x < 0.0f) out.data()[i] = slope * x;
+  }
+  return out;
+}
+
+Tensor leaky_relu_backward(const Tensor& grad_out, const Tensor& z,
+                           float slope) {
+  check_same_shape(grad_out, z, "leaky_relu_backward");
+  Tensor g = grad_out;
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    if (z.data()[i] < 0.0f) g.data()[i] *= slope;
+  }
+  return g;
+}
+
+Tensor softmax_rows(const Tensor& logits) {
+  Tensor out = logits;
+  for (std::size_t i = 0; i < out.rows(); ++i) {
+    float* row = out.row(i);
+    float mx = row[0];
+    for (std::size_t j = 1; j < out.cols(); ++j) mx = std::max(mx, row[j]);
+    float total = 0.0f;
+    for (std::size_t j = 0; j < out.cols(); ++j) {
+      row[j] = std::exp(row[j] - mx);
+      total += row[j];
+    }
+    const float inv = 1.0f / std::max(total, 1e-20f);
+    for (std::size_t j = 0; j < out.cols(); ++j) row[j] *= inv;
+  }
+  return out;
+}
+
+std::vector<int> argmax_rows(const Tensor& a) {
+  std::vector<int> out(a.rows(), 0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const float* row = a.row(i);
+    int best = 0;
+    for (std::size_t j = 1; j < a.cols(); ++j) {
+      if (row[j] > row[static_cast<std::size_t>(best)]) {
+        best = static_cast<int>(j);
+      }
+    }
+    out[i] = best;
+  }
+  return out;
+}
+
+Tensor gather_rows(const Tensor& src, const std::vector<std::int64_t>& rows) {
+  Tensor out(rows.size(), src.cols());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto r = rows[i];
+    GNAV_CHECK(r >= 0 && static_cast<std::size_t>(r) < src.rows(),
+               "gather_rows index out of range");
+    std::copy_n(src.row(static_cast<std::size_t>(r)), src.cols(), out.row(i));
+  }
+  return out;
+}
+
+Tensor dropout(const Tensor& a, float p, Rng& rng, Tensor* mask) {
+  GNAV_CHECK(p >= 0.0f && p < 1.0f, "dropout p must be in [0,1)");
+  Tensor out = a;
+  if (mask != nullptr) *mask = Tensor(a.rows(), a.cols());
+  if (p == 0.0f) {
+    if (mask != nullptr) mask->fill(1.0f);
+    return out;
+  }
+  const float scale = 1.0f / (1.0f - p);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (rng.bernoulli(p)) {
+      out.data()[i] = 0.0f;
+      if (mask != nullptr) mask->data()[i] = 0.0f;
+    } else {
+      out.data()[i] *= scale;
+      if (mask != nullptr) mask->data()[i] = scale;
+    }
+  }
+  return out;
+}
+
+Tensor dropout_backward(const Tensor& grad_out, const Tensor& mask) {
+  return hadamard(grad_out, mask);
+}
+
+}  // namespace gnav::tensor

@@ -1,0 +1,61 @@
+// Dense linear-algebra kernels over Tensor. Shapes are validated with
+// GNAV_CHECK; all kernels are cache-friendly row-major loops (ikj matmul),
+// which is plenty at the mini-batch scales this simulator targets.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace gnav::tensor {
+
+/// C = A * B  with A:[m x k], B:[k x n].
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// C = A^T * B with A:[k x m], B:[k x n] -> [m x n] (weight gradients).
+Tensor matmul_at_b(const Tensor& a, const Tensor& b);
+
+/// C = A * B^T with A:[m x k], B:[n x k] -> [m x n] (input gradients).
+Tensor matmul_a_bt(const Tensor& a, const Tensor& b);
+
+Tensor transpose(const Tensor& a);
+
+/// Element-wise helpers; `axpy` computes y += alpha * x in place.
+Tensor add(const Tensor& a, const Tensor& b);
+Tensor sub(const Tensor& a, const Tensor& b);
+Tensor hadamard(const Tensor& a, const Tensor& b);
+void add_inplace(Tensor& y, const Tensor& x);
+void axpy(Tensor& y, float alpha, const Tensor& x);
+void scale_inplace(Tensor& a, float alpha);
+
+/// Broadcasts bias:[1 x n] over each row of a:[m x n] in place.
+void add_row_bias_inplace(Tensor& a, const Tensor& bias);
+/// Column-sum of `grad`:[m x n] -> [1 x n] (bias gradient).
+Tensor column_sum(const Tensor& grad);
+
+/// Activations (with their backward companions taking pre-activation z).
+Tensor relu(const Tensor& z);
+Tensor relu_backward(const Tensor& grad_out, const Tensor& z);
+Tensor elu(const Tensor& z, float alpha = 1.0f);
+Tensor elu_backward(const Tensor& grad_out, const Tensor& z,
+                    float alpha = 1.0f);
+Tensor leaky_relu(const Tensor& z, float slope);
+Tensor leaky_relu_backward(const Tensor& grad_out, const Tensor& z,
+                           float slope);
+
+/// Row-wise softmax (numerically stabilized).
+Tensor softmax_rows(const Tensor& logits);
+
+/// Per-row argmax -> class indices.
+std::vector<int> argmax_rows(const Tensor& a);
+
+/// Gathers the given rows of `src` into a new tensor (feature loading).
+Tensor gather_rows(const Tensor& src, const std::vector<std::int64_t>& rows);
+
+/// Inverted-dropout: zeroes entries with prob p and rescales survivors by
+/// 1/(1-p); `mask` records survivors for the backward pass.
+Tensor dropout(const Tensor& a, float p, Rng& rng, Tensor* mask);
+Tensor dropout_backward(const Tensor& grad_out, const Tensor& mask);
+
+}  // namespace gnav::tensor

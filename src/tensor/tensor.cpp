@@ -1,0 +1,60 @@
+#include "tensor/tensor.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace gnav::tensor {
+
+Tensor::Tensor(std::size_t rows, std::size_t cols, float fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Tensor Tensor::zeros(std::size_t rows, std::size_t cols) {
+  return Tensor(rows, cols, 0.0f);
+}
+
+Tensor Tensor::ones(std::size_t rows, std::size_t cols) {
+  return Tensor(rows, cols, 1.0f);
+}
+
+Tensor Tensor::glorot(std::size_t rows, std::size_t cols, Rng& rng) {
+  GNAV_CHECK(rows > 0 && cols > 0, "glorot needs a non-empty shape");
+  const double limit =
+      std::sqrt(6.0 / static_cast<double>(rows + cols));
+  return uniform(rows, cols, static_cast<float>(-limit),
+                 static_cast<float>(limit), rng);
+}
+
+Tensor Tensor::uniform(std::size_t rows, std::size_t cols, float lo, float hi,
+                       Rng& rng) {
+  Tensor t(rows, cols);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    t.data()[i] = static_cast<float>(rng.uniform(lo, hi));
+  }
+  return t;
+}
+
+void Tensor::fill(float v) {
+  for (float& x : data_) x = v;
+}
+
+double Tensor::norm() const {
+  double s = 0.0;
+  for (float x : data_) s += static_cast<double>(x) * x;
+  return std::sqrt(s);
+}
+
+double Tensor::sum() const {
+  double s = 0.0;
+  for (float x : data_) s += x;
+  return s;
+}
+
+std::string Tensor::shape_str() const {
+  std::ostringstream os;
+  os << "[" << rows_ << " x " << cols_ << "]";
+  return os.str();
+}
+
+}  // namespace gnav::tensor

@@ -1,0 +1,187 @@
+// Tests for the device feature cache: policy semantics, capacity
+// invariants, hit accounting, and replacement behavior. The capacity /
+// accounting invariants are parameterized over every policy.
+#include <gtest/gtest.h>
+
+#include "cache/device_cache.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph_builder.hpp"
+#include "support/error.hpp"
+
+namespace gnav::cache {
+namespace {
+
+graph::CsrGraph star_graph(graph::NodeId leaves) {
+  graph::GraphBuilder b(leaves + 1);
+  for (graph::NodeId v = 1; v <= leaves; ++v) b.add_undirected_edge(0, v);
+  return b.build();
+}
+
+class CachePolicyInvariants : public ::testing::TestWithParam<CachePolicy> {};
+
+TEST_P(CachePolicyInvariants, CapacityAndAccountingHold) {
+  Rng rng(3);
+  const auto g = graph::power_law_configuration(300, 2.2, 2, 40, rng);
+  DeviceCache cache(GetParam(), 40, g);
+  std::uint64_t total_lookups = 0;
+  std::uint64_t total_hits = 0;
+  for (int round = 0; round < 20; ++round) {
+    std::vector<graph::NodeId> batch;
+    for (int i = 0; i < 50; ++i) {
+      batch.push_back(static_cast<graph::NodeId>(
+          rng.uniform_index(static_cast<std::uint64_t>(g.num_nodes()))));
+    }
+    const LookupResult res = cache.lookup_and_update(batch);
+    total_lookups += batch.size();
+    total_hits += res.hits;
+    // hits + misses == lookups for this batch
+    EXPECT_EQ(res.hits + res.misses.size(), batch.size());
+    // capacity never exceeded
+    EXPECT_LE(cache.resident_count(), cache.capacity());
+    // every reported miss is genuinely non-resident at lookup time is
+    // not directly checkable post-update, but misses must be unique ids
+    // from the batch
+    for (auto v : res.misses) {
+      EXPECT_TRUE(g.contains(v));
+    }
+  }
+  EXPECT_EQ(cache.stats().lookups, total_lookups);
+  EXPECT_EQ(cache.stats().hits, total_hits);
+  const double rate = cache.stats().hit_rate();
+  EXPECT_GE(rate, 0.0);
+  EXPECT_LE(rate, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, CachePolicyInvariants,
+                         ::testing::Values(CachePolicy::kNone,
+                                           CachePolicy::kStatic,
+                                           CachePolicy::kLru,
+                                           CachePolicy::kFifo,
+                                           CachePolicy::kWeightedDegree),
+                         [](const auto& info) {
+                           return to_string(info.param);
+                         });
+
+TEST(DeviceCache, NonePolicyNeverHits) {
+  const auto g = star_graph(10);
+  DeviceCache cache(CachePolicy::kNone, 100, g);
+  EXPECT_EQ(cache.capacity(), 0u);
+  const auto res = cache.lookup_and_update({0, 1, 2});
+  EXPECT_EQ(res.hits, 0u);
+  EXPECT_EQ(res.misses.size(), 3u);
+  EXPECT_EQ(cache.resident_count(), 0u);
+}
+
+TEST(DeviceCache, StaticPreloadsHighestDegree) {
+  const auto g = star_graph(20);
+  DeviceCache cache(CachePolicy::kStatic, 1, g);
+  // hub (vertex 0, degree 20) must be the preloaded entry
+  EXPECT_TRUE(cache.is_resident(0));
+  const auto res = cache.lookup_and_update({0, 1});
+  EXPECT_EQ(res.hits, 1u);
+  EXPECT_EQ(res.misses.size(), 1u);
+  // static cache never admits new entries
+  EXPECT_FALSE(cache.is_resident(1));
+  EXPECT_EQ(res.replaced, 0u);
+}
+
+TEST(DeviceCache, LruEvictsLeastRecentlyUsed) {
+  const auto g = star_graph(10);
+  DeviceCache cache(CachePolicy::kLru, 2, g);
+  cache.lookup_and_update({1});       // resident: {1}
+  cache.lookup_and_update({2});       // resident: {1,2}
+  cache.lookup_and_update({1});       // touch 1 -> 2 is LRU
+  const auto res = cache.lookup_and_update({3});  // evicts 2
+  EXPECT_EQ(res.replaced, 1u);
+  EXPECT_TRUE(cache.is_resident(1));
+  EXPECT_FALSE(cache.is_resident(2));
+  EXPECT_TRUE(cache.is_resident(3));
+}
+
+TEST(DeviceCache, FifoEvictsInInsertionOrder) {
+  const auto g = star_graph(10);
+  DeviceCache cache(CachePolicy::kFifo, 2, g);
+  cache.lookup_and_update({1});
+  cache.lookup_and_update({2});
+  cache.lookup_and_update({1});       // touching does NOT protect in FIFO
+  cache.lookup_and_update({3});       // evicts 1 (oldest insertion)
+  EXPECT_FALSE(cache.is_resident(1));
+  EXPECT_TRUE(cache.is_resident(2));
+  EXPECT_TRUE(cache.is_resident(3));
+}
+
+TEST(DeviceCache, WeightedDegreeKeepsHubs) {
+  const auto g = star_graph(10);  // hub 0 degree 10, leaves degree 1
+  DeviceCache cache(CachePolicy::kWeightedDegree, 1, g);
+  cache.lookup_and_update({0});  // hub resident
+  cache.lookup_and_update({1});  // leaf must NOT displace the hub
+  EXPECT_TRUE(cache.is_resident(0));
+  EXPECT_FALSE(cache.is_resident(1));
+  // but a hub can displace a leaf
+  DeviceCache c2(CachePolicy::kWeightedDegree, 1, g);
+  c2.lookup_and_update({1});
+  c2.lookup_and_update({0});
+  EXPECT_TRUE(c2.is_resident(0));
+  EXPECT_FALSE(c2.is_resident(1));
+}
+
+TEST(DeviceCache, CapacityClampedToGraph) {
+  const auto g = star_graph(4);  // 5 vertices
+  DeviceCache cache(CachePolicy::kStatic, 100, g);
+  EXPECT_EQ(cache.capacity(), 5u);
+  EXPECT_EQ(cache.resident_count(), 5u);
+  const auto res = cache.lookup_and_update({0, 1, 2, 3, 4});
+  EXPECT_EQ(res.hits, 5u);
+}
+
+TEST(DeviceCache, ResidencyBitmapMatchesQueries) {
+  const auto g = star_graph(10);
+  DeviceCache cache(CachePolicy::kLru, 3, g);
+  cache.lookup_and_update({4, 5, 6});
+  const auto& bitmap = cache.residency_bitmap();
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(bitmap[static_cast<std::size_t>(v)] != 0,
+              cache.is_resident(v));
+  }
+}
+
+TEST(DeviceCache, RejectsOutOfRangeLookups) {
+  const auto g = star_graph(3);
+  DeviceCache cache(CachePolicy::kLru, 2, g);
+  EXPECT_THROW(cache.lookup_and_update({99}), Error);
+}
+
+TEST(DeviceCache, HigherCapacityNeverLowersStaticHitRate) {
+  Rng rng(5);
+  const auto g = graph::power_law_configuration(400, 2.1, 3, 50, rng);
+  std::vector<std::vector<graph::NodeId>> batches;
+  for (int b = 0; b < 10; ++b) {
+    std::vector<graph::NodeId> batch;
+    for (int i = 0; i < 64; ++i) {
+      batch.push_back(static_cast<graph::NodeId>(
+          rng.uniform_index(static_cast<std::uint64_t>(g.num_nodes()))));
+    }
+    batches.push_back(std::move(batch));
+  }
+  double prev = -1.0;
+  for (std::size_t cap : {0u, 40u, 100u, 200u, 400u}) {
+    DeviceCache cache(CachePolicy::kStatic, cap, g);
+    for (const auto& b : batches) cache.lookup_and_update(b);
+    const double rate = cache.stats().hit_rate();
+    EXPECT_GE(rate, prev);
+    prev = rate;
+  }
+  EXPECT_DOUBLE_EQ(prev, 1.0);  // full cache hits everything
+}
+
+TEST(CachePolicy, StringRoundTrip) {
+  for (CachePolicy p : {CachePolicy::kNone, CachePolicy::kStatic,
+                        CachePolicy::kLru, CachePolicy::kFifo,
+                        CachePolicy::kWeightedDegree}) {
+    EXPECT_EQ(cache_policy_from_string(to_string(p)), p);
+  }
+  EXPECT_THROW(cache_policy_from_string("bogus"), Error);
+}
+
+}  // namespace
+}  // namespace gnav::cache

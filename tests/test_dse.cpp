@@ -1,0 +1,263 @@
+// Tests for the DSE layer: design-space enumeration validity, Pareto
+// front invariants (including randomized property sweeps), explorer
+// pruning soundness, and decision-maker preset behavior.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dse/decision_maker.hpp"
+#include "dse/design_space.hpp"
+#include "dse/explorer.hpp"
+#include "dse/pareto.hpp"
+#include "estimator/profile_collector.hpp"
+#include "runtime/templates.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace gnav::dse {
+namespace {
+
+TEST(DesignSpace, EnumerationIsValidAndDeduplicated) {
+  const DesignSpace space = DesignSpace::full(BaseSettings{});
+  const auto configs = space.enumerate();
+  EXPECT_GT(configs.size(), 500u);
+  EXPECT_LT(configs.size(), space.raw_size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    EXPECT_NO_THROW(configs[i].validate());
+  }
+  // spot-check dedup on a sample (full O(n^2) is wasteful here)
+  for (std::size_t i = 0; i < 200; ++i) {
+    for (std::size_t j = i + 1; j < 200; ++j) {
+      EXPECT_FALSE(configs[i] == configs[j]);
+    }
+  }
+}
+
+TEST(DesignSpace, ReducedSpaceIsExhaustivelyTrainable) {
+  const DesignSpace space = DesignSpace::reduced(BaseSettings{});
+  const auto configs = space.enumerate();
+  EXPECT_GE(configs.size(), 20u);
+  EXPECT_LE(configs.size(), 120u);
+}
+
+TEST(DesignSpace, BaseSettingsArePinned) {
+  BaseSettings base;
+  base.model = nn::ModelKind::kGat;
+  base.num_layers = 3;
+  for (const auto& c : DesignSpace::reduced(base).enumerate()) {
+    EXPECT_EQ(c.model, nn::ModelKind::kGat);
+    EXPECT_EQ(c.num_layers, 3u);
+  }
+}
+
+TEST(DesignSpace, MaterializeRejectsInvalidCombos) {
+  const DesignSpace space = DesignSpace::full(BaseSettings{});
+  // bias level > 0 with cache level 0 (policy none) must be invalid.
+  std::vector<std::size_t> levels(space.axes().size(), 0);
+  levels[4] = 1;  // bias axis
+  runtime::TrainConfig out;
+  EXPECT_FALSE(space.materialize(levels, &out));
+  levels[4] = 0;
+  EXPECT_TRUE(space.materialize(levels, &out));
+  levels[0] = 999;
+  EXPECT_THROW(space.materialize(levels, &out), Error);
+}
+
+TEST(Pareto, DominanceDefinition) {
+  const PerfPoint a{1.0, 1.0, 0.9};
+  const PerfPoint b{2.0, 1.0, 0.9};
+  const PerfPoint c{1.0, 1.0, 0.9};
+  EXPECT_TRUE(dominates(a, b));
+  EXPECT_FALSE(dominates(b, a));
+  EXPECT_FALSE(dominates(a, c));  // equal points do not dominate
+  const PerfPoint d{0.5, 2.0, 0.8};
+  EXPECT_FALSE(dominates(a, d));
+  EXPECT_FALSE(dominates(d, a));  // incomparable
+}
+
+TEST(Pareto, FrontInvariantsOnRandomClouds) {
+  Rng rng(17);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<PerfPoint> points;
+    for (int i = 0; i < 120; ++i) {
+      points.push_back(
+          {rng.uniform(1, 10), rng.uniform(1, 10), rng.uniform(0.3, 1.0)});
+    }
+    const auto front = pareto_front(points);
+    ASSERT_FALSE(front.empty());
+    std::set<std::size_t> front_set(front.begin(), front.end());
+    // 1. no front member dominates another front member
+    for (auto i : front) {
+      for (auto j : front) {
+        if (i != j) {
+          EXPECT_FALSE(dominates(points[i], points[j]));
+        }
+      }
+    }
+    // 2. every non-front point is dominated by some front member
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      if (front_set.contains(i)) continue;
+      bool dominated = false;
+      for (auto j : front) {
+        if (dominates(points[j], points[i])) {
+          dominated = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(dominated) << "point " << i << " not dominated";
+    }
+  }
+}
+
+TEST(Pareto, TwoDimensionalProjections) {
+  const std::vector<PerfPoint> points = {
+      {1.0, 5.0, 0.5},  // best time
+      {5.0, 1.0, 0.5},  // best memory
+      {3.0, 3.0, 0.9},  // best accuracy
+      {4.0, 4.0, 0.4},  // dominated everywhere
+  };
+  const auto tm = pareto_front_2d(points, Plane::kTimeMemory);
+  EXPECT_EQ(std::set<std::size_t>(tm.begin(), tm.end()),
+            (std::set<std::size_t>{0, 1, 2}));
+  const auto ma = pareto_front_2d(points, Plane::kMemoryAccuracy);
+  EXPECT_TRUE(std::set<std::size_t>(ma.begin(), ma.end()).contains(1));
+  EXPECT_TRUE(std::set<std::size_t>(ma.begin(), ma.end()).contains(2));
+  const auto ta = pareto_front_2d(points, Plane::kTimeAccuracy);
+  EXPECT_TRUE(std::set<std::size_t>(ta.begin(), ta.end()).contains(0));
+  EXPECT_FALSE(std::set<std::size_t>(ta.begin(), ta.end()).contains(3));
+}
+
+TEST(DecisionMaker, PresetsEmphasizeTheirMetrics) {
+  // Construct a tiny feasible set with clear winners per priority.
+  ExplorationResult result;
+  auto add = [&](double t, double m, double a) {
+    Candidate c;
+    c.config = runtime::template_pyg();
+    c.predicted.time_s = t;
+    c.predicted.memory_gb = m;
+    c.predicted.accuracy = a;
+    result.feasible.push_back(c);
+  };
+  add(1.0, 4.0, 0.70);  // fast, hungry, ok       (Ex-T* favorite)
+  add(4.0, 1.0, 0.72);  // slow, lean             (Ex-M* candidate)
+  add(2.0, 2.0, 0.71);  // balanced knee
+  add(3.5, 3.5, 0.90);  // accurate but expensive (Ex-*A candidate)
+  for (std::size_t i = 0; i < result.feasible.size(); ++i) {
+    result.pareto.push_back(i);
+  }
+
+  const auto pick = [&](const ExploreTargets& t) {
+    return DecisionMaker(t).decide(result).feasible_index;
+  };
+  const auto tm = pick(targets_extreme_time_memory());
+  const auto ma = pick(targets_extreme_memory_accuracy());
+  const auto ta = pick(targets_extreme_time_accuracy());
+  // Ex-TM must not pick the accuracy-at-all-costs point.
+  EXPECT_NE(tm, 3u);
+  // Ex-MA must not pick the memory-hungry fast point.
+  EXPECT_NE(ma, 0u);
+  // Ex-TA must not pick the slowest point.
+  EXPECT_NE(ta, 1u);
+  // Different priorities should not all collapse to one choice.
+  EXPECT_FALSE(tm == ma && ma == ta);
+}
+
+TEST(DecisionMaker, ThrowsOnEmptyAndValidatesWeights) {
+  ExplorationResult empty;
+  EXPECT_THROW(DecisionMaker(targets_balance()).decide(empty), Error);
+  ExploreTargets bad;
+  bad.time_weight = -1.0;
+  EXPECT_THROW(DecisionMaker{bad}, Error);
+  ExploreTargets zero{0.0, 0.0, 0.0, "zero"};
+  EXPECT_THROW(DecisionMaker{zero}, Error);
+}
+
+/// Explorer tests need a fitted estimator; build a small corpus once.
+class ExplorerFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    hw_ = new hw::HardwareProfile(hw::make_profile("rtx4090"));
+    dataset_ = new graph::Dataset(graph::make_power_law_augmentation(1, 4));
+    // Predictions target the reddit2 analogue: its real-scale
+    // extrapolation gives cache levels that actually stress a memory
+    // budget, which the pruning tests rely on.
+    stats_ = new estimator::DatasetStats(estimator::compute_dataset_stats(
+        graph::load_dataset("reddit2")));
+    estimator::CollectorOptions opts;
+    opts.configs_per_dataset = 16;
+    opts.epochs = 1;
+    est_ = new estimator::PerfEstimator(*hw_);
+    est_->fit(estimator::collect_profiles(*dataset_, *hw_, opts));
+  }
+  static void TearDownTestSuite() {
+    delete est_;
+    delete stats_;
+    delete dataset_;
+    delete hw_;
+  }
+  static hw::HardwareProfile* hw_;
+  static graph::Dataset* dataset_;
+  static estimator::DatasetStats* stats_;
+  static estimator::PerfEstimator* est_;
+};
+
+hw::HardwareProfile* ExplorerFixture::hw_ = nullptr;
+graph::Dataset* ExplorerFixture::dataset_ = nullptr;
+estimator::DatasetStats* ExplorerFixture::stats_ = nullptr;
+estimator::PerfEstimator* ExplorerFixture::est_ = nullptr;
+
+TEST_F(ExplorerFixture, DfsMatchesExhaustiveWhenUnconstrained) {
+  const DesignSpace space = DesignSpace::reduced(BaseSettings{});
+  const Explorer explorer(space, *est_, *stats_);
+  RuntimeConstraints none;
+  const auto dfs = explorer.explore(none, {});
+  const auto exhaustive = explorer.explore_exhaustive(none);
+  // Without constraints nothing may be pruned: same feasible count.
+  EXPECT_EQ(dfs.stats.subtrees_pruned, 0u);
+  EXPECT_EQ(dfs.feasible.size(), exhaustive.feasible.size());
+  EXPECT_FALSE(dfs.pareto.empty());
+}
+
+TEST_F(ExplorerFixture, MemoryConstraintPrunesAndStaysSound) {
+  const DesignSpace space = DesignSpace::full(BaseSettings{});
+  const Explorer explorer(space, *est_, *stats_);
+  RuntimeConstraints unconstrained;
+  RuntimeConstraints tight;
+  tight.max_memory_gb = 0.8;
+  const auto all = explorer.explore(unconstrained, {});
+  const auto constrained = explorer.explore(tight, {});
+  EXPECT_GT(constrained.stats.subtrees_pruned, 0u);
+  EXPECT_LT(constrained.stats.leaves_evaluated,
+            all.stats.leaves_evaluated);
+  EXPECT_LT(constrained.feasible.size(), all.feasible.size());
+  for (const auto& c : constrained.feasible) {
+    EXPECT_LE(c.predicted.memory_gb, tight.max_memory_gb);
+  }
+  // Soundness: pruning removes only infeasible subtrees, so DFS and the
+  // exhaustive sweep agree exactly on the feasible set size.
+  const auto exhaustive = explorer.explore_exhaustive(tight);
+  EXPECT_EQ(constrained.feasible.size(), exhaustive.feasible.size());
+}
+
+TEST_F(ExplorerFixture, TemplateSeedingIncludesBaselines) {
+  const DesignSpace space = DesignSpace::reduced(BaseSettings{});
+  const Explorer explorer(space, *est_, *stats_);
+  RuntimeConstraints none;
+  const auto seeded =
+      explorer.explore(none, runtime::all_templates());
+  const auto unseeded = explorer.explore(none, {});
+  EXPECT_EQ(seeded.feasible.size(),
+            unseeded.feasible.size() + runtime::all_templates().size());
+}
+
+TEST_F(ExplorerFixture, AccuracyFloorFiltersCandidates) {
+  const DesignSpace space = DesignSpace::reduced(BaseSettings{});
+  const Explorer explorer(space, *est_, *stats_);
+  RuntimeConstraints floor;
+  floor.min_accuracy = 0.99;  // unreachable on this noisy dataset
+  const auto result = explorer.explore(floor, {});
+  EXPECT_TRUE(result.feasible.empty());
+}
+
+}  // namespace
+}  // namespace gnav::dse

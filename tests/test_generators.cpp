@@ -1,0 +1,200 @@
+// Tests for the synthetic graph generators and the dataset registry,
+// including parameterized property sweeps over generator settings.
+#include <gtest/gtest.h>
+
+#include "graph/dataset.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph_stats.hpp"
+#include "support/error.hpp"
+
+namespace gnav::graph {
+namespace {
+
+TEST(ErdosRenyi, EdgeCountNearExpectation) {
+  Rng rng(1);
+  const NodeId n = 400;
+  const double p = 0.02;
+  const CsrGraph g = erdos_renyi(n, p, rng);
+  const double expected = p * n * (n - 1);  // directed count, symmetrized
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expected, expected * 0.25);
+  EXPECT_TRUE(g.is_symmetric());
+}
+
+TEST(ErdosRenyi, EdgeCases) {
+  Rng rng(2);
+  EXPECT_EQ(erdos_renyi(100, 0.0, rng).num_edges(), 0);
+  const CsrGraph full = erdos_renyi(20, 1.0, rng);
+  EXPECT_EQ(full.num_edges(), 20 * 19);
+  EXPECT_THROW(erdos_renyi(10, 1.5, rng), Error);
+}
+
+TEST(BarabasiAlbert, PowerLawTail) {
+  Rng rng(3);
+  const CsrGraph g = barabasi_albert(2000, 3, rng);
+  EXPECT_TRUE(g.is_symmetric());
+  const GraphProfile p = profile_graph(g);
+  // Preferential attachment: strong skew, hub far above average.
+  EXPECT_GT(p.degree_gini, 0.3);
+  EXPECT_GT(static_cast<double>(p.max_degree), 6.0 * p.avg_degree);
+  // every non-seed vertex attaches to m=3 distinct targets
+  for (NodeId v = 4; v < g.num_nodes(); ++v) {
+    EXPECT_GE(g.degree(v), 3);
+  }
+}
+
+TEST(PowerLawConfiguration, RespectsDegreeBounds) {
+  Rng rng(4);
+  const CsrGraph g = power_law_configuration(1500, 2.3, 3, 120, rng);
+  EXPECT_TRUE(g.is_symmetric());
+  const auto degs = g.degrees();
+  std::size_t max_deg = 0;
+  for (auto d : degs) max_deg = std::max(max_deg, d);
+  // Dedup can only remove edges, never add.
+  EXPECT_LE(max_deg, 120u);
+  const GraphProfile p = profile_graph(g);
+  EXPECT_GT(p.power_law_alpha, 1.5);
+  EXPECT_LT(p.power_law_alpha, 4.0);
+}
+
+TEST(Rmat, SkewedAndWellFormed) {
+  Rng rng(5);
+  const CsrGraph g = rmat(10, 8.0, 0.57, 0.19, 0.19, rng);
+  EXPECT_EQ(g.num_nodes(), 1024);
+  EXPECT_TRUE(g.is_symmetric());
+  EXPECT_GT(profile_graph(g).degree_gini, 0.3);
+  EXPECT_THROW(rmat(10, 8.0, 0.5, 0.3, 0.3, rng), Error);
+}
+
+TEST(PlantedPartition, IntraBlockDenser) {
+  Rng rng(6);
+  std::vector<int> blocks;
+  const CsrGraph g = planted_partition(200, 4, 0.2, 0.01, rng, &blocks);
+  ASSERT_EQ(blocks.size(), 200u);
+  std::size_t intra = 0;
+  std::size_t inter = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (NodeId u : g.neighbors(v)) {
+      if (blocks[static_cast<std::size_t>(v)] ==
+          blocks[static_cast<std::size_t>(u)]) {
+        ++intra;
+      } else {
+        ++inter;
+      }
+    }
+  }
+  // p_in/p_out = 20, but inter pairs are 3x more numerous -> expect >4x.
+  EXPECT_GT(intra, 4 * inter);
+}
+
+struct CommunityGraphParams {
+  double exponent;
+  double rewire;
+};
+
+class CommunityGraphSweep
+    : public ::testing::TestWithParam<CommunityGraphParams> {};
+
+TEST_P(CommunityGraphSweep, ProducesSkewedCommunityGraphs) {
+  const auto param = GetParam();
+  Rng rng(7);
+  std::vector<int> blocks;
+  const CsrGraph g = power_law_community_graph(
+      1200, 6, param.exponent, 3, 100, param.rewire, rng, &blocks);
+  EXPECT_TRUE(g.is_symmetric());
+  EXPECT_EQ(blocks.size(), 1200u);
+  // Higher rewire probability -> higher intra-community edge fraction.
+  std::size_t intra = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (NodeId u : g.neighbors(v)) {
+      intra += blocks[static_cast<std::size_t>(v)] ==
+               blocks[static_cast<std::size_t>(u)];
+    }
+  }
+  const double frac =
+      static_cast<double>(intra) / static_cast<double>(g.num_edges());
+  // At rewire=0 only the 1/6 random baseline; grows with rewire.
+  EXPECT_GT(frac, param.rewire * 0.6);
+  EXPECT_GT(profile_graph(g).degree_gini, 0.15);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CommunityGraphSweep,
+    ::testing::Values(CommunityGraphParams{2.0, 0.5},
+                      CommunityGraphParams{2.3, 0.7},
+                      CommunityGraphParams{2.6, 0.8},
+                      CommunityGraphParams{2.1, 0.9}));
+
+TEST(Dataset, RegistryProducesConsistentDatasets) {
+  for (const std::string& name : dataset_names()) {
+    const Dataset ds = load_dataset(name);
+    EXPECT_EQ(ds.name, name);
+    EXPECT_NO_THROW(ds.validate());
+    EXPECT_GT(ds.num_nodes(), 1000);
+    EXPECT_GE(ds.num_classes, 2);
+    EXPECT_FALSE(ds.train_nodes.empty());
+    EXPECT_FALSE(ds.test_nodes.empty());
+    EXPECT_GT(ds.real_scale_factor, 1.0);
+  }
+  EXPECT_THROW(load_dataset("no-such-dataset"), Error);
+}
+
+TEST(Dataset, DeterministicInSeed) {
+  const Dataset a = load_dataset("ogbn-arxiv", 7);
+  const Dataset b = load_dataset("ogbn-arxiv", 7);
+  EXPECT_EQ(a.graph.num_edges(), b.graph.num_edges());
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_EQ(a.features, b.features);
+  const Dataset c = load_dataset("ogbn-arxiv", 8);
+  EXPECT_NE(a.features, c.features);
+}
+
+TEST(Dataset, SplitsPartitionVertexSet) {
+  const Dataset ds = load_dataset("reddit2");
+  EXPECT_EQ(ds.train_nodes.size() + ds.val_nodes.size() +
+                ds.test_nodes.size(),
+            static_cast<std::size_t>(ds.num_nodes()));
+}
+
+TEST(Dataset, CodesMatchPaperAbbreviations) {
+  EXPECT_EQ(dataset_code("ogbn-arxiv"), "AR");
+  EXPECT_EQ(dataset_code("ogbn-products"), "PR");
+  EXPECT_EQ(dataset_code("reddit"), "RD");
+  EXPECT_EQ(dataset_code("reddit2"), "RD2");
+}
+
+TEST(Dataset, FeaturesCarryClassSignal) {
+  // Mean intra-class feature distance should be below inter-class
+  // distance — otherwise no model could learn anything.
+  const Dataset ds = load_dataset("ogbn-products");
+  const auto d = static_cast<std::size_t>(ds.feature_dim);
+  std::vector<std::vector<double>> class_mean(
+      static_cast<std::size_t>(ds.num_classes),
+      std::vector<double>(d, 0.0));
+  std::vector<std::size_t> counts(static_cast<std::size_t>(ds.num_classes));
+  for (NodeId v = 0; v < ds.num_nodes(); ++v) {
+    const auto c = static_cast<std::size_t>(ds.labels[static_cast<std::size_t>(v)]);
+    const float* row = ds.feature_row(v);
+    for (std::size_t j = 0; j < d; ++j) class_mean[c][j] += row[j];
+    ++counts[c];
+  }
+  double spread = 0.0;
+  for (std::size_t c = 0; c < class_mean.size(); ++c) {
+    for (std::size_t j = 0; j < d; ++j) {
+      class_mean[c][j] /= static_cast<double>(std::max<std::size_t>(counts[c], 1));
+      spread += class_mean[c][j] * class_mean[c][j];
+    }
+  }
+  EXPECT_GT(spread, 0.5);  // class means are separated from the origin
+}
+
+TEST(Dataset, PowerLawAugmentationVariesWithIndex) {
+  const Dataset a = make_power_law_augmentation(0, 1);
+  const Dataset b = make_power_law_augmentation(1, 1);
+  EXPECT_NE(a.num_nodes(), b.num_nodes());
+  EXPECT_NO_THROW(a.validate());
+  EXPECT_NO_THROW(b.validate());
+  EXPECT_DOUBLE_EQ(a.real_scale_factor, 1.0);
+}
+
+}  // namespace
+}  // namespace gnav::graph

@@ -1,0 +1,104 @@
+// Tests for the heterogeneous platform model and Eq. 4 cost model:
+// profile sanity, phase-time monotonicity, and pipeline overlap.
+#include <gtest/gtest.h>
+
+#include "hw/cost_model.hpp"
+#include "hw/platform.hpp"
+#include "support/error.hpp"
+
+namespace gnav::hw {
+namespace {
+
+TEST(Platform, NamedProfilesExist) {
+  for (const auto& name : profile_names()) {
+    const HardwareProfile p = make_profile(name);
+    EXPECT_EQ(p.name, name);
+    EXPECT_GT(p.device.memory_gb, 0.0);
+    EXPECT_GT(p.link.bandwidth_gbps, 0.0);
+  }
+  EXPECT_THROW(make_profile("tpu-v9"), Error);
+}
+
+TEST(Platform, ProfileOrdering) {
+  // a100 outclasses m90 on every axis; constrained is the weakest.
+  const auto a100 = make_profile("a100");
+  const auto m90 = make_profile("m90");
+  const auto constrained = make_profile("constrained");
+  EXPECT_GT(a100.device.compute_gflops, m90.device.compute_gflops);
+  EXPECT_GT(a100.link.bandwidth_gbps, m90.link.bandwidth_gbps);
+  EXPECT_GT(a100.device.memory_gb, m90.device.memory_gb);
+  EXPECT_LT(constrained.device.memory_gb, m90.device.memory_gb);
+}
+
+TEST(Platform, FreeMemoryClampsAtZero) {
+  const auto p = make_profile("m90");
+  EXPECT_DOUBLE_EQ(p.free_device_memory_gb(p.device.memory_gb + 5.0), 0.0);
+  EXPECT_GT(p.free_device_memory_gb(1.0), 0.0);
+}
+
+TEST(CostModel, PhaseTimesScaleLinearly) {
+  const CostModel cm(make_profile("rtx4090"));
+  EXPECT_NEAR(cm.compute_time_s(2e9), 2.0 * cm.compute_time_s(1e9), 1e-12);
+  EXPECT_NEAR(cm.replace_time_s(2e9), 2.0 * cm.replace_time_s(1e9), 1e-12);
+  EXPECT_NEAR(cm.sample_time_s(2e6), 2.0 * cm.sample_time_s(1e6), 1e-12);
+  // transfer has a latency floor, so it is affine rather than linear
+  const double t1 = cm.transfer_time_s(1e6);
+  const double t2 = cm.transfer_time_s(2e6);
+  EXPECT_GT(t2, t1);
+  EXPECT_LT(t2, 2.0 * t1);
+  EXPECT_DOUBLE_EQ(cm.transfer_time_s(0.0), 0.0);
+}
+
+TEST(CostModel, FasterLinkShortensTransfer) {
+  const CostModel fast(make_profile("a100"));
+  const CostModel slow(make_profile("constrained"));
+  EXPECT_LT(fast.transfer_time_s(1e8), slow.transfer_time_s(1e8));
+}
+
+TEST(CostModel, RejectsNegativeVolumes) {
+  const CostModel cm(make_profile("m90"));
+  EXPECT_THROW(cm.compute_time_s(-1.0), gnav::Error);
+  EXPECT_THROW(cm.transfer_time_s(-1.0), gnav::Error);
+  EXPECT_THROW(cm.sample_time_s(-1.0), gnav::Error);
+  EXPECT_THROW(cm.replace_time_s(-1.0), gnav::Error);
+}
+
+TEST(CostModel, OverlapTakesPipelineMax) {
+  IterationTimes t;
+  t.t_sample = 3.0;
+  t.t_transfer = 2.0;   // host pipeline: 5
+  t.t_replace = 1.0;
+  t.t_compute = 3.5;    // device pipeline: 4.5
+  EXPECT_DOUBLE_EQ(t.overlapped(), 5.0);
+  EXPECT_DOUBLE_EQ(t.sequential(), 9.5);
+  t.t_compute = 10.0;   // now device-bound
+  EXPECT_DOUBLE_EQ(t.overlapped(), 11.0);
+}
+
+TEST(CostModel, IterationTimesComposition) {
+  const CostModel cm(make_profile("rtx4090"));
+  IterationVolumes v;
+  v.sampling_work = 1e6;
+  v.transfer_bytes = 1e7;
+  v.replace_bytes = 1e6;
+  v.compute_flops = 1e9;
+  const IterationTimes t = cm.iteration_times(v);
+  EXPECT_DOUBLE_EQ(t.t_sample, cm.sample_time_s(v.sampling_work));
+  EXPECT_DOUBLE_EQ(t.t_transfer, cm.transfer_time_s(v.transfer_bytes));
+  EXPECT_DOUBLE_EQ(t.t_replace, cm.replace_time_s(v.replace_bytes));
+  EXPECT_DOUBLE_EQ(t.t_compute, cm.compute_time_s(v.compute_flops));
+  EXPECT_LE(t.overlapped(), t.sequential());
+}
+
+TEST(SimClock, AccumulatesAndRejectsBackwards) {
+  SimClock clock;
+  clock.advance(1.5);
+  clock.advance(0.5);
+  EXPECT_DOUBLE_EQ(clock.now_s(), 2.0);
+  EXPECT_THROW(clock.advance(-0.1), gnav::Error);
+  clock.reset();
+  EXPECT_DOUBLE_EQ(clock.now_s(), 0.0);
+}
+
+}  // namespace
+}  // namespace gnav::hw

@@ -1,0 +1,156 @@
+// Cross-module integration tests: the paper's headline behaviors
+// reproduced end-to-end on small inputs — baseline orderings (Table 1
+// shape), Fig. 1 trade-offs, guideline quality vs baselines, and the
+// Pareto-matching property of Fig. 6 on a reduced space.
+#include <gtest/gtest.h>
+
+#include "dse/decision_maker.hpp"
+#include "dse/design_space.hpp"
+#include "dse/explorer.hpp"
+#include "navigator/navigator.hpp"
+#include "runtime/templates.hpp"
+#include "support/error.hpp"
+
+namespace gnav {
+namespace {
+
+/// Shared expensive setup: reddit2 analogue + estimator trained on a
+/// small cross-dataset corpus.
+class IntegrationFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    nav_ = new navigator::GNNavigator(graph::load_dataset("reddit2"),
+                                      hw::make_profile("rtx4090"),
+                                      dse::BaseSettings{});
+    std::vector<estimator::ProfiledRun> corpus;
+    estimator::CollectorOptions opts;
+    opts.configs_per_dataset = 10;
+    opts.epochs = 1;
+    for (const char* name : {"ogbn-arxiv", "ogbn-products"}) {
+      const auto ds = graph::load_dataset(name);
+      auto runs = estimator::collect_profiles(ds, nav_->hardware(), opts);
+      corpus.insert(corpus.end(), runs.begin(), runs.end());
+    }
+    const auto aug = graph::make_power_law_augmentation(0, 9);
+    auto runs = estimator::collect_profiles(aug, nav_->hardware(), opts);
+    corpus.insert(corpus.end(), runs.begin(), runs.end());
+    nav_->prepare(corpus);
+  }
+  static void TearDownTestSuite() { delete nav_; }
+  static navigator::GNNavigator* nav_;
+};
+
+navigator::GNNavigator* IntegrationFixture::nav_ = nullptr;
+
+TEST_F(IntegrationFixture, BaselineOrderingMatchesPaperShape) {
+  // Paper Table 1 (RD2+SAGE): Pa-Full and 2P are ~2x faster than PyG;
+  // Pa-Low is marginal; Pa-Full costs the most memory.
+  const auto pyg = nav_->reproduce("pyg", 2);
+  const auto pa_full = nav_->reproduce("pagraph-full", 2);
+  const auto pa_low = nav_->reproduce("pagraph-low", 2);
+  const auto twop = nav_->reproduce("2pgraph", 2);
+
+  EXPECT_LT(pa_full.epoch_time_s, 0.7 * pyg.epoch_time_s);
+  EXPECT_LT(twop.epoch_time_s, 0.7 * pyg.epoch_time_s);
+  EXPECT_LT(pa_low.epoch_time_s, pyg.epoch_time_s);
+  EXPECT_GT(pa_low.epoch_time_s, 0.8 * pyg.epoch_time_s);
+  // PaGraph trades memory for speed (paper Fig. 1a).
+  EXPECT_GT(pa_full.peak_memory_gb, pyg.peak_memory_gb);
+  // 2PGraph saves memory relative to PyG (paper Table 1).
+  EXPECT_LT(twop.peak_memory_gb, pyg.peak_memory_gb);
+  // hit-rate ordering follows cache size & bias
+  EXPECT_GT(pa_full.cache_hit_rate, pa_low.cache_hit_rate);
+  EXPECT_GT(twop.cache_hit_rate, pa_low.cache_hit_rate);
+}
+
+TEST_F(IntegrationFixture, Fig1aCacheMemorySpeedTradeoff) {
+  // Sweep PaGraph cache ratio: epoch time falls, memory grows.
+  double prev_time = 1e18;
+  double prev_mem = 0.0;
+  for (double ratio : {0.05, 0.2, 0.5}) {
+    runtime::TrainConfig c = runtime::template_pagraph_full();
+    c.cache_ratio = ratio;
+    const auto r = nav_->train(c, 2);
+    EXPECT_LT(r.epoch_time_s, prev_time);
+    EXPECT_GT(r.peak_memory_gb, prev_mem);
+    prev_time = r.epoch_time_s;
+    prev_mem = r.peak_memory_gb;
+  }
+}
+
+TEST_F(IntegrationFixture, GuidelineIsNoWorseThanSeededBaselines) {
+  // The explorer seeds with the baseline templates, so the balanced
+  // guideline's *predicted* scalarized score can never lose to them.
+  dse::RuntimeConstraints constraints;
+  constraints.max_memory_gb = nav_->hardware().device.memory_gb;
+  const auto g =
+      nav_->generate_guideline(dse::targets_balance(), constraints);
+  const auto& est = nav_->estimator();
+  const dse::DecisionMaker maker(dse::targets_balance());
+  // Median reference from baseline predictions.
+  std::vector<dse::PerfPoint> base_points;
+  for (const auto& tmpl : runtime::all_templates()) {
+    const auto p = est.predict(tmpl, nav_->dataset_stats());
+    base_points.push_back({p.time_s, p.memory_gb, p.accuracy});
+  }
+  const dse::PerfPoint ref = base_points[0];
+  const dse::PerfPoint chosen{g.predicted.time_s, g.predicted.memory_gb,
+                              g.predicted.accuracy};
+  for (const auto& bp : base_points) {
+    EXPECT_LE(maker.score(chosen, ref), maker.score(bp, ref) + 1e-9);
+  }
+}
+
+TEST_F(IntegrationFixture, ExtremeTimeMemoryGuidelineBeatsPyg) {
+  // Headline claim direction: an Ex-TM guideline is substantially faster
+  // and leaner than vanilla PyG with bounded accuracy loss.
+  dse::RuntimeConstraints constraints;
+  const auto g = nav_->generate_guideline(
+      dse::targets_extreme_time_memory(), constraints);
+  const auto pyg = nav_->reproduce("pyg", 3);
+  const auto mine = nav_->train(g.config, 3);
+  EXPECT_LT(mine.epoch_time_s, 0.75 * pyg.epoch_time_s);
+  EXPECT_LT(mine.peak_memory_gb, 1.15 * pyg.peak_memory_gb);
+  EXPECT_GT(mine.test_accuracy, pyg.test_accuracy - 0.08);
+}
+
+TEST_F(IntegrationFixture, EstimatorParetoOverlapsGroundTruthPareto) {
+  // Fig. 6 property, shrunk: over a reduced space, candidates the
+  // estimator places on the Pareto front should be near the measured
+  // front (we check that the predicted-front configs' measured points
+  // are not badly dominated).
+  const dse::DesignSpace space =
+      dse::DesignSpace::reduced(dse::BaseSettings{});
+  const dse::Explorer explorer(space, nav_->estimator(),
+                               nav_->dataset_stats());
+  const auto result = explorer.explore_exhaustive({});
+  ASSERT_GT(result.feasible.size(), 10u);
+  ASSERT_FALSE(result.pareto.empty());
+
+  // Measure a subsample: all predicted-front configs + a few others.
+  std::vector<dse::PerfPoint> measured;
+  std::vector<bool> predicted_front;
+  std::size_t step = std::max<std::size_t>(
+      1, result.feasible.size() / 12);
+  std::set<std::size_t> chosen(result.pareto.begin(), result.pareto.end());
+  for (std::size_t i = 0; i < result.feasible.size(); i += step) {
+    chosen.insert(i);
+  }
+  for (std::size_t idx : chosen) {
+    const auto r = nav_->train(result.feasible[idx].config, 1);
+    measured.push_back({r.epoch_time_s, r.peak_memory_gb, r.test_accuracy});
+    predicted_front.push_back(
+        std::find(result.pareto.begin(), result.pareto.end(), idx) !=
+        result.pareto.end());
+  }
+  // At least one predicted-front candidate lies on the measured front.
+  const auto measured_front = dse::pareto_front(measured);
+  bool overlap = false;
+  for (auto idx : measured_front) {
+    if (predicted_front[idx]) overlap = true;
+  }
+  EXPECT_TRUE(overlap);
+}
+
+}  // namespace
+}  // namespace gnav

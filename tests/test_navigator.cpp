@@ -1,0 +1,127 @@
+// Tests for the GNNavigator facade: the three-step workflow, guideline
+// generation under priorities and constraints, and baseline reproduction.
+#include <gtest/gtest.h>
+
+#include "navigator/navigator.hpp"
+#include "support/error.hpp"
+
+namespace gnav::navigator {
+namespace {
+
+/// One navigator over a small synthetic dataset, estimator trained on
+/// two augmentation graphs (fast but real end-to-end preparation).
+class NavigatorFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    graph::SyntheticSpec spec;
+    spec.name = "nav-unit";
+    spec.num_nodes = 900;
+    spec.num_classes = 5;
+    spec.feature_dim = 16;
+    spec.min_degree = 3;
+    spec.max_degree = 90;
+    spec.label_noise = 0.1;
+    nav_ = new GNNavigator(graph::make_synthetic_dataset(spec, 21),
+                           hw::make_profile("rtx4090"),
+                           dse::BaseSettings{});
+    std::vector<estimator::ProfiledRun> corpus;
+    estimator::CollectorOptions opts;
+    opts.configs_per_dataset = 14;
+    opts.epochs = 1;
+    for (int i = 0; i < 2; ++i) {
+      const auto ds = graph::make_power_law_augmentation(i, 31);
+      auto runs = estimator::collect_profiles(
+          ds, nav_->hardware(), opts);
+      corpus.insert(corpus.end(), runs.begin(), runs.end());
+    }
+    nav_->prepare(corpus);
+  }
+  static void TearDownTestSuite() { delete nav_; }
+  static GNNavigator* nav_;
+};
+
+GNNavigator* NavigatorFixture::nav_ = nullptr;
+
+TEST_F(NavigatorFixture, InputAnalysisProfilesDataset) {
+  EXPECT_EQ(nav_->dataset().name, "nav-unit");
+  EXPECT_GT(nav_->dataset_stats().profile.num_nodes, 0);
+  EXPECT_GT(nav_->dataset_stats().coverage_at_50, 0.0);
+  EXPECT_TRUE(nav_->is_prepared());
+}
+
+TEST_F(NavigatorFixture, GenerateGuidelineProducesValidConfig) {
+  dse::RuntimeConstraints constraints;
+  constraints.max_memory_gb = nav_->hardware().device.memory_gb;
+  const Guideline g =
+      nav_->generate_guideline(dse::targets_balance(), constraints);
+  EXPECT_NO_THROW(g.config.validate());
+  EXPECT_EQ(g.priority_name, "balance");
+  EXPECT_GT(g.exploration_stats.leaves_evaluated, 100u);
+  EXPECT_FALSE(g.text.empty());
+  // guideline text parses back to the same configuration
+  const auto parsed = runtime::TrainConfig::from_config_map(
+      ConfigMap::parse(g.text));
+  EXPECT_TRUE(parsed == g.config);
+  EXPECT_GT(g.predicted.time_s, 0.0);
+}
+
+TEST_F(NavigatorFixture, PrioritiesShiftTheChosenGuideline) {
+  dse::RuntimeConstraints constraints;
+  const Guideline tm = nav_->generate_guideline(
+      dse::targets_extreme_time_memory(), constraints);
+  const Guideline ma = nav_->generate_guideline(
+      dse::targets_extreme_memory_accuracy(), constraints);
+  // Ex-TM's chosen candidate must predict no worse time than Ex-MA's and
+  // Ex-MA must predict no worse accuracy than Ex-TM's.
+  EXPECT_LE(tm.predicted.time_s, ma.predicted.time_s + 1e-9);
+  EXPECT_GE(ma.predicted.accuracy, tm.predicted.accuracy - 1e-9);
+}
+
+TEST_F(NavigatorFixture, ConstraintsAreHonoredByPredictions) {
+  dse::RuntimeConstraints tight;
+  tight.max_memory_gb = 0.9;
+  const Guideline g =
+      nav_->generate_guideline(dse::targets_balance(), tight);
+  EXPECT_LE(g.predicted.memory_gb, 0.9);
+}
+
+TEST_F(NavigatorFixture, ImpossibleConstraintsThrow) {
+  dse::RuntimeConstraints impossible;
+  impossible.max_memory_gb = 0.01;
+  EXPECT_THROW(
+      nav_->generate_guideline(dse::targets_balance(), impossible),
+      Error);
+}
+
+TEST_F(NavigatorFixture, TrainExecutesGuideline) {
+  dse::RuntimeConstraints constraints;
+  const Guideline g =
+      nav_->generate_guideline(dse::targets_balance(), constraints);
+  const runtime::TrainReport r = nav_->train(g.config, /*epochs=*/2);
+  EXPECT_GT(r.epoch_time_s, 0.0);
+  EXPECT_GT(r.test_accuracy, 0.2);
+}
+
+TEST_F(NavigatorFixture, ReproduceRunsTemplatesWithPinnedModel) {
+  const runtime::TrainReport r = nav_->reproduce("pagraph-full", 1);
+  EXPECT_GT(r.cache_hit_rate, 0.2);
+  EXPECT_THROW(nav_->reproduce("unknown-system", 1), Error);
+}
+
+TEST(GNNavigator, UnpreparedGuidelineGenerationThrows) {
+  graph::SyntheticSpec spec;
+  spec.num_nodes = 300;
+  spec.min_degree = 2;
+  spec.max_degree = 30;
+  GNNavigator nav(graph::make_synthetic_dataset(spec, 3),
+                  hw::make_profile("m90"), dse::BaseSettings{});
+  EXPECT_FALSE(nav.is_prepared());
+  EXPECT_THROW(
+      nav.generate_guideline(dse::targets_balance(), {}), Error);
+  EXPECT_THROW(nav.estimator(), Error);
+  // but direct training works without preparation
+  EXPECT_NO_THROW(nav.train(runtime::template_pyg(), 1));
+}
+
+}  // namespace
+}  // namespace gnav::navigator

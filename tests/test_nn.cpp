@@ -1,0 +1,300 @@
+// Tests for aggregation kernels, layers, loss, optimizers, and the model
+// container (gradient checks live in test_gradcheck.cpp).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/graph_builder.hpp"
+#include "nn/aggregate.hpp"
+#include "nn/layers.hpp"
+#include "nn/loss.hpp"
+#include "nn/model.hpp"
+#include "nn/optim.hpp"
+#include "support/error.hpp"
+#include "tensor/ops.hpp"
+
+namespace gnav::nn {
+namespace {
+
+graph::CsrGraph path3() {
+  // 0-1-2 path, symmetrized.
+  return graph::build_undirected(3, {{0, 1}, {1, 2}});
+}
+
+tensor::Tensor eye3() {
+  tensor::Tensor x(3, 3);
+  for (std::size_t i = 0; i < 3; ++i) x.at(i, i) = 1.0f;
+  return x;
+}
+
+TEST(Aggregate, MeanOverNeighbors) {
+  const auto g = path3();
+  const auto y = aggregate_mean(g, eye3());
+  // node 0: mean of {x1} = e1 ; node 1: mean of {x0,x2}.
+  EXPECT_FLOAT_EQ(y.at(0, 1), 1.0f);
+  EXPECT_FLOAT_EQ(y.at(1, 0), 0.5f);
+  EXPECT_FLOAT_EQ(y.at(1, 2), 0.5f);
+  EXPECT_FLOAT_EQ(y.at(1, 1), 0.0f);
+}
+
+TEST(Aggregate, MeanTransposeIsAdjoint) {
+  // <A x, y> == <x, A^T y> for random x, y.
+  Rng rng(3);
+  const auto g = path3();
+  const auto x = tensor::Tensor::uniform(3, 4, -1, 1, rng);
+  const auto y = tensor::Tensor::uniform(3, 4, -1, 1, rng);
+  const auto ax = aggregate_mean(g, x);
+  const auto aty = aggregate_mean_transpose(g, y);
+  double lhs = 0.0;
+  double rhs = 0.0;
+  for (std::size_t i = 0; i < ax.size(); ++i) {
+    lhs += static_cast<double>(ax.data()[i]) * y.data()[i];
+    rhs += static_cast<double>(x.data()[i]) * aty.data()[i];
+  }
+  EXPECT_NEAR(lhs, rhs, 1e-4);
+}
+
+TEST(Aggregate, GcnSelfAdjointAndIncludesSelfLoop) {
+  Rng rng(4);
+  const auto g = path3();
+  const auto x = tensor::Tensor::uniform(3, 5, -1, 1, rng);
+  const auto y = tensor::Tensor::uniform(3, 5, -1, 1, rng);
+  const auto ax = aggregate_gcn(g, x);
+  const auto ay = aggregate_gcn(g, y);
+  double lhs = 0.0;
+  double rhs = 0.0;
+  for (std::size_t i = 0; i < ax.size(); ++i) {
+    lhs += static_cast<double>(ax.data()[i]) * y.data()[i];
+    rhs += static_cast<double>(x.data()[i]) * ay.data()[i];
+  }
+  EXPECT_NEAR(lhs, rhs, 1e-4);
+  // isolated vertex keeps its own (normalized) features via the self loop
+  graph::GraphBuilder b(1);
+  const auto lone = b.build();
+  tensor::Tensor xi(1, 2);
+  xi.at(0, 0) = 2.0f;
+  const auto yi = aggregate_gcn(lone, xi);
+  EXPECT_FLOAT_EQ(yi.at(0, 0), 2.0f);  // 1/sqrt(1)*1/sqrt(1)*2
+}
+
+TEST(Aggregate, SumMatchesDegreeTimesMean) {
+  Rng rng(5);
+  const auto g = path3();
+  const auto x = tensor::Tensor::uniform(3, 2, -1, 1, rng);
+  const auto s = aggregate_sum(g, x);
+  const auto m = aggregate_mean(g, x);
+  for (graph::NodeId v = 0; v < 3; ++v) {
+    for (std::size_t j = 0; j < 2; ++j) {
+      EXPECT_NEAR(s.at(static_cast<std::size_t>(v), j),
+                  m.at(static_cast<std::size_t>(v), j) *
+                      static_cast<float>(g.degree(v)),
+                  1e-5);
+    }
+  }
+  EXPECT_GT(aggregation_flops(g, 8), 0.0);
+}
+
+TEST(Aggregate, ShapeMismatchThrows) {
+  const auto g = path3();
+  EXPECT_THROW(aggregate_mean(g, tensor::Tensor(2, 4)), Error);
+}
+
+TEST(Layers, OutputShapes) {
+  Rng rng(6);
+  const auto g = path3();
+  const auto x = tensor::Tensor::uniform(3, 8, -1, 1, rng);
+  GcnConv gcn(8, 4, rng);
+  SageConv sage(8, 4, rng);
+  GatConv gat(8, 4, rng);
+  for (GraphConv* conv :
+       std::initializer_list<GraphConv*>{&gcn, &sage, &gat}) {
+    const auto h = conv->forward(g, x);
+    EXPECT_EQ(h.rows(), 3u);
+    EXPECT_EQ(h.cols(), 4u);
+    EXPECT_EQ(conv->in_dim(), 8u);
+    EXPECT_EQ(conv->out_dim(), 4u);
+    EXPECT_GT(conv->forward_flops(3, 4), 0.0);
+    EXPECT_FALSE(conv->parameters().empty());
+  }
+}
+
+TEST(Layers, GatAttentionIsConvexCombination) {
+  // With bias zero and identical features everywhere, GAT output equals
+  // W x regardless of attention values (softmax weights sum to 1).
+  Rng rng(7);
+  const auto g = path3();
+  tensor::Tensor x(3, 4, 0.5f);
+  GatConv gat(4, 3, rng);
+  const auto h = gat.forward(g, x);
+  for (std::size_t v = 1; v < 3; ++v) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_NEAR(h.at(v, j), h.at(0, j), 1e-5);
+    }
+  }
+}
+
+TEST(Loss, CrossEntropyKnownValues) {
+  tensor::Tensor logits(2, 3);
+  // row 0 uniform -> loss ln(3); row 1 peaked on the true class.
+  logits.at(1, 2) = 100.0f;
+  const LossResult res =
+      softmax_cross_entropy(logits, {0, 1}, {0, 2});
+  EXPECT_NEAR(res.loss, 0.5 * std::log(3.0), 1e-4);
+  EXPECT_EQ(res.correct, 2u);  // row 0 argmax is class 0 by tie-break
+  EXPECT_EQ(res.total, 2u);
+  // gradient rows sum to 0 (softmax minus one-hot)
+  for (std::size_t r = 0; r < 2; ++r) {
+    double s = 0.0;
+    for (std::size_t c = 0; c < 3; ++c) s += res.grad_logits.at(r, c);
+    EXPECT_NEAR(s, 0.0, 1e-6);
+  }
+}
+
+TEST(Loss, GradZeroOnUnselectedRows) {
+  tensor::Tensor logits(3, 2);
+  logits.at(0, 0) = 1.0f;
+  const LossResult res = softmax_cross_entropy(logits, {1}, {0});
+  for (std::size_t c = 0; c < 2; ++c) {
+    EXPECT_FLOAT_EQ(res.grad_logits.at(0, c), 0.0f);
+    EXPECT_FLOAT_EQ(res.grad_logits.at(2, c), 0.0f);
+  }
+  EXPECT_THROW(softmax_cross_entropy(logits, {0}, {5}), Error);
+  EXPECT_THROW(softmax_cross_entropy(logits, {}, {}), Error);
+}
+
+TEST(Loss, AccuracyCountsArgmax) {
+  tensor::Tensor logits(2, 2);
+  logits.at(0, 1) = 1.0f;
+  logits.at(1, 0) = 1.0f;
+  EXPECT_DOUBLE_EQ(accuracy(logits, {0, 1}, {1, 1}), 0.5);
+}
+
+TEST(Optim, SgdStepMovesAgainstGradient) {
+  Parameter p("w", tensor::Tensor::ones(1, 2));
+  p.grad.at(0, 0) = 1.0f;
+  p.grad.at(0, 1) = -2.0f;
+  Sgd opt({&p}, 0.1f);
+  opt.step();
+  EXPECT_FLOAT_EQ(p.value.at(0, 0), 0.9f);
+  EXPECT_FLOAT_EQ(p.value.at(0, 1), 1.2f);
+  opt.zero_grad();
+  EXPECT_DOUBLE_EQ(p.grad.sum(), 0.0);
+}
+
+TEST(Optim, AdamConvergesOnQuadratic) {
+  // minimize (w - 3)^2 -> w = 3.
+  Parameter p("w", tensor::Tensor::zeros(1, 1));
+  Adam opt({&p}, 0.1f);
+  for (int i = 0; i < 500; ++i) {
+    opt.zero_grad();
+    p.grad.at(0, 0) = 2.0f * (p.value.at(0, 0) - 3.0f);
+    opt.step();
+  }
+  EXPECT_NEAR(p.value.at(0, 0), 3.0f, 1e-2);
+}
+
+TEST(Optim, WeightDecayShrinksWeights) {
+  Parameter p("w", tensor::Tensor::ones(1, 1));
+  Sgd opt({&p}, 0.1f, /*weight_decay=*/1.0f);
+  opt.zero_grad();
+  opt.step();  // gradient zero, decay only
+  EXPECT_NEAR(p.value.at(0, 0), 0.9f, 1e-6);
+}
+
+TEST(Model, ForwardShapeAndParamCount) {
+  Rng rng(8);
+  ModelConfig mc;
+  mc.kind = ModelKind::kSage;
+  mc.in_dim = 8;
+  mc.hidden_dim = 16;
+  mc.out_dim = 5;
+  mc.num_layers = 3;
+  mc.dropout = 0.0f;
+  GnnModel model(mc, rng);
+  EXPECT_EQ(model.num_layers(), 3u);
+  // SAGE params: 2*in*out + out per layer.
+  const std::size_t expected = (2 * 8 * 16 + 16) + (2 * 16 * 16 + 16) +
+                               (2 * 16 * 5 + 5);
+  EXPECT_EQ(model.parameter_count(), expected);
+  const auto g = path3();
+  const auto x = tensor::Tensor::uniform(3, 8, -1, 1, rng);
+  const auto out = model.forward(g, x, false, rng);
+  EXPECT_EQ(out.rows(), 3u);
+  EXPECT_EQ(out.cols(), 5u);
+  EXPECT_GT(model.forward_flops(3, 4), 0.0);
+  EXPECT_GT(model.activation_floats(3), 0.0);
+  EXPECT_DOUBLE_EQ(model.activation_edge_floats(10), 0.0);  // not GAT
+}
+
+TEST(Model, GatEdgeActivationsPositive) {
+  Rng rng(9);
+  ModelConfig mc;
+  mc.kind = ModelKind::kGat;
+  mc.in_dim = 4;
+  mc.hidden_dim = 8;
+  mc.out_dim = 3;
+  mc.num_layers = 2;
+  GnnModel model(mc, rng);
+  EXPECT_GT(model.activation_edge_floats(10), 0.0);
+}
+
+TEST(Model, TrainingReducesLossOnToyTask) {
+  // Two-community toy graph; labels = community; model should fit it.
+  Rng rng(10);
+  std::vector<graph::Edge> edges;
+  for (graph::NodeId v = 0; v < 10; ++v) {
+    for (graph::NodeId u = v + 1; u < 10; ++u) {
+      const bool same = (v < 5) == (u < 5);
+      if (same) edges.push_back({v, u});
+    }
+  }
+  edges.push_back({0, 5});  // one bridge
+  const auto g = graph::build_undirected(10, edges);
+  tensor::Tensor x(10, 4);
+  for (std::size_t v = 0; v < 10; ++v) {
+    x.at(v, v < 5 ? 0 : 1) = 1.0f;
+    x.at(v, 2) = static_cast<float>(rng.normal()) * 0.1f;
+  }
+  std::vector<std::int64_t> rows;
+  std::vector<int> labels;
+  for (std::int64_t v = 0; v < 10; ++v) {
+    rows.push_back(v);
+    labels.push_back(v < 5 ? 0 : 1);
+  }
+  ModelConfig mc;
+  mc.kind = ModelKind::kGcn;
+  mc.in_dim = 4;
+  mc.hidden_dim = 8;
+  mc.out_dim = 2;
+  mc.num_layers = 2;
+  mc.dropout = 0.0f;
+  GnnModel model(mc, rng);
+  Adam opt(model.parameters(), 0.05f);
+  double first_loss = 0.0;
+  double last_loss = 0.0;
+  for (int step = 0; step < 60; ++step) {
+    const auto logits = model.forward(g, x, true, rng);
+    const auto loss = softmax_cross_entropy(logits, rows, labels);
+    if (step == 0) first_loss = loss.loss;
+    last_loss = loss.loss;
+    opt.zero_grad();
+    model.backward(loss.grad_logits);
+    opt.step();
+  }
+  EXPECT_LT(last_loss, 0.25 * first_loss);
+  const auto logits = model.forward(g, x, false, rng);
+  EXPECT_DOUBLE_EQ(accuracy(logits, rows, labels), 1.0);
+}
+
+TEST(Model, RejectsInvalidConfig) {
+  Rng rng(11);
+  ModelConfig mc;
+  mc.num_layers = 0;
+  EXPECT_THROW(GnnModel(mc, rng), Error);
+  mc.num_layers = 1;
+  mc.dropout = 1.0f;
+  EXPECT_THROW(GnnModel(mc, rng), Error);
+}
+
+}  // namespace
+}  // namespace gnav::nn

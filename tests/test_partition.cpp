@@ -1,0 +1,201 @@
+// Tests for the graph partitioner and the Cluster-GCN-style sampler
+// built on it, plus the runtime knobs added for the extension categories
+// (INT8 feature compression, pipeline-overlap toggle).
+#include <gtest/gtest.h>
+
+#include "graph/dataset.hpp"
+#include "graph/generators.hpp"
+#include "graph/partition.hpp"
+#include "hw/platform.hpp"
+#include "runtime/backend.hpp"
+#include "runtime/templates.hpp"
+#include "sampling/cluster_sampler.hpp"
+#include "sampling/sampler_factory.hpp"
+#include "support/error.hpp"
+
+namespace gnav {
+namespace {
+
+graph::CsrGraph community_graph() {
+  Rng rng(5);
+  std::vector<int> blocks;
+  return graph::power_law_community_graph(800, 8, 2.3, 3, 80, 0.8, rng,
+                                          &blocks);
+}
+
+TEST(Partition, CoversAndBalances) {
+  const auto g = community_graph();
+  const auto part = graph::bfs_partition(g, 8);
+  EXPECT_NO_THROW(part.validate(g));
+  EXPECT_EQ(part.num_parts, 8);
+  // balance: every part within the 1.5x-average growth cap (+1 seed slack)
+  const std::size_t cap = (800 * 3) / (2 * 8) + 1;
+  std::size_t covered = 0;
+  for (const auto& members : part.members) {
+    EXPECT_LE(members.size(), cap + 1);
+    covered += members.size();
+  }
+  EXPECT_EQ(covered, 800u);
+}
+
+TEST(Partition, LocalityBeatsRandomAssignment) {
+  // BFS partitioning should cut far fewer edges than a random
+  // round-robin split with the same part count.
+  const auto g = community_graph();
+  const auto part = graph::bfs_partition(g, 8);
+  // A truly random assignment (note: v % 8 would coincide with the
+  // planted communities of the generator, which is the opposite of
+  // random here).
+  graph::Partitioning random;
+  random.num_parts = 8;
+  random.part_of.resize(static_cast<std::size_t>(g.num_nodes()));
+  random.members.resize(8);
+  Rng rng(77);
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    const int p = static_cast<int>(rng.uniform_index(8));
+    random.part_of[static_cast<std::size_t>(v)] = p;
+    random.members[static_cast<std::size_t>(p)].push_back(v);
+  }
+  EXPECT_LT(part.edge_cut_fraction(g),
+            0.8 * random.edge_cut_fraction(g));
+}
+
+TEST(Partition, EdgeCases) {
+  const auto g = community_graph();
+  EXPECT_THROW(graph::bfs_partition(g, 0), Error);
+  EXPECT_THROW(graph::bfs_partition(g, 801), Error);
+  const auto one = graph::bfs_partition(g, 1);
+  EXPECT_DOUBLE_EQ(one.edge_cut_fraction(g), 0.0);
+}
+
+TEST(ClusterSampler, BatchIsUnionOfClusters) {
+  const auto g = community_graph();
+  sampling::ClusterSampler sampler(/*num_parts=*/16,
+                                   /*max_clusters_per_batch=*/4);
+  const auto& part = sampler.partitioning(g);
+  Rng rng(9);
+  std::vector<graph::NodeId> seeds;
+  for (auto v : rng.sample_without_replacement(g.num_nodes(), 64)) {
+    seeds.push_back(v);
+  }
+  const auto mb = sampler.sample(g, seeds, rng);
+  EXPECT_NO_THROW(mb.validate(g));
+  // every non-seed batch node belongs to a cluster that contains a seed
+  std::set<int> seed_parts;
+  for (auto s : seeds) {
+    seed_parts.insert(part.part_of[static_cast<std::size_t>(s)]);
+  }
+  for (std::size_t i = seeds.size(); i < mb.nodes.size(); ++i) {
+    EXPECT_TRUE(seed_parts.contains(
+        part.part_of[static_cast<std::size_t>(mb.nodes[i])]));
+  }
+}
+
+TEST(ClusterSampler, DeterministicAndCached) {
+  const auto g = community_graph();
+  sampling::ClusterSampler sampler(16, 4);
+  const auto* first = &sampler.partitioning(g);
+  const auto* second = &sampler.partitioning(g);
+  EXPECT_EQ(first, second);  // partition computed once per graph
+  Rng a(1);
+  Rng b(1);
+  std::vector<graph::NodeId> seeds = {0, 5, 9, 100, 222};
+  EXPECT_EQ(sampler.sample(g, seeds, a).nodes,
+            sampler.sample(g, seeds, b).nodes);
+}
+
+TEST(ClusterSampler, AvailableThroughFactoryAndConfig) {
+  sampling::SamplerSettings s;
+  s.kind = sampling::SamplerKind::kCluster;
+  s.cluster_num_parts = 10;
+  const auto sampler = sampling::make_sampler(s, nullptr);
+  EXPECT_EQ(sampler->kind(), sampling::SamplerKind::kCluster);
+  EXPECT_EQ(sampling::sampler_kind_from_string("cluster"),
+            sampling::SamplerKind::kCluster);
+  EXPECT_EQ(sampling::to_string(sampling::SamplerKind::kCluster),
+            "cluster");
+}
+
+class RuntimeKnobs : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    graph::SyntheticSpec spec;
+    spec.name = "knobs";
+    spec.num_nodes = 700;
+    spec.num_classes = 4;
+    // Wide features so transfers are feature-dominated (the compression
+    // test measures the 4x payload shrink against structure overhead).
+    spec.feature_dim = 64;
+    spec.min_degree = 3;
+    spec.max_degree = 70;
+    dataset_ = new graph::Dataset(graph::make_synthetic_dataset(spec, 6));
+    backend_ = new runtime::RuntimeBackend(*dataset_,
+                                           hw::make_profile("rtx4090"));
+  }
+  static void TearDownTestSuite() {
+    delete backend_;
+    delete dataset_;
+  }
+  static graph::Dataset* dataset_;
+  static runtime::RuntimeBackend* backend_;
+};
+
+graph::Dataset* RuntimeKnobs::dataset_ = nullptr;
+runtime::RuntimeBackend* RuntimeKnobs::backend_ = nullptr;
+
+TEST_F(RuntimeKnobs, ClusterSamplerTrainsEndToEnd) {
+  runtime::TrainConfig c = runtime::template_pyg();
+  c.sampler = sampling::SamplerKind::kCluster;
+  c.hop_list = {-1};
+  c.batch_size = 128;
+  runtime::RunOptions opts;
+  opts.epochs = 2;
+  const auto r = backend_->run(c, opts);
+  EXPECT_GT(r.test_accuracy, 0.3);
+  EXPECT_GT(r.avg_batch_nodes, 0.0);
+}
+
+TEST_F(RuntimeKnobs, CompressionCutsTransferTime) {
+  runtime::TrainConfig base = runtime::template_pyg();
+  base.batch_size = 128;
+  runtime::TrainConfig compressed = base;
+  compressed.compress_features = true;
+  runtime::RunOptions opts;
+  opts.epochs = 2;
+  const auto r0 = backend_->run(base, opts);
+  const auto r1 = backend_->run(compressed, opts);
+  EXPECT_LT(r1.epoch_phases.transfer_s, 0.6 * r0.epoch_phases.transfer_s);
+  // quantization noise must not destroy the model
+  EXPECT_GT(r1.test_accuracy, r0.test_accuracy - 0.1);
+}
+
+TEST_F(RuntimeKnobs, DisablingPipelineSlowsEpochs) {
+  runtime::TrainConfig base = runtime::template_pyg();
+  base.batch_size = 128;
+  runtime::TrainConfig sequential = base;
+  sequential.pipeline_overlap = false;
+  runtime::RunOptions opts;
+  opts.epochs = 1;
+  const auto r0 = backend_->run(base, opts);
+  const auto r1 = backend_->run(sequential, opts);
+  EXPECT_GT(r1.epoch_time_s, r0.epoch_time_s);
+  // sequential time equals the sum of phases
+  EXPECT_NEAR(r1.epoch_time_s, r1.epoch_phases.total(),
+              r1.epoch_time_s * 0.02);
+}
+
+TEST_F(RuntimeKnobs, NewKnobsRoundTripThroughGuidelines) {
+  runtime::TrainConfig c = runtime::template_pyg();
+  c.sampler = sampling::SamplerKind::kCluster;
+  c.hop_list = {-1};
+  c.compress_features = true;
+  c.pipeline_overlap = false;
+  const auto parsed = runtime::TrainConfig::from_config_map(
+      ConfigMap::parse(c.to_config_map().to_guideline_text()));
+  EXPECT_TRUE(parsed == c);
+  EXPECT_NE(c.summary().find("int8"), std::string::npos);
+  EXPECT_NE(c.summary().find("no-pipeline"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gnav

@@ -1,0 +1,219 @@
+// Cross-cutting property tests: parameterized sweeps asserting the
+// monotonicity and conservation laws the paper's analytic model relies
+// on, evaluated against the *real* runtime backend (not the estimator).
+#include <gtest/gtest.h>
+
+#include "graph/dataset.hpp"
+#include "graph/graph_stats.hpp"
+#include "hw/platform.hpp"
+#include "runtime/backend.hpp"
+#include "runtime/templates.hpp"
+#include "sampling/batch_size_model.hpp"
+#include "sampling/sampler_factory.hpp"
+#include "support/error.hpp"
+
+namespace gnav {
+namespace {
+
+/// Shared dataset/backend so the sweeps stay cheap.
+class PropertyFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    graph::SyntheticSpec spec;
+    spec.name = "property";
+    spec.num_nodes = 1200;
+    spec.num_classes = 6;
+    spec.feature_dim = 24;
+    spec.min_degree = 3;
+    spec.max_degree = 120;
+    dataset_ = new graph::Dataset(graph::make_synthetic_dataset(spec, 77));
+    backend_ = new runtime::RuntimeBackend(*dataset_,
+                                           hw::make_profile("rtx4090"));
+  }
+  static void TearDownTestSuite() {
+    delete backend_;
+    delete dataset_;
+  }
+  static runtime::TrainReport run(runtime::TrainConfig config,
+                                  int epochs = 1) {
+    runtime::RunOptions opts;
+    opts.epochs = epochs;
+    opts.evaluate_every_epoch = false;
+    return backend_->run(config, opts);
+  }
+  static graph::Dataset* dataset_;
+  static runtime::RuntimeBackend* backend_;
+};
+
+graph::Dataset* PropertyFixture::dataset_ = nullptr;
+runtime::RuntimeBackend* PropertyFixture::backend_ = nullptr;
+
+// --- Eq. 12: measured batch size is monotone in batch size & fanout ----
+
+class BatchSizeMonotonicity
+    : public PropertyFixture,
+      public ::testing::WithParamInterface<int> {};
+
+TEST_P(BatchSizeMonotonicity, MeasuredBatchGrowsWithSeedCount) {
+  const int fanout = GetParam();
+  double prev = 0.0;
+  for (std::size_t batch : {64u, 128u, 256u, 512u}) {
+    runtime::TrainConfig c = runtime::template_pyg();
+    c.batch_size = batch;
+    c.hop_list = {fanout, fanout};
+    const auto r = run(c);
+    EXPECT_GT(r.avg_batch_nodes, prev)
+        << "fanout " << fanout << " batch " << batch;
+    prev = r.avg_batch_nodes;
+    // Eq. 12 analytic expectation brackets the measurement within 2.5x
+    // both ways (the learned penalty closes the rest).
+    const auto profile = graph::profile_graph(dataset_->graph);
+    const double analytic = sampling::analytic_batch_size(
+        batch, c.hop_list, profile, 0.82);
+    EXPECT_GT(analytic, r.avg_batch_nodes / 2.5);
+    EXPECT_LT(analytic, r.avg_batch_nodes * 2.5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fanouts, BatchSizeMonotonicity,
+                         ::testing::Values(3, 8, 15));
+
+// --- Cache-ratio sweep: hit rate and memory monotone, time antitone ----
+
+class CacheRatioSweep
+    : public PropertyFixture,
+      public ::testing::WithParamInterface<cache::CachePolicy> {};
+
+TEST_P(CacheRatioSweep, HitUpTimeDownMemoryUp) {
+  double prev_hit = -1.0;
+  double prev_mem = -1.0;
+  double prev_time = 1e18;
+  for (double ratio : {0.05, 0.2, 0.5}) {
+    runtime::TrainConfig c = runtime::template_pyg();
+    c.batch_size = 256;
+    c.cache_ratio = ratio;
+    c.cache_policy = GetParam();
+    const auto r = run(c, 2);
+    EXPECT_GT(r.cache_hit_rate, prev_hit) << "ratio " << ratio;
+    // On this 1x-scale fixture the growing cache and the shrinking miss
+    // staging buffer can cancel to rounding, so memory is non-strict
+    // (Fig. 1a demonstrates the strict version at real scale).
+    EXPECT_GE(r.peak_memory_gb, prev_mem) << "ratio " << ratio;
+    EXPECT_LT(r.epoch_time_s, prev_time) << "ratio " << ratio;
+    prev_hit = r.cache_hit_rate;
+    prev_mem = r.peak_memory_gb;
+    prev_time = r.epoch_time_s;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, CacheRatioSweep,
+                         ::testing::Values(cache::CachePolicy::kStatic,
+                                           cache::CachePolicy::kLru,
+                                           cache::CachePolicy::kWeightedDegree),
+                         [](const auto& info) {
+                           return cache::to_string(info.param);
+                         });
+
+// --- Conservation: epoch time bounded by phases; wall between bounds ---
+
+class PhaseConservation
+    : public PropertyFixture,
+      public ::testing::WithParamInterface<const char*> {};
+
+TEST_P(PhaseConservation, OverlappedTimeBetweenMaxPhaseAndSum) {
+  runtime::TrainConfig c = runtime::template_by_name(GetParam());
+  c.batch_size = 256;
+  const auto r = run(c);
+  const auto& ph = r.epoch_phases;
+  const double host = ph.sample_s + ph.transfer_s;
+  const double device = ph.replace_s + ph.compute_s;
+  // Eq. 4: per-iteration max() accumulates to at least the larger
+  // pipeline and at most the sum of both.
+  EXPECT_GE(r.epoch_time_s, std::max(host, device) * 0.999);
+  EXPECT_LE(r.epoch_time_s, (host + device) * 1.001);
+}
+
+INSTANTIATE_TEST_SUITE_P(Templates, PhaseConservation,
+                         ::testing::Values("pyg", "pagraph-full",
+                                           "pagraph-low", "2pgraph",
+                                           "graphsaint", "fastgcn"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& ch : name) {
+                             if (ch == '-') ch = '_';
+                           }
+                           return name;
+                         });
+
+// --- Bias sweep: higher bias -> higher hit rate, lower transfer --------
+
+TEST_F(PropertyFixture, BiasRateMonotonicallyImprovesHitRate) {
+  double prev_hit = -1.0;
+  for (double bias : {0.0, 0.3, 0.6, 0.9}) {
+    runtime::TrainConfig c = runtime::template_pyg();
+    c.batch_size = 256;
+    c.cache_ratio = 0.25;
+    c.cache_policy = cache::CachePolicy::kStatic;
+    c.bias_rate = bias;
+    const auto r = run(c, 2);
+    EXPECT_GE(r.cache_hit_rate, prev_hit) << "bias " << bias;
+    prev_hit = r.cache_hit_rate;
+  }
+}
+
+// --- Hidden-dim sweep: compute time and model memory strictly grow -----
+
+TEST_F(PropertyFixture, HiddenDimGrowsComputeAndModelMemory) {
+  double prev_compute = 0.0;
+  double prev_model_mem = 0.0;
+  for (std::size_t hidden : {16u, 64u, 256u}) {
+    runtime::TrainConfig c = runtime::template_pyg();
+    c.batch_size = 256;
+    c.hidden_dim = hidden;
+    const auto r = run(c);
+    EXPECT_GT(r.epoch_phases.compute_s, prev_compute);
+    EXPECT_GT(r.mem_model_gb, prev_model_mem);
+    prev_compute = r.epoch_phases.compute_s;
+    prev_model_mem = r.mem_model_gb;
+  }
+}
+
+// --- Determinism across the whole backend for every sampler kind -------
+
+class BackendDeterminism
+    : public PropertyFixture,
+      public ::testing::WithParamInterface<sampling::SamplerKind> {};
+
+TEST_P(BackendDeterminism, IdenticalSeedsIdenticalReports) {
+  runtime::TrainConfig c = runtime::template_pyg();
+  c.sampler = GetParam();
+  if (GetParam() == sampling::SamplerKind::kCluster) {
+    c.hop_list = {-1};
+  } else if (GetParam() == sampling::SamplerKind::kSaintWalk) {
+    c.hop_list = {1, 1, 1};
+  } else {
+    c.hop_list = {5, 5};
+  }
+  c.batch_size = 256;
+  runtime::RunOptions opts;
+  opts.epochs = 1;
+  opts.seed = 99;
+  const auto a = backend_->run(c, opts);
+  const auto b = backend_->run(c, opts);
+  EXPECT_DOUBLE_EQ(a.epoch_time_s, b.epoch_time_s);
+  EXPECT_DOUBLE_EQ(a.peak_memory_gb, b.peak_memory_gb);
+  EXPECT_DOUBLE_EQ(a.test_accuracy, b.test_accuracy);
+  EXPECT_DOUBLE_EQ(a.avg_batch_nodes, b.avg_batch_nodes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Samplers, BackendDeterminism,
+                         ::testing::Values(sampling::SamplerKind::kNodeWise,
+                                           sampling::SamplerKind::kLayerWise,
+                                           sampling::SamplerKind::kSaintWalk,
+                                           sampling::SamplerKind::kCluster),
+                         [](const auto& info) {
+                           return sampling::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace gnav

@@ -1,0 +1,232 @@
+// Tests for TrainConfig validation/serialization, templates, the profiler,
+// and the runtime backend's Algo. 1 execution semantics.
+#include <gtest/gtest.h>
+
+#include "graph/dataset.hpp"
+#include "hw/platform.hpp"
+#include "runtime/backend.hpp"
+#include "runtime/profiler.hpp"
+#include "runtime/templates.hpp"
+#include "support/error.hpp"
+
+namespace gnav::runtime {
+namespace {
+
+graph::Dataset small_dataset() {
+  graph::SyntheticSpec spec;
+  spec.name = "unit";
+  spec.num_nodes = 600;
+  spec.num_classes = 4;
+  spec.feature_dim = 12;
+  spec.min_degree = 3;
+  spec.max_degree = 60;
+  return graph::make_synthetic_dataset(spec, 5);
+}
+
+TEST(TrainConfig, ValidationCatchesInconsistencies) {
+  TrainConfig c = template_pyg();
+  EXPECT_NO_THROW(c.validate());
+  c.hop_list.clear();
+  EXPECT_THROW(c.validate(), Error);
+  c = template_pyg();
+  c.cache_ratio = 0.5;  // ratio without policy
+  EXPECT_THROW(c.validate(), Error);
+  c = template_pyg();
+  c.bias_rate = 0.5;    // bias without cache
+  EXPECT_THROW(c.validate(), Error);
+  c = template_pagraph_full();
+  c.cache_ratio = 0.0;  // policy without ratio
+  EXPECT_THROW(c.validate(), Error);
+  c = template_pyg();
+  c.dropout = 1.0f;
+  EXPECT_THROW(c.validate(), Error);
+}
+
+TEST(TrainConfig, GuidelineTextRoundTrip) {
+  const TrainConfig original = template_2pgraph();
+  const std::string text = original.to_config_map().to_guideline_text();
+  const TrainConfig parsed =
+      TrainConfig::from_config_map(ConfigMap::parse(text));
+  EXPECT_TRUE(parsed == original);
+  EXPECT_NE(text.find("cacheratio"), std::string::npos);
+  EXPECT_NE(original.summary().find("2pgraph"), std::string::npos);
+}
+
+TEST(Templates, AllValidAndDistinct) {
+  const auto templates = all_templates();
+  EXPECT_GE(templates.size(), 6u);
+  for (std::size_t i = 0; i < templates.size(); ++i) {
+    EXPECT_NO_THROW(templates[i].validate());
+    for (std::size_t j = i + 1; j < templates.size(); ++j) {
+      EXPECT_FALSE(templates[i] == templates[j])
+          << templates[i].name << " duplicates " << templates[j].name;
+    }
+  }
+  EXPECT_EQ(template_by_name("pyg").cache_policy, cache::CachePolicy::kNone);
+  EXPECT_GT(template_by_name("pagraph-full").cache_ratio,
+            template_by_name("pagraph-low").cache_ratio);
+  EXPECT_GT(template_by_name("2pgraph").bias_rate, 0.0);
+  EXPECT_THROW(template_by_name("dgl"), Error);
+}
+
+TEST(Profiler, AccumulatesPhasesAndPeak) {
+  Profiler prof;
+  hw::IterationTimes t;
+  t.t_sample = 1.0;
+  t.t_transfer = 2.0;
+  t.t_replace = 0.5;
+  t.t_compute = 1.0;
+  prof.record_iteration(t);
+  prof.record_iteration(t);
+  EXPECT_DOUBLE_EQ(prof.epoch_phases().sample_s, 2.0);
+  EXPECT_DOUBLE_EQ(prof.epoch_wall_s(), 2.0 * 3.0);  // max(3, 1.5) per iter
+  EXPECT_EQ(prof.iterations(), 2u);
+  prof.record_device_memory(100.0);
+  prof.record_device_memory(50.0);
+  EXPECT_DOUBLE_EQ(prof.peak_device_bytes(), 100.0);
+  prof.reset_epoch();
+  EXPECT_DOUBLE_EQ(prof.epoch_wall_s(), 0.0);
+  EXPECT_DOUBLE_EQ(prof.peak_device_bytes(), 100.0);  // peak persists
+}
+
+TEST(RuntimeBackend, RunProducesConsistentReport) {
+  const auto ds = small_dataset();
+  RuntimeBackend backend(ds, hw::make_profile("rtx4090"));
+  TrainConfig config = template_pyg();
+  config.batch_size = 128;
+  config.hop_list = {5, 5};
+  RunOptions opts;
+  opts.epochs = 2;
+  opts.record_batch_sizes = true;
+  const TrainReport r = backend.run(config, opts);
+
+  EXPECT_EQ(r.epoch_times_s.size(), 2u);
+  EXPECT_GT(r.epoch_time_s, 0.0);
+  EXPECT_GT(r.peak_memory_gb, 0.0);
+  EXPECT_GE(r.test_accuracy, 0.0);
+  EXPECT_LE(r.test_accuracy, 1.0);
+  EXPECT_EQ(r.iterations_per_epoch, (ds.train_nodes.size() + 127) / 128);
+  EXPECT_EQ(r.per_batch_nodes.size(),
+            2 * r.iterations_per_epoch);
+  EXPECT_GT(r.avg_batch_nodes, 128.0);  // expansion beyond seeds
+  EXPECT_GT(r.model_parameters, 0u);
+  // Eq. 9 decomposition: components sum below the peak (plus overhead)
+  EXPECT_GT(r.peak_memory_gb,
+            r.mem_model_gb + r.mem_cache_gb);
+  // no cache -> zero hit rate and zero cache memory
+  EXPECT_DOUBLE_EQ(r.cache_hit_rate, 0.0);
+  EXPECT_DOUBLE_EQ(r.mem_cache_gb, 0.0);
+  // phase breakdown populated
+  EXPECT_GT(r.epoch_phases.sample_s, 0.0);
+  EXPECT_GT(r.epoch_phases.transfer_s, 0.0);
+  EXPECT_GT(r.epoch_phases.compute_s, 0.0);
+}
+
+TEST(RuntimeBackend, DeterministicGivenSeed) {
+  const auto ds = small_dataset();
+  RuntimeBackend backend(ds, hw::make_profile("rtx4090"));
+  TrainConfig config = template_pyg();
+  config.batch_size = 128;
+  RunOptions opts;
+  opts.epochs = 1;
+  opts.seed = 77;
+  const TrainReport a = backend.run(config, opts);
+  const TrainReport b = backend.run(config, opts);
+  EXPECT_DOUBLE_EQ(a.epoch_time_s, b.epoch_time_s);
+  EXPECT_DOUBLE_EQ(a.test_accuracy, b.test_accuracy);
+  opts.seed = 78;
+  const TrainReport c = backend.run(config, opts);
+  EXPECT_NE(a.epoch_time_s, c.epoch_time_s);
+}
+
+TEST(RuntimeBackend, CachingReducesEpochTime) {
+  const auto ds = small_dataset();
+  RuntimeBackend backend(ds, hw::make_profile("rtx4090"));
+  RunOptions opts;
+  opts.epochs = 2;
+  TrainConfig uncached = template_pyg();
+  uncached.batch_size = 128;
+  TrainConfig cached = template_pagraph_full();
+  cached.batch_size = 128;
+  const TrainReport r0 = backend.run(uncached, opts);
+  const TrainReport r1 = backend.run(cached, opts);
+  EXPECT_GT(r1.cache_hit_rate, 0.3);
+  EXPECT_LT(r1.epoch_time_s, r0.epoch_time_s);
+  EXPECT_GT(r1.mem_cache_gb, 0.0);
+  EXPECT_GT(r1.peak_memory_gb, r0.peak_memory_gb);
+  // transfer time shrinks; accuracy unaffected by caching (same math)
+  EXPECT_LT(r1.epoch_phases.transfer_s, r0.epoch_phases.transfer_s);
+  EXPECT_DOUBLE_EQ(r1.test_accuracy, r0.test_accuracy);
+}
+
+TEST(RuntimeBackend, DynamicCacheChargesReplacement) {
+  const auto ds = small_dataset();
+  RuntimeBackend backend(ds, hw::make_profile("rtx4090"));
+  RunOptions opts;
+  opts.epochs = 1;
+  TrainConfig lru = template_pyg();
+  lru.cache_ratio = 0.2;
+  lru.cache_policy = cache::CachePolicy::kLru;
+  const TrainReport r = backend.run(lru, opts);
+  EXPECT_GT(r.epoch_phases.replace_s, 0.0);
+  TrainConfig st = lru;
+  st.cache_policy = cache::CachePolicy::kStatic;
+  const TrainReport rs = backend.run(st, opts);
+  EXPECT_DOUBLE_EQ(rs.epoch_phases.replace_s, 0.0);
+}
+
+TEST(RuntimeBackend, ReorderDiscountsSampling) {
+  const auto ds = small_dataset();
+  RuntimeBackend backend(ds, hw::make_profile("rtx4090"));
+  RunOptions opts;
+  opts.epochs = 1;
+  TrainConfig base = template_pyg();
+  TrainConfig reordered = base;
+  reordered.reorder = true;
+  const double t0 = backend.run(base, opts).epoch_phases.sample_s;
+  const double t1 = backend.run(reordered, opts).epoch_phases.sample_s;
+  EXPECT_LT(t1, t0);
+  EXPECT_NEAR(t1 / t0, 0.85, 0.05);
+}
+
+TEST(RuntimeBackend, TrainingActuallyLearns) {
+  const auto ds = small_dataset();
+  RuntimeBackend backend(ds, hw::make_profile("rtx4090"));
+  TrainConfig config = template_pyg();
+  config.batch_size = 128;
+  RunOptions opts;
+  opts.epochs = 4;
+  const TrainReport r = backend.run(config, opts);
+  // loss decreases and accuracy beats chance (4 classes -> 0.25)
+  EXPECT_LT(r.epoch_loss.back(), r.epoch_loss.front());
+  EXPECT_GT(r.test_accuracy, 0.4);
+  EXPECT_GT(r.final_train_accuracy, 0.4);
+}
+
+TEST(RuntimeBackend, GatCostsMoreThanSage) {
+  const auto ds = small_dataset();
+  RuntimeBackend backend(ds, hw::make_profile("rtx4090"));
+  RunOptions opts;
+  opts.epochs = 1;
+  TrainConfig sage = template_pyg();
+  TrainConfig gat = sage;
+  gat.model = nn::ModelKind::kGat;
+  const TrainReport rs = backend.run(sage, opts);
+  const TrainReport rg = backend.run(gat, opts);
+  EXPECT_GT(rg.epoch_phases.compute_s, rs.epoch_phases.compute_s);
+  EXPECT_GT(rg.peak_memory_gb, rs.peak_memory_gb);
+}
+
+TEST(RuntimeBackend, AnalyticMemoryFormulasMatchReport) {
+  const auto ds = small_dataset();
+  RuntimeBackend backend(ds, hw::make_profile("rtx4090"));
+  TrainConfig config = template_pagraph_low();
+  RunOptions opts;
+  opts.epochs = 1;
+  const TrainReport r = backend.run(config, opts);
+  EXPECT_DOUBLE_EQ(r.mem_model_gb, backend.model_memory_gb(config));
+  EXPECT_DOUBLE_EQ(r.mem_cache_gb, backend.cache_memory_gb(config));
+}
+
+}  // namespace
+}  // namespace gnav::runtime

@@ -1,0 +1,249 @@
+// Unit tests for the support layer: RNG determinism and statistics,
+// string utilities, tables, config maps, and descriptive stats.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "support/config_map.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/string_utils.hpp"
+#include "support/table.hpp"
+
+namespace gnav {
+namespace {
+
+TEST(Error, CheckMacroThrowsWithMessage) {
+  try {
+    GNAV_CHECK(1 == 2, "custom context");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("custom context"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, UniformIndexBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.uniform_index(17), 17u);
+  }
+  EXPECT_THROW(rng.uniform_index(0), Error);
+}
+
+TEST(Rng, UniformIndexCoversAllValues) {
+  Rng rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.uniform_index(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(9);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(13);
+  const int n = 40000;
+  double sum = 0.0;
+  double sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(17);
+  const auto picks = rng.sample_without_replacement(100, 30);
+  EXPECT_EQ(picks.size(), 30u);
+  std::set<std::int64_t> s(picks.begin(), picks.end());
+  EXPECT_EQ(s.size(), 30u);
+  for (auto v : picks) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 100);
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementFullRange) {
+  Rng rng(19);
+  const auto picks = rng.sample_without_replacement(5, 9);
+  EXPECT_EQ(picks.size(), 5u);
+}
+
+TEST(Rng, SampleCumulativeRespectsWeights) {
+  Rng rng(23);
+  // weights 1, 0, 9 -> index 1 never drawn, index 2 ~90%.
+  const std::vector<double> cum = {1.0, 1.0, 10.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 5000; ++i) ++counts[rng.sample_cumulative(cum)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_GT(counts[2], 4000);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(29);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto orig = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(StringUtils, SplitAndTrim) {
+  const auto parts = split(" a, b ,,c ", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(StringUtils, ParseNumbers) {
+  EXPECT_DOUBLE_EQ(parse_double(" 2.5 "), 2.5);
+  EXPECT_EQ(parse_int("-42"), -42);
+  EXPECT_THROW(parse_double("abc"), Error);
+  EXPECT_THROW(parse_int("1.5"), Error);
+}
+
+TEST(StringUtils, JoinAndCase) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(to_lower("AbC"), "abc");
+  EXPECT_TRUE(starts_with("pagraph-full", "pagraph"));
+  EXPECT_TRUE(ends_with("pagraph-full", "full"));
+}
+
+TEST(Table, AsciiAndCsv) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b,eta", "2"});
+  EXPECT_EQ(t.row_count(), 2u);
+  const std::string ascii = t.to_ascii();
+  EXPECT_NE(ascii.find("alpha"), std::string::npos);
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"b,eta\""), std::string::npos);
+  EXPECT_THROW(t.add_row({"too", "many", "cells"}), Error);
+}
+
+TEST(ConfigMap, RoundTripThroughGuidelineText) {
+  ConfigMap cm;
+  cm.set("sampler", "sage");
+  cm.set_int("batchsize", 1024);
+  cm.set_double("cacheratio", 0.25);
+  cm.set_bool("reorder", true);
+  cm.set_int_list("hoplist", {10, 5});
+  const std::string text = cm.to_guideline_text();
+  const ConfigMap back = ConfigMap::parse(text);
+  EXPECT_EQ(back.get("sampler"), "sage");
+  EXPECT_EQ(back.get_int("batchsize"), 1024);
+  EXPECT_DOUBLE_EQ(back.get_double("cacheratio"), 0.25);
+  EXPECT_TRUE(back.get_bool("reorder"));
+  EXPECT_EQ(back.get_int_list("hoplist"), (std::vector<int>{10, 5}));
+}
+
+TEST(ConfigMap, ParseToleratesCommentsAndErrorsOnGarbage) {
+  const ConfigMap cm = ConfigMap::parse(
+      "# comment\n\nbatchsize = 256;\n// another\nname = x\n");
+  EXPECT_EQ(cm.get_int("batchsize"), 256);
+  EXPECT_EQ(cm.get("name"), "x");
+  EXPECT_THROW(ConfigMap::parse("not a kv line"), Error);
+  EXPECT_THROW(cm.get("missing"), Error);
+  EXPECT_EQ(cm.get_int_or("missing", 7), 7);
+}
+
+TEST(Stats, BasicMoments) {
+  const std::vector<double> xs = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_DOUBLE_EQ(variance(xs), 1.25);
+  EXPECT_DOUBLE_EQ(median({1, 3, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(min_of(xs), 1.0);
+  EXPECT_DOUBLE_EQ(max_of(xs), 4.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  EXPECT_DOUBLE_EQ(percentile({0, 10}, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(percentile({1, 2, 3, 4, 5}, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile({1, 2, 3, 4, 5}, 1.0), 5.0);
+  EXPECT_THROW(percentile({1.0}, 1.5), Error);
+}
+
+TEST(Stats, PearsonCorrelation) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+  std::vector<double> ny;
+  for (double v : y) ny.push_back(-v);
+  EXPECT_NEAR(pearson(x, ny), -1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(pearson(x, {1, 1, 1, 1, 1}), 0.0);
+}
+
+TEST(Stats, PowerLawAlphaRecovery) {
+  // Sample from a discrete power law with alpha=2.5 via inverse CDF and
+  // check the MLE lands nearby.
+  Rng rng(31);
+  std::vector<std::size_t> degs;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.uniform();
+    const double x = std::pow(1.0 - u, -1.0 / 1.5);  // Pareto alpha=2.5
+    degs.push_back(static_cast<std::size_t>(2.0 * x));
+  }
+  // The floor() discretization biases the continuous-MLE slightly low;
+  // a generous band still catches sign/shape regressions.
+  const double alpha = fit_power_law_alpha(degs, 2);
+  EXPECT_NEAR(alpha, 2.35, 0.35);
+}
+
+}  // namespace
+}  // namespace gnav

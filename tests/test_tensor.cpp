@@ -1,0 +1,187 @@
+// Tests for the dense tensor substrate: shapes, kernels, activations,
+// softmax, dropout, and numeric agreement between matmul variants.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/error.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/tensor.hpp"
+
+namespace gnav::tensor {
+namespace {
+
+Tensor make(std::size_t r, std::size_t c, std::initializer_list<float> vals) {
+  Tensor t(r, c);
+  std::size_t i = 0;
+  for (float v : vals) t.data()[i++] = v;
+  return t;
+}
+
+TEST(Tensor, ConstructionAndFill) {
+  Tensor t(2, 3, 1.5f);
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.cols(), 3u);
+  EXPECT_EQ(t.size(), 6u);
+  EXPECT_FLOAT_EQ(t.at(1, 2), 1.5f);
+  t.zero();
+  EXPECT_DOUBLE_EQ(t.sum(), 0.0);
+  EXPECT_EQ(t.shape_str(), "[2 x 3]");
+}
+
+TEST(Tensor, GlorotBoundsAndDeterminism) {
+  Rng a(5);
+  Rng b(5);
+  const Tensor x = Tensor::glorot(16, 48, a);
+  const Tensor y = Tensor::glorot(16, 48, b);
+  const double limit = std::sqrt(6.0 / (16 + 48));
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_LE(std::abs(x.data()[i]), limit);
+    EXPECT_FLOAT_EQ(x.data()[i], y.data()[i]);
+  }
+}
+
+TEST(Ops, MatmulKnownResult) {
+  const Tensor a = make(2, 3, {1, 2, 3, 4, 5, 6});
+  const Tensor b = make(3, 2, {7, 8, 9, 10, 11, 12});
+  const Tensor c = matmul(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 64.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 139.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 154.0f);
+  EXPECT_THROW(matmul(a, a), Error);
+}
+
+TEST(Ops, MatmulVariantsAgreeWithExplicitTranspose) {
+  Rng rng(9);
+  const Tensor a = Tensor::uniform(7, 5, -1, 1, rng);
+  const Tensor b = Tensor::uniform(7, 4, -1, 1, rng);
+  const Tensor c = Tensor::uniform(6, 5, -1, 1, rng);
+  // A^T B == matmul(transpose(A), B)
+  const Tensor atb = matmul_at_b(a, b);
+  const Tensor atb_ref = matmul(transpose(a), b);
+  ASSERT_TRUE(atb.same_shape(atb_ref));
+  for (std::size_t i = 0; i < atb.size(); ++i) {
+    EXPECT_NEAR(atb.data()[i], atb_ref.data()[i], 1e-4);
+  }
+  // A B^T == matmul(A, transpose(B))
+  const Tensor ref = matmul(c, transpose(a));
+  const Tensor got = matmul_a_bt(c, a);
+  ASSERT_TRUE(got.same_shape(ref));
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got.data()[i], ref.data()[i], 1e-4);
+  }
+}
+
+TEST(Ops, ElementwiseAndAxpy) {
+  const Tensor a = make(1, 3, {1, 2, 3});
+  const Tensor b = make(1, 3, {4, 5, 6});
+  EXPECT_FLOAT_EQ(add(a, b).at(0, 2), 9.0f);
+  EXPECT_FLOAT_EQ(sub(b, a).at(0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(hadamard(a, b).at(0, 1), 10.0f);
+  Tensor y = a;
+  axpy(y, 2.0f, b);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 9.0f);
+  scale_inplace(y, 0.5f);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 4.5f);
+  Tensor z = a;
+  EXPECT_THROW(add_inplace(z, Tensor(2, 2)), Error);
+}
+
+TEST(Ops, BiasBroadcastAndColumnSum) {
+  Tensor a = make(2, 2, {1, 2, 3, 4});
+  const Tensor bias = make(1, 2, {10, 20});
+  add_row_bias_inplace(a, bias);
+  EXPECT_FLOAT_EQ(a.at(0, 0), 11.0f);
+  EXPECT_FLOAT_EQ(a.at(1, 1), 24.0f);
+  const Tensor cs = column_sum(a);
+  EXPECT_FLOAT_EQ(cs.at(0, 0), 11.0f + 13.0f);
+  EXPECT_FLOAT_EQ(cs.at(0, 1), 22.0f + 24.0f);
+}
+
+TEST(Ops, ActivationsAndBackward) {
+  const Tensor z = make(1, 4, {-2, -0.5, 0.5, 2});
+  const Tensor r = relu(z);
+  EXPECT_FLOAT_EQ(r.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(r.at(0, 3), 2.0f);
+  const Tensor g = make(1, 4, {1, 1, 1, 1});
+  const Tensor rb = relu_backward(g, z);
+  EXPECT_FLOAT_EQ(rb.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(rb.at(0, 2), 1.0f);
+
+  const Tensor e = elu(z);
+  EXPECT_NEAR(e.at(0, 0), std::exp(-2.0f) - 1.0f, 1e-6);
+  EXPECT_FLOAT_EQ(e.at(0, 3), 2.0f);
+  const Tensor eb = elu_backward(g, z);
+  EXPECT_NEAR(eb.at(0, 1), std::exp(-0.5f), 1e-6);
+  EXPECT_FLOAT_EQ(eb.at(0, 2), 1.0f);
+
+  const Tensor l = leaky_relu(z, 0.1f);
+  EXPECT_FLOAT_EQ(l.at(0, 0), -0.2f);
+  const Tensor lb = leaky_relu_backward(g, z, 0.1f);
+  EXPECT_FLOAT_EQ(lb.at(0, 0), 0.1f);
+  EXPECT_FLOAT_EQ(lb.at(0, 3), 1.0f);
+}
+
+TEST(Ops, SoftmaxRowsNormalized) {
+  const Tensor logits = make(2, 3, {1, 2, 3, 1000, 1000, 1000});
+  const Tensor p = softmax_rows(logits);
+  for (std::size_t r = 0; r < 2; ++r) {
+    double total = 0.0;
+    for (std::size_t c = 0; c < 3; ++c) total += p.at(r, c);
+    EXPECT_NEAR(total, 1.0, 1e-5);
+  }
+  EXPECT_GT(p.at(0, 2), p.at(0, 1));
+  EXPECT_NEAR(p.at(1, 0), 1.0 / 3.0, 1e-5);  // stable at huge logits
+}
+
+TEST(Ops, ArgmaxAndGather) {
+  const Tensor a = make(3, 2, {1, 5, 9, 2, 4, 4});
+  const auto am = argmax_rows(a);
+  EXPECT_EQ(am, (std::vector<int>{1, 0, 0}));  // tie -> first
+  const Tensor g = gather_rows(a, {2, 0});
+  EXPECT_FLOAT_EQ(g.at(0, 0), 4.0f);
+  EXPECT_FLOAT_EQ(g.at(1, 1), 5.0f);
+  EXPECT_THROW(gather_rows(a, {3}), Error);
+}
+
+TEST(Ops, DropoutMaskAndScaling) {
+  Rng rng(21);
+  Tensor ones = Tensor::ones(50, 40);
+  Tensor mask;
+  const float p = 0.4f;
+  const Tensor dropped = dropout(ones, p, rng, &mask);
+  std::size_t zeros = 0;
+  for (std::size_t i = 0; i < dropped.size(); ++i) {
+    if (dropped.data()[i] == 0.0f) {
+      ++zeros;
+      EXPECT_FLOAT_EQ(mask.data()[i], 0.0f);
+    } else {
+      EXPECT_NEAR(dropped.data()[i], 1.0f / (1.0f - p), 1e-5);
+    }
+  }
+  const double frac = static_cast<double>(zeros) / dropped.size();
+  EXPECT_NEAR(frac, p, 0.05);
+  // E[dropout(x)] = x (inverted dropout)
+  EXPECT_NEAR(dropped.sum() / dropped.size(), 1.0, 0.08);
+  // backward applies the identical mask
+  const Tensor grad = dropout_backward(ones, mask);
+  for (std::size_t i = 0; i < grad.size(); ++i) {
+    EXPECT_FLOAT_EQ(grad.data()[i], mask.data()[i]);
+  }
+  EXPECT_THROW(dropout(ones, 1.0f, rng, nullptr), Error);
+}
+
+TEST(Ops, DropoutZeroProbIsIdentity) {
+  Rng rng(22);
+  const Tensor x = Tensor::uniform(4, 4, -1, 1, rng);
+  Tensor mask;
+  const Tensor y = dropout(x, 0.0f, rng, &mask);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_FLOAT_EQ(y.data()[i], x.data()[i]);
+    EXPECT_FLOAT_EQ(mask.data()[i], 1.0f);
+  }
+}
+
+}  // namespace
+}  // namespace gnav::tensor
