@@ -25,7 +25,12 @@ struct Task {
 
 std::string delta_time(double t, double pyg_t) {
   if (t == pyg_t) return "";
-  return "(" + format_double(pyg_t / t, 1) + "x)";
+  // Piecewise append avoids GCC 12's -Wrestrict false positive on chained
+  // operator+ (GCC PR105329).
+  std::string s = "(";
+  s += format_double(pyg_t / t, 1);
+  s += "x)";
+  return s;
 }
 
 std::string delta_mem(double m, double pyg_m) {

@@ -1,7 +1,7 @@
 // gnavigator_cli — command-line front end for the full workflow.
 //
-//   gnavigator_cli --dataset reddit2 --model sage --hw rtx4090 \
-//                  --priority ex-tm --max-memory-gb 8 --epochs 4 \
+//   gnavigator_cli --dataset reddit2 --model sage --hw rtx4090
+//                  --priority ex-tm --max-memory-gb 8 --epochs 4
 //                  [--corpus corpus.csv] [--save-corpus corpus.csv]
 //
 // Runs Step 1 (input analysis), Step 2 (guideline generation — reusing a

@@ -23,6 +23,12 @@ namespace gnav::cache {
 
 enum class CachePolicy { kNone, kStatic, kLru, kFifo, kWeightedDegree };
 
+/// Device-side bookkeeping per cached row: the resident-set index entry
+/// (global vertex id → cache slot). Charged by the memory model (Eq. 9's
+/// Γ_cache) on top of the feature payload, so a cache is never free even
+/// when every cached row would otherwise have been staged.
+inline constexpr double kIndexBytesPerRow = 8.0;
+
 std::string to_string(CachePolicy policy);
 CachePolicy cache_policy_from_string(const std::string& s);
 

@@ -2,6 +2,7 @@
 
 #include "support/error.hpp"
 #include "support/log.hpp"
+#include "support/parallel.hpp"
 
 namespace gnav::dse {
 namespace {
@@ -42,19 +43,16 @@ double Explorer::memory_lower_bound_gb(
 
 void Explorer::dfs(std::vector<std::size_t>& levels, std::size_t axis,
                    const RuntimeConstraints& constraints,
-                   ExplorationResult& result) const {
+                   ExplorationResult& result,
+                   std::vector<runtime::TrainConfig>& leaves) const {
   const auto& axes = space_->axes();
   if (axis == axes.size()) {
+    // Pruning never looks at predictions, so surviving leaves are only
+    // collected here and scored in one parallel wave afterwards.
     runtime::TrainConfig config;
     if (!space_->materialize(levels, &config)) return;
     ++result.stats.leaves_evaluated;
-    Candidate cand;
-    cand.config = config;
-    cand.predicted = estimator_->predict(config, stats_);
-    if (satisfies(cand.predicted, constraints)) {
-      result.feasible.push_back(std::move(cand));
-      ++result.stats.feasible;
-    }
+    leaves.push_back(std::move(config));
     return;
   }
   for (std::size_t level = 0; level < axes[axis].cardinality; ++level) {
@@ -67,9 +65,24 @@ void Explorer::dfs(std::vector<std::size_t>& levels, std::size_t axis,
         continue;
       }
     }
-    dfs(levels, axis + 1, constraints, result);
+    dfs(levels, axis + 1, constraints, result, leaves);
   }
   levels[axis] = 0;
+}
+
+void Explorer::evaluate_candidates(
+    const std::vector<runtime::TrainConfig>& configs,
+    const RuntimeConstraints& constraints, ExplorationResult& result) const {
+  std::vector<estimator::PerfPrediction> predictions(configs.size());
+  support::ThreadPool& pool = pool_ ? *pool_ : support::global_pool();
+  pool.parallel_for(0, configs.size(), [&](std::size_t i) {
+    predictions[i] = estimator_->predict(configs[i], stats_);
+  });
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    if (!satisfies(predictions[i], constraints)) continue;
+    result.feasible.push_back(Candidate{configs[i], predictions[i]});
+    ++result.stats.feasible;
+  }
 }
 
 void Explorer::finish_result(ExplorationResult& result) const {
@@ -84,6 +97,7 @@ ExplorationResult Explorer::explore(
     const std::vector<runtime::TrainConfig>& initial_templates) const {
   ExplorationResult result;
   // Initial set: reproductions of existing works (paper Fig. 4 step 1).
+  std::vector<runtime::TrainConfig> candidates;
   for (const runtime::TrainConfig& t : initial_templates) {
     runtime::TrainConfig cfg = t;
     // Pin application-fixed fields so templates compete fairly.
@@ -93,16 +107,11 @@ ExplorationResult Explorer::explore(
     cfg.learning_rate = space_->base().learning_rate;
     cfg.validate();
     ++result.stats.leaves_evaluated;
-    Candidate cand;
-    cand.config = cfg;
-    cand.predicted = estimator_->predict(cfg, stats_);
-    if (satisfies(cand.predicted, constraints)) {
-      result.feasible.push_back(std::move(cand));
-      ++result.stats.feasible;
-    }
+    candidates.push_back(std::move(cfg));
   }
   std::vector<std::size_t> levels(space_->axes().size(), 0);
-  dfs(levels, 0, constraints, result);
+  dfs(levels, 0, constraints, result, candidates);
+  evaluate_candidates(candidates, constraints, result);
   finish_result(result);
   log_info("DFS explored ", result.stats.leaves_evaluated, " leaves, pruned ",
            result.stats.subtrees_pruned, " subtrees, ",
@@ -114,17 +123,10 @@ ExplorationResult Explorer::explore(
 ExplorationResult Explorer::explore_exhaustive(
     const RuntimeConstraints& constraints) const {
   ExplorationResult result;
-  for (const runtime::TrainConfig& config : space_->enumerate()) {
-    ++result.stats.nodes_visited;
-    ++result.stats.leaves_evaluated;
-    Candidate cand;
-    cand.config = config;
-    cand.predicted = estimator_->predict(config, stats_);
-    if (satisfies(cand.predicted, constraints)) {
-      result.feasible.push_back(std::move(cand));
-      ++result.stats.feasible;
-    }
-  }
+  const std::vector<runtime::TrainConfig> configs = space_->enumerate();
+  result.stats.nodes_visited = configs.size();
+  result.stats.leaves_evaluated = configs.size();
+  evaluate_candidates(configs, constraints, result);
   finish_result(result);
   return result;
 }

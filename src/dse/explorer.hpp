@@ -20,6 +20,10 @@
 #include "dse/pareto.hpp"
 #include "estimator/perf_estimator.hpp"
 
+namespace gnav::support {
+class ThreadPool;
+}
+
 namespace gnav::dse {
 
 struct Candidate {
@@ -59,12 +63,23 @@ class Explorer {
   ExplorationResult explore_exhaustive(
       const RuntimeConstraints& constraints) const;
 
+  /// Pool the candidate predictions fan out on (nullptr → global pool).
+  /// Results are identical at any pool size: candidate order is fixed by
+  /// the traversal, prediction is pure, and feasibility filtering runs
+  /// serially afterwards.
+  void set_pool(support::ThreadPool* pool) { pool_ = pool; }
+
  private:
   bool satisfies(const estimator::PerfPrediction& p,
                  const RuntimeConstraints& c) const;
   void dfs(std::vector<std::size_t>& levels, std::size_t axis,
-           const RuntimeConstraints& constraints, ExplorationResult& result)
-      const;
+           const RuntimeConstraints& constraints, ExplorationResult& result,
+           std::vector<runtime::TrainConfig>& leaves) const;
+  /// Predicts `configs` concurrently, then appends the feasible ones to
+  /// `result` in input order.
+  void evaluate_candidates(const std::vector<runtime::TrainConfig>& configs,
+                           const RuntimeConstraints& constraints,
+                           ExplorationResult& result) const;
   /// Sound lower bounds for pruning at a partial assignment (axes
   /// [0, axis) fixed).
   double memory_lower_bound_gb(const std::vector<std::size_t>& levels,
@@ -74,6 +89,7 @@ class Explorer {
   const DesignSpace* space_;
   const estimator::PerfEstimator* estimator_;
   estimator::DatasetStats stats_;
+  support::ThreadPool* pool_ = nullptr;
 };
 
 }  // namespace gnav::dse

@@ -86,8 +86,11 @@ double PerfEstimator::analytic_cache_memory_gb(
   const double capacity =
       config.cache_ratio * static_cast<double>(stats.profile.num_nodes);
   const double feat_bytes = static_cast<double>(stats.feature_dim) * 4.0;
-  return capacity * feat_bytes * stats.real_scale_factor *
-         stats.real_feature_scale / kBytesPerGb;
+  // Mirrors RuntimeBackend::cache_memory_gb: payload + per-row index.
+  return capacity *
+         (feat_bytes * stats.real_feature_scale +
+          cache::kIndexBytesPerRow) *
+         stats.real_scale_factor / kBytesPerGb;
 }
 
 double PerfEstimator::predict_time_analytic(
@@ -139,6 +142,29 @@ double PerfEstimator::predict_time_analytic(
 
 void PerfEstimator::fit(const std::vector<ProfiledRun>& runs) {
   GNAV_CHECK(runs.size() >= 8, "estimator needs a reasonable corpus");
+
+  // Scale boosting capacity to the corpus: the default 80 rounds of
+  // depth-3 trees can memorize a small corpus outright, which makes the
+  // fit chaotic (bit-level input changes flip early splits and swing
+  // out-of-sample r2 by >0.5) and lets residual extrapolation override
+  // white-box monotonicity far from the training distribution. Shallow,
+  // short boosting keeps small-corpus residuals a smooth correction.
+  {
+    ml::BoostingParams params;
+    if (runs.size() < 96) {
+      params.num_rounds = 40;
+      params.learning_rate = 0.1;
+      params.tree.max_depth = 2;
+      params.tree.min_samples_leaf = 4;
+      params.tree.min_samples_split = 8;
+    }
+    hit_model_ = ml::GradientBoostingRegressor(params);
+    density_model_ = ml::GradientBoostingRegressor(params);
+    work_model_ = ml::GradientBoostingRegressor(params);
+    time_residual_ = ml::GradientBoostingRegressor(params);
+    mem_residual_ = ml::GradientBoostingRegressor(params);
+    acc_model_ = ml::GradientBoostingRegressor(params);
+  }
 
   // Stage 1: intermediate quantity models.
   batch_model_.fit(runs);

@@ -2,6 +2,7 @@
 
 #include "support/error.hpp"
 #include "support/log.hpp"
+#include "support/parallel.hpp"
 
 namespace gnav::estimator {
 
@@ -82,20 +83,27 @@ std::vector<ProfiledRun> collect_profiles(const graph::Dataset& dataset,
   const DatasetStats stats = compute_dataset_stats(dataset);
   Rng rng(options.seed ^
           std::hash<std::string>{}(dataset.name));
-  std::vector<ProfiledRun> out;
-  out.reserve(static_cast<std::size_t>(options.configs_per_dataset));
-  runtime::RunOptions ro;
-  ro.epochs = options.epochs;
-  ro.evaluate_every_epoch = false;
-  ro.record_batch_sizes = true;
-  for (int i = 0; i < options.configs_per_dataset; ++i) {
-    ProfiledRun run;
-    run.stats = stats;
-    run.config = random_config(rng);
-    ro.seed = options.seed + static_cast<std::uint64_t>(i) * 7919ULL;
-    run.report = backend.run(run.config, ro);
-    out.push_back(std::move(run));
+  const auto n = static_cast<std::size_t>(options.configs_per_dataset);
+  std::vector<ProfiledRun> out(n);
+  // Configs come from one serial RNG stream (order-sensitive); the runs
+  // themselves are independent — each is seeded by its index — so they
+  // fan out across the pool. This is the profiling hot path: a corpus is
+  // configs_per_dataset full training runs per dataset.
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i].stats = stats;
+    out[i].config = random_config(rng);
   }
+  support::ThreadPool& pool =
+      options.pool ? *options.pool : support::global_pool();
+  pool.parallel_for(0, n, [&](std::size_t i) {
+    runtime::RunOptions ro;
+    ro.epochs = options.epochs;
+    ro.evaluate_every_epoch = false;
+    ro.record_batch_sizes = true;
+    ro.seed = options.seed + static_cast<std::uint64_t>(i) * 7919ULL;
+    ro.pool = &pool;
+    out[i].report = backend.run(out[i].config, ro);
+  });
   log_info("profiled ", out.size(), " runs on ", dataset.name);
   return out;
 }

@@ -15,6 +15,10 @@
 #include "runtime/backend.hpp"
 #include "runtime/train_config.hpp"
 
+namespace gnav::support {
+class ThreadPool;
+}
+
 namespace gnav::estimator {
 
 struct ProfiledRun {
@@ -30,6 +34,10 @@ struct CollectorOptions {
   /// use the short-horizon value, which is what the DSE compares anyway).
   int epochs = 2;
   std::uint64_t seed = 99;
+  /// Pool the profiled runs execute on (nullptr → global pool). Configs
+  /// are drawn serially from one RNG and every run is seeded by its
+  /// index, so the corpus is bit-identical at any pool size.
+  support::ThreadPool* pool = nullptr;
 };
 
 /// Draws a random-but-valid configuration from the full design space.

@@ -10,6 +10,7 @@
 #include "sampling/sampler_factory.hpp"
 #include "support/error.hpp"
 #include "support/log.hpp"
+#include "support/parallel.hpp"
 #include "tensor/ops.hpp"
 
 namespace gnav::runtime {
@@ -73,9 +74,13 @@ double RuntimeBackend::model_memory_gb(const TrainConfig& config) const {
 double RuntimeBackend::cache_memory_gb(const TrainConfig& config) const {
   const double capacity =
       config.cache_ratio * static_cast<double>(dataset_->num_nodes());
-  return capacity * static_cast<double>(dataset_->feature_bytes_per_node()) *
-         dataset_->real_scale_factor * dataset_->real_feature_scale /
-         kBytesPerGb;
+  // Feature payload extrapolates by feature width; the per-row index
+  // entry only by the row count.
+  return capacity *
+         (static_cast<double>(dataset_->feature_bytes_per_node()) *
+              dataset_->real_feature_scale +
+          cache::kIndexBytesPerRow) *
+         dataset_->real_scale_factor / kBytesPerGb;
 }
 
 TrainReport RuntimeBackend::run(const TrainConfig& config,
@@ -145,6 +150,13 @@ TrainReport RuntimeBackend::run(const TrainConfig& config,
   const double sampling_discount =
       config.reorder ? kReorderSamplingDiscount : 1.0;
 
+  // Cache-aware bias couples batch i's sampling to batch i-1's cache
+  // update through the residency bitmap, so it forces the serial path;
+  // everything else pre-builds mini-batches concurrently.
+  const bool biased_sampling = preference != nullptr;
+  support::ThreadPool& pool =
+      options.pool ? *options.pool : support::global_pool();
+
   // --- Algo. 1 main loop ------------------------------------------------
   for (int epoch = 0; epoch < options.epochs; ++epoch) {
     profiler.reset_epoch();
@@ -152,10 +164,13 @@ TrainReport RuntimeBackend::run(const TrainConfig& config,
     std::size_t correct = 0;
     std::size_t total = 0;
 
-    for (const auto& seeds : batcher.epoch_batches(rng)) {
-      // Component 1: sampling on host.
-      sampling::MiniBatch mb = sampler->sample(ds.graph, seeds, rng);
+    // Seed of batch i this epoch: task_seed(epoch_seed, i) in both the
+    // serial and parallel paths, so bias is the only behavioral delta.
+    const std::uint64_t epoch_seed = support::task_seed(
+        options.seed ^ 0xB47C4E5EEDULL, static_cast<std::uint64_t>(epoch));
+    const auto seed_batches = batcher.epoch_batches(rng);
 
+    auto train_step = [&](const sampling::MiniBatch& mb) {
       // Component 2: transmission (cache lookup -> transfer misses).
       const cache::LookupResult lookup =
           device_cache.lookup_and_update(mb.nodes);
@@ -239,6 +254,24 @@ TrainReport RuntimeBackend::run(const TrainConfig& config,
         report.per_batch_nodes.push_back(
             static_cast<double>(mb.num_nodes()));
       }
+    };
+
+    if (biased_sampling) {
+      // Component 1, serial: sampling must observe the cache residency
+      // left behind by the previous iteration's update.
+      for (std::size_t i = 0; i < seed_batches.size(); ++i) {
+        Rng batch_rng(support::task_seed(epoch_seed, i));
+        train_step(sampler->sample(ds.graph, seed_batches[i], batch_rng));
+      }
+    } else {
+      // Component 1, parallel: workers build batch i+1..i+w while the
+      // inherently serial cache/train steps consume batch i (PyG
+      // num_workers-style prefetching). The window caps live mini-batch
+      // memory at ~4 per worker.
+      const std::size_t window = std::max<std::size_t>(8, pool.size() * 4);
+      sampling::MiniBatchLoader loader(*sampler, ds.graph, seed_batches,
+                                       epoch_seed, pool, window);
+      while (!loader.done()) train_step(loader.next());
     }
 
     report.epoch_times_s.push_back(profiler.epoch_wall_s() * time_scale);

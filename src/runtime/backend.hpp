@@ -20,6 +20,10 @@
 #include "runtime/profiler.hpp"
 #include "runtime/train_config.hpp"
 
+namespace gnav::support {
+class ThreadPool;
+}
+
 namespace gnav::runtime {
 
 struct TrainReport {
@@ -62,6 +66,10 @@ struct RunOptions {
   bool evaluate_every_epoch = true;
   /// Collect per-batch |V_i| samples (Fig. 5 ground truth).
   bool record_batch_sizes = false;
+  /// Pool for concurrent mini-batch construction (nullptr → global pool).
+  /// Results are bit-identical at any pool size: every batch draws from
+  /// its own task_seed-derived RNG.
+  support::ThreadPool* pool = nullptr;
 };
 
 class RuntimeBackend {

@@ -23,23 +23,25 @@ std::vector<int> ClusterSampler::hop_list() const {
   return {-1};
 }
 
-const graph::Partitioning& ClusterSampler::partitioning(
+std::shared_ptr<const graph::Partitioning> ClusterSampler::partitioning(
     const graph::CsrGraph& g) const {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
   if (cached_graph_ != &g) {
     const int parts = static_cast<int>(
         std::min<graph::NodeId>(num_parts_, g.num_nodes()));
-    cached_partition_ = std::make_unique<graph::Partitioning>(
+    cached_partition_ = std::make_shared<const graph::Partitioning>(
         graph::bfs_partition(g, parts));
     cached_graph_ = &g;
   }
-  return *cached_partition_;
+  return cached_partition_;
 }
 
 MiniBatch ClusterSampler::sample(const graph::CsrGraph& g,
                                  std::span<const graph::NodeId> seeds,
                                  Rng& rng) const {
   GNAV_CHECK(!seeds.empty(), "cannot sample from an empty seed set");
-  const graph::Partitioning& part = partitioning(g);
+  const auto part_ptr = partitioning(g);
+  const graph::Partitioning& part = *part_ptr;
 
   // Count seeds per cluster, keep the most seed-heavy clusters.
   std::unordered_map<int, int> seed_count;

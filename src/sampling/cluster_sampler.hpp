@@ -10,6 +10,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 
 #include "graph/partition.hpp"
 #include "sampling/sampler.hpp"
@@ -29,17 +30,22 @@ class ClusterSampler final : public Sampler {
   std::vector<int> hop_list() const override;
 
   /// Exposed for tests: the partitioning used for `g` (computes it if
-  /// not cached yet).
-  const graph::Partitioning& partitioning(const graph::CsrGraph& g) const;
+  /// not cached yet). Returned as a shared_ptr so a concurrent reader
+  /// keeps its partition alive even if another thread switches the
+  /// sampler to a different graph.
+  std::shared_ptr<const graph::Partitioning> partitioning(
+      const graph::CsrGraph& g) const;
 
  private:
   int num_parts_;
   int max_clusters_per_batch_;
   // Lazy per-graph cache; the sampler outlives many sample() calls on the
   // same parent graph, and rebuilding the partition per batch would
-  // dominate runtime. Single-threaded by design.
+  // dominate runtime. Mutex-guarded so concurrent batch construction
+  // (support/parallel) can share one sampler instance.
+  mutable std::mutex cache_mutex_;
   mutable const graph::CsrGraph* cached_graph_ = nullptr;
-  mutable std::unique_ptr<graph::Partitioning> cached_partition_;
+  mutable std::shared_ptr<const graph::Partitioning> cached_partition_;
 };
 
 }  // namespace gnav::sampling

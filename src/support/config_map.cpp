@@ -33,7 +33,12 @@ void ConfigMap::set_int_list(const std::string& key,
   std::vector<std::string> parts;
   parts.reserve(values.size());
   for (int v : values) parts.push_back(std::to_string(v));
-  set(key, "[" + join(parts, ",") + "]");
+  // Appending piecewise sidesteps GCC 12's -Wrestrict false positive on
+  // chained operator+ (GCC PR105329).
+  std::string value = "[";
+  value += join(parts, ",");
+  value += "]";
+  set(key, std::move(value));
 }
 
 bool ConfigMap::contains(const std::string& key) const {

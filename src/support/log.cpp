@@ -1,10 +1,11 @@
 #include "support/log.hpp"
 
+#include <atomic>
 #include <cstdio>
 
 namespace gnav {
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
 
 const char* level_tag(LogLevel level) {
   switch (level) {

@@ -1,8 +1,9 @@
 // Minimal leveled logger.
 //
 // Benchmarks and the DSE explorer emit progress through this logger so
-// tests can silence it globally. Not thread-safe by design: the library
-// is single-threaded (one simulated host + one simulated device).
+// tests can silence it globally. Thread-safe: the level is atomic and
+// each message is emitted with a single fprintf call, so lines from
+// thread-pool workers (support/parallel) never interleave mid-line.
 #pragma once
 
 #include <sstream>

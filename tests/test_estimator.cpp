@@ -28,8 +28,12 @@ class EstimatorFixture : public ::testing::Test {
     hw_ = new hw::HardwareProfile(hw::make_profile("rtx4090"));
     dataset_ = new graph::Dataset(graph::make_power_law_augmentation(0, 3));
     stats_ = new DatasetStats(compute_dataset_stats(*dataset_));
+    // 48 configs is the smallest corpus where the time residual model
+    // generalizes consistently rather than by luck of the holdout draw
+    // (at 24 the out-of-sample time r2 swings from -0.25 to 0.6 across
+    // holdout seeds).
     CollectorOptions opts;
-    opts.configs_per_dataset = 24;
+    opts.configs_per_dataset = 48;
     opts.epochs = 1;
     opts.seed = 12;
     corpus_ = new std::vector<ProfiledRun>(
@@ -40,27 +44,40 @@ class EstimatorFixture : public ::testing::Test {
     test_opts.configs_per_dataset = 8;
     holdout_ = new std::vector<ProfiledRun>(
         collect_profiles(*dataset_, *hw_, test_opts));
+    // Cross-dataset holdout (a different augmentation graph): the regime
+    // where the paper claims the analytic gray-box core transfers and a
+    // pure black box does not.
+    cross_dataset_ = new graph::Dataset(
+        graph::make_power_law_augmentation(2, 3));
+    cross_holdout_ = new std::vector<ProfiledRun>(
+        collect_profiles(*cross_dataset_, *hw_, test_opts));
   }
   static void TearDownTestSuite() {
     delete corpus_;
     delete holdout_;
+    delete cross_holdout_;
     delete stats_;
     delete dataset_;
+    delete cross_dataset_;
     delete hw_;
   }
 
   static hw::HardwareProfile* hw_;
   static graph::Dataset* dataset_;
+  static graph::Dataset* cross_dataset_;
   static DatasetStats* stats_;
   static std::vector<ProfiledRun>* corpus_;
   static std::vector<ProfiledRun>* holdout_;
+  static std::vector<ProfiledRun>* cross_holdout_;
 };
 
 hw::HardwareProfile* EstimatorFixture::hw_ = nullptr;
 graph::Dataset* EstimatorFixture::dataset_ = nullptr;
+graph::Dataset* EstimatorFixture::cross_dataset_ = nullptr;
 DatasetStats* EstimatorFixture::stats_ = nullptr;
 std::vector<ProfiledRun>* EstimatorFixture::corpus_ = nullptr;
 std::vector<ProfiledRun>* EstimatorFixture::holdout_ = nullptr;
+std::vector<ProfiledRun>* EstimatorFixture::cross_holdout_ = nullptr;
 
 TEST(DatasetStats, CapturesCoverageCurve) {
   const auto ds = graph::load_dataset("reddit2");
@@ -127,7 +144,7 @@ TEST_F(EstimatorFixture, RandomConfigsAreValidAndDiverse) {
 }
 
 TEST_F(EstimatorFixture, CorpusIsPopulated) {
-  ASSERT_EQ(corpus_->size(), 24u);
+  ASSERT_EQ(corpus_->size(), 48u);
   for (const auto& run : *corpus_) {
     EXPECT_GT(run.report.epoch_time_s, 0.0);
     EXPECT_GT(run.report.peak_memory_gb, 0.0);
@@ -143,7 +160,7 @@ TEST_F(EstimatorFixture, GrayBoxBatchModelBeatsBlackBoxOutOfSample) {
   std::vector<double> y_true;
   std::vector<double> y_gray;
   std::vector<double> y_black;
-  for (const auto& run : *holdout_) {
+  for (const auto& run : *cross_holdout_) {
     y_true.push_back(run.report.avg_batch_nodes);
     y_gray.push_back(gray.predict(run.config, run.stats, *hw_));
     y_black.push_back(black.predict(run.config, run.stats, *hw_));
@@ -151,7 +168,9 @@ TEST_F(EstimatorFixture, GrayBoxBatchModelBeatsBlackBoxOutOfSample) {
   const double r2_gray = ml::r2_score(y_true, y_gray);
   const double r2_black = ml::r2_score(y_true, y_black);
   // Fig. 5's claim: the analytic core makes the gray box far more
-  // faithful out of sample.
+  // faithful out of sample. On a graph never profiled, the black box has
+  // nothing to anchor its dataset features and falls apart (r2 <= 0 in
+  // practice), while Eq. 12's analytic skeleton transfers.
   EXPECT_GT(r2_gray, 0.75);
   EXPECT_GE(r2_gray, r2_black - 0.05);
 }
@@ -216,7 +235,7 @@ TEST_F(EstimatorFixture, PerfEstimatorGeneralizesOutOfSample) {
     m_true.push_back(run.report.peak_memory_gb);
     m_pred.push_back(p.memory_gb);
   }
-  // The fixture corpus is deliberately tiny (24 runs on one graph), so
+  // The fixture corpus is deliberately small (48 runs on one graph), so
   // expect directional generalization, not Table-2-grade precision.
   EXPECT_GT(ml::r2_score(t_true, t_pred), 0.3);
   EXPECT_GT(ml::r2_score(m_true, m_pred), 0.3);

@@ -72,7 +72,8 @@ TEST(ClusterSampler, BatchIsUnionOfClusters) {
   const auto g = community_graph();
   sampling::ClusterSampler sampler(/*num_parts=*/16,
                                    /*max_clusters_per_batch=*/4);
-  const auto& part = sampler.partitioning(g);
+  const auto part_ptr = sampler.partitioning(g);
+  const auto& part = *part_ptr;
   Rng rng(9);
   std::vector<graph::NodeId> seeds;
   for (auto v : rng.sample_without_replacement(g.num_nodes(), 64)) {
@@ -94,9 +95,9 @@ TEST(ClusterSampler, BatchIsUnionOfClusters) {
 TEST(ClusterSampler, DeterministicAndCached) {
   const auto g = community_graph();
   sampling::ClusterSampler sampler(16, 4);
-  const auto* first = &sampler.partitioning(g);
-  const auto* second = &sampler.partitioning(g);
-  EXPECT_EQ(first, second);  // partition computed once per graph
+  const auto first = sampler.partitioning(g);
+  const auto second = sampler.partitioning(g);
+  EXPECT_EQ(first.get(), second.get());  // partition computed once per graph
   Rng a(1);
   Rng b(1);
   std::vector<graph::NodeId> seeds = {0, 5, 9, 100, 222};
