@@ -7,6 +7,7 @@
 #include "cache/device_cache.hpp"
 #include "graph/dataset.hpp"
 #include "graph/generators.hpp"
+#include "kernels/spmm.hpp"
 #include "nn/aggregate.hpp"
 #include "nn/model.hpp"
 #include "sampling/sampler_factory.hpp"
@@ -23,6 +24,63 @@ const graph::CsrGraph& bench_graph() {
   }();
   return g;
 }
+
+// --- Scalar-vs-blocked SpMM A/B across graph families ------------------
+//
+// Family 0: erdos_renyi (uniform degrees), 1: barabasi_albert (power-law
+// tail), 2: rmat (heaviest skew — the headline workload). The graphs are
+// sized so the feature matrix at the default dim (64) exceeds L2, which
+// is the regime the blocked kernel's feature-dim tiling targets.
+
+const graph::CsrGraph& family_graph(int family) {
+  static const graph::CsrGraph er = [] {
+    Rng rng(41);
+    return graph::erdos_renyi(30000, 16.0 / 30000.0, rng);
+  }();
+  static const graph::CsrGraph ba = [] {
+    Rng rng(42);
+    return graph::barabasi_albert(30000, 8, rng);
+  }();
+  static const graph::CsrGraph rm = [] {
+    Rng rng(43);
+    return graph::rmat(15, 16.0, 0.57, 0.19, 0.19, rng);
+  }();
+  switch (family) {
+    case 0:
+      return er;
+    case 1:
+      return ba;
+    default:
+      return rm;
+  }
+}
+
+/// args: family (0=er, 1=ba, 2=rmat), impl (0=scalar, 1=blocked),
+/// feature dim. Sum aggregation — the variant every model's hot path
+/// reduces to; scales only add per-row multiplies.
+void BM_SpmmSum(benchmark::State& state) {
+  const auto& g = family_graph(static_cast<int>(state.range(0)));
+  const auto impl = state.range(1) == 0 ? kernels::SpmmImpl::kScalar
+                                        : kernels::SpmmImpl::kBlocked;
+  const auto dim = static_cast<std::size_t>(state.range(2));
+  Rng rng(44);
+  const auto x = tensor::Tensor::uniform(
+      static_cast<std::size_t>(g.num_nodes()), dim, -1, 1, rng);
+  tensor::Tensor y(x.rows(), x.cols());
+  for (auto _ : state) {
+    kernels::spmm(g, x, y, kernels::SpmmScales{}, impl);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+  state.counters["gflops"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          nn::aggregation_flops(g, dim) * 1e-9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SpmmSum)
+    ->ArgNames({"family", "impl", "dim"})
+    ->ArgsProduct({{0, 1, 2}, {0, 1}, {32, 64, 128}})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_NodeWiseSampling(benchmark::State& state) {
   const auto& g = bench_graph();

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <unordered_set>
 
 #include "graph/graph_builder.hpp"
 #include "support/error.hpp"
@@ -89,7 +90,8 @@ CsrGraph barabasi_albert(NodeId n, NodeId m, Rng& rng) {
 
 CsrGraph power_law_configuration(NodeId n, double exponent,
                                  std::size_t min_degree,
-                                 std::size_t max_degree, Rng& rng) {
+                                 std::size_t max_degree, Rng& rng,
+                                 std::size_t* drawn_degree_total) {
   GNAV_CHECK(n > 1, "need at least two vertices");
   GNAV_CHECK(exponent > 1.0, "power-law exponent must exceed 1");
   GNAV_CHECK(min_degree >= 1 && min_degree <= max_degree,
@@ -102,14 +104,42 @@ CsrGraph power_law_configuration(NodeId n, double exponent,
         draw_power_law_degree(exponent, min_degree, max_degree, rng);
     for (std::size_t i = 0; i < d; ++i) stubs.push_back(v);
   }
+  if (drawn_degree_total != nullptr) *drawn_degree_total = stubs.size();
   if (stubs.size() % 2 == 1) stubs.push_back(0);
-  rng.shuffle(stubs);
+
+  // Stub matching with explicit rejection: a pair forming a self-loop or
+  // duplicating an already-accepted edge returns both stubs to a pool
+  // that is reshuffled and matched one more time. Without the retry the
+  // realized degree drifts well below the drawn degree on small n (hubs
+  // collide with themselves and each other constantly).
   GraphBuilder b(n);
-  for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
-    if (stubs[i] != stubs[i + 1]) {
-      b.add_undirected_edge(stubs[i], stubs[i + 1]);
+  std::unordered_set<std::uint64_t> accepted;
+  const auto edge_key = [n](NodeId u, NodeId v) {
+    const auto lo = static_cast<std::uint64_t>(std::min(u, v));
+    const auto hi = static_cast<std::uint64_t>(std::max(u, v));
+    return lo * static_cast<std::uint64_t>(n) + hi;
+  };
+  // Pools are always even: the stub list is padded above and rejects are
+  // pushed in pairs.
+  const auto match_pass = [&](std::vector<NodeId>& pool,
+                              std::vector<NodeId>* rejected) {
+    rng.shuffle(pool);
+    for (std::size_t i = 0; i + 1 < pool.size(); i += 2) {
+      const NodeId u = pool[i];
+      const NodeId v = pool[i + 1];
+      if (u == v || !accepted.insert(edge_key(u, v)).second) {
+        if (rejected != nullptr) {
+          rejected->push_back(u);
+          rejected->push_back(v);
+        }
+        continue;
+      }
+      b.add_undirected_edge(u, v);
     }
-  }
+  };
+  std::vector<NodeId> rejected;
+  match_pass(stubs, &rejected);
+  if (rejected.size() >= 2) match_pass(rejected, nullptr);
   return b.deduplicate(true).remove_self_loops(true).build();
 }
 

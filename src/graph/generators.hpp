@@ -26,11 +26,16 @@ CsrGraph barabasi_albert(NodeId n, NodeId m, Rng& rng);
 
 /// Power-law configuration model: degrees drawn from a discrete power law
 /// with the given exponent (>1) truncated to [min_degree, max_degree], then
-/// stubs matched uniformly. Self-loops/multi-edges are discarded, so the
-/// realized average degree is slightly below the drawn one.
+/// stubs matched uniformly. Pairs that would form a self-loop or duplicate
+/// an existing edge put both stubs back into a rejection pool, which is
+/// reshuffled and matched once more before the remainder is dropped — so
+/// the realized degree tracks the drawn degree closely even on small n
+/// (test_generators pins the ratio). `drawn_degree_total`, when non-null,
+/// receives the sum of drawn degrees for exactly that check.
 CsrGraph power_law_configuration(NodeId n, double exponent,
                                  std::size_t min_degree,
-                                 std::size_t max_degree, Rng& rng);
+                                 std::size_t max_degree, Rng& rng,
+                                 std::size_t* drawn_degree_total = nullptr);
 
 /// R-MAT / Kronecker-style generator (a,b,c,d quadrant probabilities).
 /// `scale` gives n = 2^scale vertices and edge_factor*n directed edges

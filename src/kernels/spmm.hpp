@@ -1,0 +1,121 @@
+// gnav::kernels — the sparse-aggregation kernel layer.
+//
+// Every GNN aggregation in this codebase (sum / mean / GCN-normalized /
+// mean-transpose) is one weighted CSR SpMM:
+//
+//   Y[v] = dst_scale[v] * ( self_scale[v] * X[v]
+//                           + sum_{u in N(v)} src_scale[u] * X[u] )
+//
+// with any of the three scale vectors optional. The layer ships two
+// interchangeable implementations behind this single entry point:
+//
+//   kScalar  — the naive per-edge reference loop (one thread, row by row,
+//              full feature width per neighbor). This is the semantic
+//              ground truth the tests compare against.
+//   kBlocked — the production kernel: feature-dim register tiling (each
+//              output row accumulates in SIMD registers over 64/32-float
+//              tiles and is written once per tile, instead of being
+//              read-modify-written per edge), runtime ISA dispatch
+//              (AVX2 → SSE2 → portable), degree binning that routes hub
+//              rows through a single-pass streaming accumulator when the
+//              feature dim needs multiple tiles, and an edge-balanced
+//              fixed row partition executed on the thread pool with heavy
+//              partitions scheduled first so power-law hub rows cannot
+//              serialize a chunk.
+//
+// Determinism contract (enforced by test_kernels.cpp): for every (v, j)
+// both implementations accumulate contributions in exactly the same order
+// — self term first, then neighbors in CSR order, then the dst scale —
+// so outputs are BIT-IDENTICAL between implementations and at any thread
+// count. The golden-trace suite and the estimator corpus rely on this.
+//
+// Like nn/aggregate.hpp, the transpose-style uses (mean_transpose) assume
+// the symmetric edge sets every sampler in this library emits.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "graph/csr_graph.hpp"
+#include "tensor/tensor.hpp"
+
+namespace gnav::support {
+class ThreadPool;
+}
+
+namespace gnav::kernels {
+
+enum class SpmmImpl {
+  kScalar,
+  kBlocked,
+};
+
+std::string to_string(SpmmImpl impl);
+/// Parses "scalar" / "blocked"; throws gnav::Error on anything else.
+SpmmImpl spmm_impl_from_string(const std::string& name);
+
+/// Process-wide default implementation. Initialized once from the
+/// GNAV_SPMM_IMPL environment variable ("scalar" or "blocked") and
+/// kBlocked otherwise; settable for A/B experiments.
+SpmmImpl default_spmm_impl();
+void set_default_spmm_impl(SpmmImpl impl);
+
+/// Implementation the calling thread currently resolves to: the innermost
+/// active SpmmImplScope on this thread, else the process-wide default.
+SpmmImpl current_spmm_impl();
+
+/// RAII thread-local override, used by the runtime backend (RunOptions)
+/// and the A/B benchmarks. Thread-local so concurrent backend runs on
+/// pool workers cannot race each other's selection.
+class SpmmImplScope {
+ public:
+  explicit SpmmImplScope(SpmmImpl impl);
+  ~SpmmImplScope();
+  SpmmImplScope(const SpmmImplScope&) = delete;
+  SpmmImplScope& operator=(const SpmmImplScope&) = delete;
+
+ private:
+  SpmmImpl prev_;
+  bool prev_active_;
+};
+
+/// SIMD tier of the blocked implementation. kAuto resolves to the widest
+/// ISA the CPU supports (AVX2 on most x86-64, SSE2 otherwise, portable
+/// C++ elsewhere). The lower tiers exist so tests can prove every code
+/// path bit-identical on whatever machine they run on — all tiers
+/// produce identical bits by construction.
+enum class SpmmSimdTier {
+  kPortable,
+  kSse,
+  kAuto,
+};
+
+/// Process-wide cap on the blocked kernel's SIMD tier (testing and
+/// diagnostics; kAuto is the production default). Tiers above what the
+/// CPU supports clamp down.
+void set_spmm_simd_tier(SpmmSimdTier tier);
+SpmmSimdTier spmm_simd_tier();
+
+/// Optional per-vertex scale vectors (length num_nodes each, or null):
+///   src_scale  — weight applied to each gathered neighbor row,
+///   dst_scale  — post-sum scale of the output row,
+///   self_scale — adds self_scale[v] * X[v] before the neighbor sum.
+struct SpmmScales {
+  const float* src_scale = nullptr;
+  const float* dst_scale = nullptr;
+  const float* self_scale = nullptr;
+};
+
+/// Y = weighted-SpMM(g, X). `y` must have X's shape and is overwritten;
+/// it must not alias `x`. `pool` is used only by kBlocked (null selects
+/// the global pool; inside a pool worker the kernel runs inline).
+void spmm(const graph::CsrGraph& g, const tensor::Tensor& x,
+          tensor::Tensor& y, const SpmmScales& scales, SpmmImpl impl,
+          support::ThreadPool* pool = nullptr);
+
+/// Allocating convenience using current_spmm_impl().
+tensor::Tensor spmm(const graph::CsrGraph& g, const tensor::Tensor& x,
+                    const SpmmScales& scales,
+                    support::ThreadPool* pool = nullptr);
+
+}  // namespace gnav::kernels

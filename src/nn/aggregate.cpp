@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "kernels/spmm.hpp"
 #include "support/error.hpp"
 
 namespace gnav::nn {
@@ -16,76 +17,48 @@ void check_shapes(const graph::CsrGraph& g, const Tensor& x) {
 }
 }  // namespace
 
+std::vector<float> inverse_degree_scales(const graph::CsrGraph& g) {
+  std::vector<float> inv(static_cast<std::size_t>(g.num_nodes()));
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto d = g.degree(v);
+    inv[static_cast<std::size_t>(v)] =
+        d > 0 ? 1.0f / static_cast<float>(d) : 0.0f;
+  }
+  return inv;
+}
+
+std::vector<float> gcn_norm_scales(const graph::CsrGraph& g) {
+  std::vector<float> norm(static_cast<std::size_t>(g.num_nodes()));
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    norm[static_cast<std::size_t>(v)] =
+        1.0f / std::sqrt(static_cast<float>(g.degree(v) + 1));
+  }
+  return norm;
+}
+
 Tensor aggregate_mean(const graph::CsrGraph& g, const Tensor& x) {
   check_shapes(g, x);
-  Tensor y(x.rows(), x.cols());
-  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
-    const auto nb = g.neighbors(v);
-    if (nb.empty()) continue;
-    float* yv = y.row(static_cast<std::size_t>(v));
-    for (graph::NodeId u : nb) {
-      const float* xu = x.row(static_cast<std::size_t>(u));
-      for (std::size_t j = 0; j < x.cols(); ++j) yv[j] += xu[j];
-    }
-    const float inv = 1.0f / static_cast<float>(nb.size());
-    for (std::size_t j = 0; j < x.cols(); ++j) yv[j] *= inv;
-  }
-  return y;
+  const auto inv = inverse_degree_scales(g);
+  return kernels::spmm(g, x, mean_spmm_scales(inv.data()));
 }
 
 Tensor aggregate_mean_transpose(const graph::CsrGraph& g, const Tensor& dy) {
   check_shapes(g, dy);
-  Tensor dx(dy.rows(), dy.cols());
-  // dX[u] += dY[v]/deg(v) for each edge (v,u). Iterating v's neighbor list
-  // scatter-adds into dx rows; single-threaded, so no atomicity concerns.
-  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
-    const auto nb = g.neighbors(v);
-    if (nb.empty()) continue;
-    const float inv = 1.0f / static_cast<float>(nb.size());
-    const float* dyv = dy.row(static_cast<std::size_t>(v));
-    for (graph::NodeId u : nb) {
-      float* dxu = dx.row(static_cast<std::size_t>(u));
-      for (std::size_t j = 0; j < dy.cols(); ++j) dxu[j] += inv * dyv[j];
-    }
-  }
-  return dx;
+  // On a symmetric edge set the scatter dX[u] += dY[v]/deg(v) over edges
+  // (v,u) is exactly the pull dX[u] = sum_{v in N(u)} dY[v]/deg(v).
+  const auto inv = inverse_degree_scales(g);
+  return kernels::spmm(g, dy, mean_transpose_spmm_scales(inv.data()));
 }
 
 Tensor aggregate_gcn(const graph::CsrGraph& g, const Tensor& x) {
   check_shapes(g, x);
-  Tensor y(x.rows(), x.cols());
-  std::vector<float> inv_sqrt(static_cast<std::size_t>(g.num_nodes()));
-  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
-    inv_sqrt[static_cast<std::size_t>(v)] =
-        1.0f / std::sqrt(static_cast<float>(g.degree(v) + 1));
-  }
-  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
-    float* yv = y.row(static_cast<std::size_t>(v));
-    const float sv = inv_sqrt[static_cast<std::size_t>(v)];
-    // self loop contribution
-    const float* xv = x.row(static_cast<std::size_t>(v));
-    const float wself = sv * sv;
-    for (std::size_t j = 0; j < x.cols(); ++j) yv[j] += wself * xv[j];
-    for (graph::NodeId u : g.neighbors(v)) {
-      const float w = sv * inv_sqrt[static_cast<std::size_t>(u)];
-      const float* xu = x.row(static_cast<std::size_t>(u));
-      for (std::size_t j = 0; j < x.cols(); ++j) yv[j] += w * xu[j];
-    }
-  }
-  return y;
+  const auto norm = gcn_norm_scales(g);
+  return kernels::spmm(g, x, gcn_spmm_scales(norm.data()));
 }
 
 Tensor aggregate_sum(const graph::CsrGraph& g, const Tensor& x) {
   check_shapes(g, x);
-  Tensor y(x.rows(), x.cols());
-  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
-    float* yv = y.row(static_cast<std::size_t>(v));
-    for (graph::NodeId u : g.neighbors(v)) {
-      const float* xu = x.row(static_cast<std::size_t>(u));
-      for (std::size_t j = 0; j < x.cols(); ++j) yv[j] += xu[j];
-    }
-  }
-  return y;
+  return kernels::spmm(g, x, kernels::SpmmScales{});
 }
 
 double aggregation_flops(const graph::CsrGraph& g, std::size_t cols) {

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "kernels/spmm.hpp"
 #include "nn/aggregate.hpp"
 #include "support/error.hpp"
 #include "tensor/ops.hpp"
@@ -18,19 +19,22 @@ GcnConv::GcnConv(std::size_t in_dim, std::size_t out_dim, Rng& rng)
 
 Tensor GcnConv::forward(const graph::CsrGraph& g, const Tensor& x) {
   GNAV_CHECK(x.cols() == in_dim(), "GcnConv input dim mismatch");
+  cached_norm_ = gcn_norm_scales(g);
   cached_graph_ = &g;
   cached_x_ = x;
   Tensor z = tensor::matmul(x, weight_.value);
-  Tensor h = aggregate_gcn(g, z);
+  Tensor h = kernels::spmm(g, z, gcn_spmm_scales(cached_norm_.data()));
   tensor::add_row_bias_inplace(h, bias_.value);
   return h;
 }
 
 Tensor GcnConv::backward(const Tensor& grad_out) {
   GNAV_CHECK(cached_graph_ != nullptr, "backward before forward");
-  // H = P (X W) + b with P self-adjoint => dZ = P dH.
+  // H = P (X W) + b with P self-adjoint => dZ = P dH, reusing the cached
+  // normalization vector from the forward pass.
   tensor::add_inplace(bias_.grad, tensor::column_sum(grad_out));
-  Tensor dz = aggregate_gcn(*cached_graph_, grad_out);
+  Tensor dz = kernels::spmm(*cached_graph_, grad_out,
+                            gcn_spmm_scales(cached_norm_.data()));
   tensor::add_inplace(weight_.grad, tensor::matmul_at_b(cached_x_, dz));
   return tensor::matmul_a_bt(dz, weight_.value);
 }
@@ -55,9 +59,10 @@ SageConv::SageConv(std::size_t in_dim, std::size_t out_dim, Rng& rng)
 
 Tensor SageConv::forward(const graph::CsrGraph& g, const Tensor& x) {
   GNAV_CHECK(x.cols() == in_dim(), "SageConv input dim mismatch");
+  cached_inv_deg_ = inverse_degree_scales(g);
   cached_graph_ = &g;
   cached_x_ = x;
-  cached_mean_ = aggregate_mean(g, x);
+  cached_mean_ = kernels::spmm(g, x, mean_spmm_scales(cached_inv_deg_.data()));
   Tensor h = tensor::matmul(x, w_self_.value);
   tensor::add_inplace(h, tensor::matmul(cached_mean_, w_neigh_.value));
   tensor::add_row_bias_inplace(h, bias_.value);
@@ -75,8 +80,9 @@ Tensor SageConv::backward(const Tensor& grad_out) {
   tensor::add_inplace(w_neigh_.grad,
                       tensor::matmul_at_b(cached_mean_, grad_out));
   Tensor dmean = tensor::matmul_a_bt(grad_out, w_neigh_.value);
-  tensor::add_inplace(dx,
-                      aggregate_mean_transpose(*cached_graph_, dmean));
+  tensor::add_inplace(
+      dx, kernels::spmm(*cached_graph_, dmean,
+                        mean_transpose_spmm_scales(cached_inv_deg_.data())));
   return dx;
 }
 

@@ -58,6 +58,9 @@ class GcnConv final : public GraphConv {
   Parameter bias_;
   const graph::CsrGraph* cached_graph_ = nullptr;
   tensor::Tensor cached_x_;
+  // 1/sqrt(d+1) per vertex, computed in forward and reused by the
+  // self-adjoint backward SpMM (kernels/spmm.hpp).
+  std::vector<float> cached_norm_;
 };
 
 /// H = X W_self + mean_{u in N(v)} X_u W_neigh + b (GraphSAGE-mean).
@@ -80,6 +83,9 @@ class SageConv final : public GraphConv {
   const graph::CsrGraph* cached_graph_ = nullptr;
   tensor::Tensor cached_x_;
   tensor::Tensor cached_mean_;  // mean-aggregated features
+  // 1/deg per vertex: dst scale of the forward mean, src scale of the
+  // backward transpose-mean scatter (same CSR — symmetric edge sets).
+  std::vector<float> cached_inv_deg_;
 };
 
 /// Single-head graph attention (Velickovic et al.):

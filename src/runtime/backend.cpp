@@ -89,6 +89,12 @@ TrainReport RuntimeBackend::run(const TrainConfig& config,
   GNAV_CHECK(options.epochs >= 1, "need at least one epoch");
   const auto wall_start = std::chrono::steady_clock::now();
 
+  // Every aggregation in this run (training steps and full-graph
+  // evaluations alike) resolves to the requested SpMM kernel. The scope
+  // is thread-local, so concurrent profiling runs on pool workers cannot
+  // interfere with each other's selection.
+  const kernels::SpmmImplScope spmm_scope(options.spmm_impl);
+
   const graph::Dataset& ds = *dataset_;
   Rng rng(options.seed);
   Rng eval_rng(options.seed ^ 0xE7A1ULL);

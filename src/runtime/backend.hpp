@@ -17,6 +17,7 @@
 
 #include "graph/dataset.hpp"
 #include "hw/cost_model.hpp"
+#include "kernels/spmm.hpp"
 #include "runtime/profiler.hpp"
 #include "runtime/train_config.hpp"
 
@@ -70,6 +71,11 @@ struct RunOptions {
   /// Results are bit-identical at any pool size: every batch draws from
   /// its own task_seed-derived RNG.
   support::ThreadPool* pool = nullptr;
+  /// Sparse-aggregation kernel used by every forward/backward in this run
+  /// (A/B knob; both implementations are bit-identical, see
+  /// kernels/spmm.hpp). Defaults to the caller's current selection, so an
+  /// ambient SpmmImplScope composes with it instead of being overridden.
+  kernels::SpmmImpl spmm_impl = kernels::current_spmm_impl();
 };
 
 class RuntimeBackend {

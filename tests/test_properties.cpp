@@ -3,9 +3,14 @@
 // on, evaluated against the *real* runtime backend (not the estimator).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+
 #include "graph/dataset.hpp"
 #include "graph/graph_stats.hpp"
 #include "hw/platform.hpp"
+#include "kernels/spmm.hpp"
+#include "nn/aggregate.hpp"
 #include "runtime/backend.hpp"
 #include "runtime/templates.hpp"
 #include "sampling/batch_size_model.hpp"
@@ -177,6 +182,47 @@ TEST_F(PropertyFixture, HiddenDimGrowsComputeAndModelMemory) {
     prev_model_mem = r.mem_model_gb;
   }
 }
+
+// --- Aggregation conservation law, for both kernel implementations -----
+
+class AggregationConservation
+    : public PropertyFixture,
+      public ::testing::WithParamInterface<kernels::SpmmImpl> {};
+
+TEST_P(AggregationConservation, SumAggregationConservesDegreeWeightedMass) {
+  // On a symmetric graph, sum aggregation only routes feature mass along
+  // edges: column j of the output must total sum_u deg(u) * x[u][j]
+  // (every row x[u] is counted once per incident edge). This holds for
+  // the scalar reference and the blocked kernel alike — a cheap global
+  // check that tiling/partitioning neither drops nor duplicates edges.
+  const graph::CsrGraph& g = dataset_->graph;
+  Rng rng(123);
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  const std::size_t dim = 12;
+  const auto x = tensor::Tensor::uniform(n, dim, -1, 1, rng);
+  kernels::SpmmImplScope scope(GetParam());
+  const auto y = nn::aggregate_sum(g, x);
+  for (std::size_t j = 0; j < dim; ++j) {
+    double aggregated = 0.0;
+    double degree_weighted = 0.0;
+    for (std::size_t v = 0; v < n; ++v) {
+      aggregated += y.at(v, j);
+      degree_weighted +=
+          static_cast<double>(g.degree(static_cast<graph::NodeId>(v))) *
+          x.at(v, j);
+    }
+    EXPECT_NEAR(aggregated, degree_weighted,
+                1e-4 * std::max(1.0, std::abs(degree_weighted)))
+        << "column " << j;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Impls, AggregationConservation,
+                         ::testing::Values(kernels::SpmmImpl::kScalar,
+                                           kernels::SpmmImpl::kBlocked),
+                         [](const auto& info) {
+                           return kernels::to_string(info.param);
+                         });
 
 // --- Determinism across the whole backend for every sampler kind -------
 
