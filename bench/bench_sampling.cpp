@@ -1,0 +1,180 @@
+// Sampler throughput sweep: sampler kind x graph family x seed-batch
+// size, single-threaded (one Rng stream per batch via task_seed, exactly
+// like the runtime backend's loader). Emits a JSON document — to stdout
+// by default, or to the file given with `--json <path>` — so CI can
+// archive the sampling-perf trajectory next to bench_micro_kernels.
+//
+//   ./bench_sampling [--json out.json] [--reps N]
+//
+// The per-cell figure of merit is batches/s; avg batch nodes/edges are
+// recorded too so a throughput change that merely shrank the batches is
+// visible for what it is.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "sampling/sampler_factory.hpp"
+#include "support/parallel.hpp"
+#include "support/rng.hpp"
+
+using namespace gnav;
+
+namespace {
+
+struct Cell {
+  std::string graph;
+  std::string sampler;
+  std::size_t batch_size = 0;
+  int reps = 0;
+  double wall_s = 0.0;
+  double batches_per_s = 0.0;
+  double avg_batch_nodes = 0.0;
+  double avg_batch_edges = 0.0;
+};
+
+graph::CsrGraph make_family(const std::string& name, Rng& rng) {
+  if (name == "rmat") {
+    return graph::rmat(14, 8.0, 0.57, 0.19, 0.19, rng);
+  }
+  if (name == "barabasi_albert") {
+    return graph::barabasi_albert(16384, 8, rng);
+  }
+  if (name == "erdos_renyi") {
+    return graph::erdos_renyi(16384, 16.0 / 16384.0, rng);
+  }
+  std::fprintf(stderr, "unknown graph family %s\n", name.c_str());
+  std::exit(1);
+}
+
+std::vector<graph::NodeId> pick_seeds(const graph::CsrGraph& g,
+                                      std::size_t count, Rng& rng) {
+  std::vector<graph::NodeId> seeds;
+  seeds.reserve(count);
+  for (auto idx : rng.sample_without_replacement(
+           g.num_nodes(), static_cast<std::int64_t>(count))) {
+    seeds.push_back(idx);
+  }
+  return seeds;
+}
+
+Cell run_cell(const graph::CsrGraph& g, const std::string& family,
+              sampling::SamplerKind kind, std::size_t batch_size, int reps) {
+  sampling::SamplerSettings settings;
+  settings.kind = kind;
+  settings.hop_list = {10, 10};
+  const auto sampler = sampling::make_sampler(settings, nullptr);
+
+  Rng seed_rng(0xBE5EEDULL ^ batch_size);
+  std::vector<std::vector<graph::NodeId>> batches;
+  for (int r = 0; r < reps; ++r) {
+    batches.push_back(pick_seeds(g, batch_size, seed_rng));
+  }
+
+  Cell cell;
+  cell.graph = family;
+  cell.sampler = to_string(kind);
+  cell.batch_size = batch_size;
+  cell.reps = reps;
+
+  // Warm-up pass: page in the graph and let per-thread scratch grow to
+  // its steady-state size before the timed loop.
+  {
+    Rng rng(support::task_seed(1, 0));
+    (void)sampler->sample(g, batches[0], rng);
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  for (int r = 0; r < reps; ++r) {
+    Rng rng(support::task_seed(2, static_cast<std::uint64_t>(r)));
+    const sampling::MiniBatch mb =
+        sampler->sample(g, batches[static_cast<std::size_t>(r)], rng);
+    cell.avg_batch_nodes += static_cast<double>(mb.num_nodes());
+    cell.avg_batch_edges += static_cast<double>(mb.num_edges());
+  }
+  cell.wall_s = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+  cell.batches_per_s = static_cast<double>(reps) / cell.wall_s;
+  cell.avg_batch_nodes /= reps;
+  cell.avg_batch_edges /= reps;
+  return cell;
+}
+
+void emit_json(std::FILE* out, const std::vector<Cell>& cells) {
+  std::fprintf(out, "{\n  \"benchmark\": \"bench_sampling\",\n");
+  std::fprintf(out, "  \"results\": [\n");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    std::fprintf(out,
+                 "    {\"graph\": \"%s\", \"sampler\": \"%s\", "
+                 "\"batch_size\": %zu, \"reps\": %d, \"wall_s\": %.6f, "
+                 "\"batches_per_s\": %.3f, \"avg_batch_nodes\": %.1f, "
+                 "\"avg_batch_edges\": %.1f}%s\n",
+                 c.graph.c_str(), c.sampler.c_str(), c.batch_size, c.reps,
+                 c.wall_s, c.batches_per_s, c.avg_batch_nodes,
+                 c.avg_batch_edges, i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  int reps = 8;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      reps = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr, "usage: %s [--json out.json] [--reps N]\n",
+                   argv[0]);
+      return 1;
+    }
+  }
+  if (reps < 1) {
+    std::fprintf(stderr, "--reps must be >= 1\n");
+    return 1;
+  }
+
+  const std::vector<std::string> families = {"rmat", "barabasi_albert",
+                                             "erdos_renyi"};
+  const std::vector<sampling::SamplerKind> kinds = {
+      sampling::SamplerKind::kNodeWise,  sampling::SamplerKind::kLayerWise,
+      sampling::SamplerKind::kSaintWalk, sampling::SamplerKind::kSaintNode,
+      sampling::SamplerKind::kSaintEdge, sampling::SamplerKind::kCluster,
+  };
+  const std::vector<std::size_t> batch_sizes = {256, 1024};
+
+  std::vector<Cell> cells;
+  for (const std::string& family : families) {
+    Rng graph_rng(0x6AF ^ std::hash<std::string>{}(family));
+    const graph::CsrGraph g = make_family(family, graph_rng);
+    for (sampling::SamplerKind kind : kinds) {
+      for (std::size_t bs : batch_sizes) {
+        const Cell cell = run_cell(g, family, kind, bs, reps);
+        std::fprintf(stderr, "%-16s %-12s batch=%-5zu %8.2f batches/s\n",
+                     cell.graph.c_str(), cell.sampler.c_str(),
+                     cell.batch_size, cell.batches_per_s);
+        cells.push_back(cell);
+      }
+    }
+  }
+
+  if (json_path.empty()) {
+    emit_json(stdout, cells);
+  } else {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+      return 1;
+    }
+    emit_json(f, cells);
+    std::fclose(f);
+  }
+  return 0;
+}

@@ -52,8 +52,10 @@ class DegreeCappedSampler final : public sampling::Sampler {
         }
       }
     }
-    const auto ordered = sampling::detail::order_nodes(seeds, collected);
-    return sampling::detail::build_from_edges(seeds, ordered, edges, work);
+    sampling::SampleScratch& sc = sampling::SampleScratch::local();
+    const auto& ordered = sampling::detail::order_nodes(g, seeds, collected, sc);
+    return sampling::detail::build_from_edges(g, seeds, ordered, edges, work,
+                                              sc);
   }
 
   sampling::SamplerKind kind() const override {

@@ -36,11 +36,18 @@ DeviceCache::DeviceCache(CachePolicy policy, std::size_t capacity,
     : policy_(policy),
       capacity_(capacity),
       graph_(graph),
-      resident_(static_cast<std::size_t>(graph.num_nodes()), 0),
-      last_used_(static_cast<std::size_t>(graph.num_nodes()), 0) {
+      resident_(static_cast<std::size_t>(graph.num_nodes()), 0) {
   if (policy_ == CachePolicy::kNone) capacity_ = 0;
   capacity_ = std::min(capacity_,
                        static_cast<std::size_t>(graph.num_nodes()));
+  if (policy_ == CachePolicy::kLru || policy_ == CachePolicy::kFifo) {
+    list_prev_.assign(static_cast<std::size_t>(graph.num_nodes()), kNil);
+    list_next_.assign(static_cast<std::size_t>(graph.num_nodes()), kNil);
+  }
+  if (policy_ == CachePolicy::kWeightedDegree) {
+    insert_seq_.assign(static_cast<std::size_t>(graph.num_nodes()), 0);
+    wdeg_heap_.reserve(capacity_ + 16);
+  }
   if (policy_ == CachePolicy::kStatic && capacity_ > 0) {
     // PaGraph preloads the highest-degree vertices: they appear in the
     // most neighborhoods, maximizing expected hit rate for one-time cost.
@@ -55,83 +62,141 @@ DeviceCache::DeviceCache(CachePolicy policy, std::size_t capacity,
                      });
     for (std::size_t i = 0; i < capacity_; ++i) {
       resident_[static_cast<std::size_t>(order[i])] = 1;
-      resident_list_.push_back(order[i]);
     }
+    resident_count_ = capacity_;
   }
 }
 
+void DeviceCache::list_push_back(graph::NodeId v) {
+  list_prev_[static_cast<std::size_t>(v)] = list_tail_;
+  list_next_[static_cast<std::size_t>(v)] = kNil;
+  if (list_tail_ != kNil) {
+    list_next_[static_cast<std::size_t>(list_tail_)] = v;
+  } else {
+    list_head_ = v;
+  }
+  list_tail_ = v;
+}
+
+void DeviceCache::list_unlink(graph::NodeId v) {
+  const graph::NodeId p = list_prev_[static_cast<std::size_t>(v)];
+  const graph::NodeId n = list_next_[static_cast<std::size_t>(v)];
+  if (p != kNil) {
+    list_next_[static_cast<std::size_t>(p)] = n;
+  } else {
+    list_head_ = n;
+  }
+  if (n != kNil) {
+    list_prev_[static_cast<std::size_t>(n)] = p;
+  } else {
+    list_tail_ = p;
+  }
+  list_prev_[static_cast<std::size_t>(v)] = kNil;
+  list_next_[static_cast<std::size_t>(v)] = kNil;
+}
+
+graph::NodeId DeviceCache::wdeg_min() {
+  for (;;) {
+    GNAV_ASSERT(!wdeg_heap_.empty());
+    const WdegEntry& top = wdeg_heap_.front();
+    const auto vi = static_cast<std::size_t>(top.vertex);
+    if (resident_[vi] != 0 && insert_seq_[vi] == top.seq) {
+      return top.vertex;
+    }
+    // Stale: the vertex was evicted (or re-inserted with a fresh seq)
+    // after this entry was pushed.
+    std::pop_heap(wdeg_heap_.begin(), wdeg_heap_.end(), wdeg_greater);
+    wdeg_heap_.pop_back();
+  }
+}
+
+void DeviceCache::wdeg_compact() {
+  // Bound heap growth from stale entries: drop everything that no longer
+  // matches the live resident set, then restore the heap property.
+  std::erase_if(wdeg_heap_, [&](const WdegEntry& e) {
+    const auto vi = static_cast<std::size_t>(e.vertex);
+    return resident_[vi] == 0 || insert_seq_[vi] != e.seq;
+  });
+  std::make_heap(wdeg_heap_.begin(), wdeg_heap_.end(), wdeg_greater);
+}
+
 void DeviceCache::evict_one(LookupResult& result) {
-  GNAV_ASSERT(!resident_list_.empty());
-  std::size_t victim_pos = 0;
+  GNAV_ASSERT(resident_count_ > 0);
+  graph::NodeId victim = kNil;
   switch (policy_) {
     case CachePolicy::kFifo:
-      victim_pos = 0;  // front of insertion order
+    case CachePolicy::kLru:
+      // Head of the intrusive list: oldest insertion (FIFO) or least
+      // recently touched (LRU).
+      victim = list_head_;
+      list_unlink(victim);
       break;
-    case CachePolicy::kLru: {
-      std::uint64_t best = last_used_[static_cast<std::size_t>(
-          resident_list_[0])];
-      for (std::size_t i = 1; i < resident_list_.size(); ++i) {
-        const auto ts =
-            last_used_[static_cast<std::size_t>(resident_list_[i])];
-        if (ts < best) {
-          best = ts;
-          victim_pos = i;
-        }
-      }
+    case CachePolicy::kWeightedDegree:
+      victim = wdeg_min();
+      std::pop_heap(wdeg_heap_.begin(), wdeg_heap_.end(), wdeg_greater);
+      wdeg_heap_.pop_back();
       break;
-    }
-    case CachePolicy::kWeightedDegree: {
-      auto best = graph_.degree(resident_list_[0]);
-      for (std::size_t i = 1; i < resident_list_.size(); ++i) {
-        const auto d = graph_.degree(resident_list_[i]);
-        if (d < best) {
-          best = d;
-          victim_pos = i;
-        }
-      }
-      break;
-    }
     case CachePolicy::kNone:
     case CachePolicy::kStatic:
       GNAV_ASSERT(false && "evict_one called for non-evicting policy");
   }
-  const graph::NodeId victim = resident_list_[victim_pos];
   resident_[static_cast<std::size_t>(victim)] = 0;
-  resident_list_.erase(resident_list_.begin() +
-                       static_cast<std::ptrdiff_t>(victim_pos));
+  --resident_count_;
+  ++version_;
   ++stats_.evictions;
   ++result.replaced;
 }
 
 void DeviceCache::insert(graph::NodeId v, LookupResult& result) {
   if (capacity_ == 0) return;
-  if (resident_list_.size() >= capacity_) {
+  // A vertex can appear more than once in a batch's miss list; the second
+  // occurrence is already resident and must not be double-inserted (the
+  // old list-based implementation corrupted its resident list here).
+  if (resident_[static_cast<std::size_t>(v)] != 0) return;
+  if (resident_count_ >= capacity_) {
     if (policy_ == CachePolicy::kWeightedDegree) {
-      // Admission check: only displace a lower-degree resident.
-      auto min_deg = graph_.degree(resident_list_[0]);
-      for (std::size_t i = 1; i < resident_list_.size(); ++i) {
-        min_deg = std::min(min_deg, graph_.degree(resident_list_[i]));
-      }
-      if (graph_.degree(v) <= min_deg) return;
+      // Admission check against the lowest-degree resident: one lazy
+      // heap peek instead of a full O(capacity) degree scan.
+      if (graph_.degree(v) <= graph_.degree(wdeg_min())) return;
     }
     evict_one(result);
   }
   resident_[static_cast<std::size_t>(v)] = 1;
-  resident_list_.push_back(v);
+  ++resident_count_;
+  ++version_;
   ++stats_.insertions;
+  const std::uint64_t seq = ++seq_counter_;
+  switch (policy_) {
+    case CachePolicy::kLru:
+    case CachePolicy::kFifo:
+      list_push_back(v);
+      break;
+    case CachePolicy::kWeightedDegree:
+      insert_seq_[static_cast<std::size_t>(v)] = seq;
+      wdeg_heap_.push_back({graph_.degree(v), seq, v});
+      std::push_heap(wdeg_heap_.begin(), wdeg_heap_.end(), wdeg_greater);
+      if (wdeg_heap_.size() > 4 * capacity_ + 64) wdeg_compact();
+      break;
+    case CachePolicy::kNone:
+    case CachePolicy::kStatic:
+      break;
+  }
 }
 
 LookupResult DeviceCache::lookup_and_update(
     const std::vector<graph::NodeId>& batch) {
   LookupResult result;
-  ++tick_;
   for (graph::NodeId v : batch) {
     GNAV_CHECK(graph_.contains(v), "cache lookup: vertex out of range");
     ++stats_.lookups;
     if (resident_[static_cast<std::size_t>(v)] != 0) {
       ++stats_.hits;
       ++result.hits;
-      last_used_[static_cast<std::size_t>(v)] = tick_;
+      if (policy_ == CachePolicy::kLru) {
+        // Touch: move to the most-recently-used end in O(1).
+        list_unlink(v);
+        list_push_back(v);
+      }
     } else {
       result.misses.push_back(v);
     }
@@ -141,10 +206,9 @@ LookupResult DeviceCache::lookup_and_update(
       policy_ == CachePolicy::kWeightedDegree) {
     for (graph::NodeId v : result.misses) {
       insert(v, result);
-      last_used_[static_cast<std::size_t>(v)] = tick_;
     }
   }
-  GNAV_ASSERT(resident_list_.size() <= capacity_);
+  GNAV_ASSERT(resident_count_ <= capacity_);
   return result;
 }
 

@@ -8,9 +8,16 @@
 //   kNone    — no cache; everything transfers (PyG behavior).
 //   kStatic  — preload the top-`capacity` degree-ranked vertices, never
 //              update (PaGraph's static computation-aware cache).
-//   kLru/kFifo — classic dynamic replacement.
-//   kWeightedDegree — dynamic, but a resident vertex is only evicted for a
-//              higher-degree one (degree-weighted admission).
+//   kLru/kFifo — classic dynamic replacement, backed by an intrusive
+//              doubly-linked recency/insertion list: every touch and
+//              eviction is O(1) rather than an O(capacity) scan.
+//   kWeightedDegree — dynamic, but a resident vertex is only evicted for
+//              a higher-degree one (degree-weighted admission). Backed by
+//              a lazy min-heap keyed on (degree, insertion sequence), so
+//              the admission probe and the eviction are one amortized
+//              O(log capacity) heap access instead of two O(capacity)
+//              scans per miss. Victims are identical to the scan-based
+//              implementation (min degree, earliest-inserted on ties).
 #pragma once
 
 #include <cstdint>
@@ -62,12 +69,13 @@ class DeviceCache {
               const graph::CsrGraph& graph);
 
   /// Processes one mini-batch worth of vertex ids: classifies hits vs
-  /// misses and applies the update policy to the misses.
+  /// misses and applies the update policy to the misses. O(batch) plus
+  /// an amortized O(log capacity) heap access per wdeg admission.
   LookupResult lookup_and_update(const std::vector<graph::NodeId>& batch);
 
   CachePolicy policy() const { return policy_; }
   std::size_t capacity() const { return capacity_; }
-  std::size_t resident_count() const { return resident_list_.size(); }
+  std::size_t resident_count() const { return resident_count_; }
   const CacheStats& stats() const { return stats_; }
 
   bool is_resident(graph::NodeId v) const {
@@ -78,21 +86,57 @@ class DeviceCache {
   /// cache-aware sampling (2PGraph) can prefer resident vertices.
   const std::vector<char>& residency_bitmap() const { return resident_; }
 
+  /// Monotone counter bumped on every residency change. Samplers key
+  /// cached weighted-draw structures on it to detect bitmap staleness
+  /// without scanning it.
+  const std::uint64_t& residency_version() const { return version_; }
+
  private:
+  /// Lazy-heap entry for the wdeg policy. Ordered by (degree, seq): the
+  /// minimum is the lowest-degree resident, earliest-inserted on ties —
+  /// exactly the victim the old linear scan chose.
+  struct WdegEntry {
+    graph::EdgeId degree = 0;
+    std::uint64_t seq = 0;
+    graph::NodeId vertex = 0;
+  };
+
+  /// std::push_heap/pop_heap build max-heaps; this "greater" comparator
+  /// turns them into a min-heap on (degree, seq).
+  static bool wdeg_greater(const WdegEntry& a, const WdegEntry& b) {
+    return a.degree != b.degree ? a.degree > b.degree : a.seq > b.seq;
+  }
+
   void insert(graph::NodeId v, LookupResult& result);
   void evict_one(LookupResult& result);
+  void list_push_back(graph::NodeId v);
+  void list_unlink(graph::NodeId v);
+  /// Current wdeg victim candidate; pops stale heap entries on the way.
+  graph::NodeId wdeg_min();
+  void wdeg_compact();
+
+  static constexpr graph::NodeId kNil = -1;
 
   CachePolicy policy_;
   std::size_t capacity_;
   const graph::CsrGraph& graph_;
   std::vector<char> resident_;
-  /// Queue order for LRU/FIFO (front = next eviction victim). For
-  /// kWeightedDegree the list is kept unordered and eviction scans for the
-  /// minimum degree (capacities are modest; O(c) eviction is fine).
-  std::vector<graph::NodeId> resident_list_;
+  std::size_t resident_count_ = 0;
   CacheStats stats_;
-  std::uint64_t tick_ = 0;
-  std::vector<std::uint64_t> last_used_;  // LRU timestamps
+  std::uint64_t version_ = 0;
+  std::uint64_t seq_counter_ = 0;
+
+  // Intrusive list over vertex ids (LRU: recency order, FIFO: insertion
+  // order; head = next eviction victim).
+  std::vector<graph::NodeId> list_prev_;
+  std::vector<graph::NodeId> list_next_;
+  graph::NodeId list_head_ = kNil;
+  graph::NodeId list_tail_ = kNil;
+
+  // wdeg lazy min-heap + per-vertex insertion sequence used to detect
+  // stale entries (a re-inserted vertex gets a fresh seq).
+  std::vector<WdegEntry> wdeg_heap_;
+  std::vector<std::uint64_t> insert_seq_;
 };
 
 }  // namespace gnav::cache

@@ -127,7 +127,12 @@ TrainReport RuntimeBackend::run(const TrainConfig& config,
   ss.cluster_max_per_batch = 8;
   const std::vector<char>* preference =
       config.bias_rate > 0.0 ? &device_cache.residency_bitmap() : nullptr;
-  const auto sampler = sampling::make_sampler(ss, preference);
+  // The residency version lets cached weighted-draw structures (e.g. the
+  // SAINT node alias table) rebuild only when the bitmap actually
+  // changed — with a static cache policy that is never.
+  const auto sampler = sampling::make_sampler(
+      ss, preference,
+      preference != nullptr ? &device_cache.residency_version() : nullptr);
 
   sampling::SeedBatcher batcher(ds.train_nodes, config.batch_size);
 

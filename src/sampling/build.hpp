@@ -1,5 +1,11 @@
 // Internal helpers shared by the sampler implementations to materialize
 // MiniBatch objects. Not part of the public sampling API.
+//
+// The builders are CSR-direct: a counting pass, a prefix sum, and a fill
+// (parallelized per row on the thread pool for large batches) produce the
+// local subgraph without funneling every edge through a COO GraphBuilder.
+// All temporaries come from the caller's SampleScratch; the only
+// allocations are the MiniBatch's own output arrays.
 #pragma once
 
 #include <span>
@@ -8,29 +14,32 @@
 
 #include "graph/csr_graph.hpp"
 #include "sampling/minibatch.hpp"
+#include "sampling/sample_scratch.hpp"
 
 namespace gnav::sampling::detail {
 
+/// Deduplicates `seeds` + `extra` into `scratch.ordered` with seeds
+/// occupying the first positions; returns a reference to it. Uses
+/// `scratch.visited` for membership.
+const std::vector<graph::NodeId>& order_nodes(
+    const graph::CsrGraph& parent, std::span<const graph::NodeId> seeds,
+    const std::vector<graph::NodeId>& extra, SampleScratch& scratch);
+
 /// Builds a mini-batch from an explicit sampled edge list (global ids).
 /// `ordered_nodes` lists every vertex that must appear (seeds first);
-/// edges are relabeled to local ids and symmetrized.
+/// edges are relabeled to local ids, symmetrized, deduplicated, and
+/// stripped of self-loops. Neighbor lists come out sorted ascending.
 MiniBatch build_from_edges(
-    std::span<const graph::NodeId> seeds,
+    const graph::CsrGraph& parent, std::span<const graph::NodeId> seeds,
     const std::vector<graph::NodeId>& ordered_nodes,
     const std::vector<std::pair<graph::NodeId, graph::NodeId>>& edges,
-    double sampling_work);
+    double sampling_work, SampleScratch& scratch);
 
 /// Builds a mini-batch as the parent-induced subgraph over
-/// `ordered_nodes` (seeds first).
+/// `ordered_nodes` (seeds first, ids unique).
 MiniBatch build_induced(const graph::CsrGraph& parent,
                         std::span<const graph::NodeId> seeds,
                         const std::vector<graph::NodeId>& ordered_nodes,
-                        double sampling_work);
-
-/// Deduplicates `seeds` + `extra` into an ordered node list with seeds
-/// occupying the first |seeds| positions.
-std::vector<graph::NodeId> order_nodes(
-    std::span<const graph::NodeId> seeds,
-    const std::vector<graph::NodeId>& extra);
+                        double sampling_work, SampleScratch& scratch);
 
 }  // namespace gnav::sampling::detail

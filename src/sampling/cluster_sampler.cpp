@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "sampling/build.hpp"
+#include "sampling/sample_scratch.hpp"
 #include "support/error.hpp"
 
 namespace gnav::sampling {
@@ -64,19 +65,19 @@ MiniBatch ClusterSampler::sample(const graph::CsrGraph& g,
       {ranked.size(), target,
        static_cast<std::size_t>(max_clusters_per_batch_)});
 
-  std::vector<graph::NodeId> cluster_nodes;
+  SampleScratch& sc = SampleScratch::local();
+  sc.collected.clear();
   double work = static_cast<double>(seeds.size());
   for (std::size_t i = 0; i < keep; ++i) {
     const auto& members =
         part.members[static_cast<std::size_t>(ranked[i].first)];
-    cluster_nodes.insert(cluster_nodes.end(), members.begin(),
-                         members.end());
+    sc.collected.insert(sc.collected.end(), members.begin(), members.end());
     work += static_cast<double>(members.size());
   }
   (void)rng;  // cluster choice is deterministic given the seed batch
 
-  const auto ordered = detail::order_nodes(seeds, cluster_nodes);
-  MiniBatch mb = detail::build_induced(g, seeds, ordered, work);
+  const auto& ordered = detail::order_nodes(g, seeds, sc.collected, sc);
+  MiniBatch mb = detail::build_induced(g, seeds, ordered, work, sc);
   mb.sampling_work += static_cast<double>(mb.subgraph.num_edges()) * 0.1;
   return mb;
 }

@@ -1,8 +1,7 @@
 #include <algorithm>
-#include <unordered_map>
-#include <unordered_set>
 
 #include "sampling/build.hpp"
+#include "sampling/sample_scratch.hpp"
 #include "sampling/sampler.hpp"
 #include "support/error.hpp"
 
@@ -20,67 +19,73 @@ MiniBatch LayerWiseSampler::sample(const graph::CsrGraph& g,
                                    std::span<const graph::NodeId> seeds,
                                    Rng& rng) const {
   GNAV_CHECK(!seeds.empty(), "cannot sample from an empty seed set");
-  std::vector<graph::NodeId> frontier(seeds.begin(), seeds.end());
-  std::vector<graph::NodeId> collected;
-  std::vector<std::pair<graph::NodeId, graph::NodeId>> edges;
+  SampleScratch& sc = SampleScratch::local();
+  sc.frontier.assign(seeds.begin(), seeds.end());
+  sc.collected.clear();
+  sc.edges.clear();
   double work = static_cast<double>(seeds.size());
 
   for (int k : hops_) {
     // Candidate pool: union of the frontier's neighborhoods. FastGCN
     // samples Δ_l nodes layer-wide (Eq. 3: E[k_l] = Δ_l / |B_{l-1}| x μ),
     // here Δ_l = k x |frontier|, importance-weighted by degree.
-    std::vector<graph::NodeId> pool;
-    std::unordered_set<graph::NodeId> pool_set;
-    for (graph::NodeId v : frontier) {
+    sc.pool.clear();
+    sc.visited.begin_pass(static_cast<std::size_t>(g.num_nodes()));
+    for (graph::NodeId v : sc.frontier) {
       for (graph::NodeId u : g.neighbors(v)) {
-        if (pool_set.insert(u).second) pool.push_back(u);
+        if (sc.visited.insert(u)) sc.pool.push_back(u);
       }
       // Pool construction is a vectorized frontier-neighborhood scan.
       work += 0.25 * static_cast<double>(g.degree(v));
     }
-    if (pool.empty()) break;
+    if (sc.pool.empty()) break;
     const auto delta = static_cast<std::size_t>(
-        std::min<std::int64_t>(static_cast<std::int64_t>(pool.size()),
+        std::min<std::int64_t>(static_cast<std::int64_t>(sc.pool.size()),
                                static_cast<std::int64_t>(k) *
-                                   static_cast<std::int64_t>(frontier.size())));
+                                   static_cast<std::int64_t>(
+                                       sc.frontier.size())));
     // Degree-proportional importance sampling (FastGCN uses q(u) ∝ |N(u)|),
-    // modulated by the locality bias when active.
-    std::vector<double> cum(pool.size());
-    double acc = 0.0;
-    for (std::size_t i = 0; i < pool.size(); ++i) {
-      acc += static_cast<double>(g.degree(pool[i]) + 1) *
-             bias_.weight(pool[i]);
-      cum[i] = acc;
+    // modulated by the locality bias when active. The pool is fresh per
+    // layer, so the alias table is rebuilt per layer — O(pool) once,
+    // then every draw is O(1) instead of an O(log pool) binary search.
+    sc.weights.resize(sc.pool.size());
+    for (std::size_t i = 0; i < sc.pool.size(); ++i) {
+      sc.weights[i] = static_cast<double>(g.degree(sc.pool[i]) + 1) *
+                      bias_.weight(sc.pool[i]);
     }
-    std::unordered_set<std::size_t> chosen;
+    sc.alias.build(sc.weights);
+    sc.chosen.begin_pass(sc.pool.size());
+    sc.mask.begin_pass(static_cast<std::size_t>(g.num_nodes()));
+    sc.next_frontier.clear();
     std::size_t attempts = 0;
     const std::size_t max_attempts = delta * 6 + 10;
-    while (chosen.size() < delta && attempts < max_attempts) {
+    while (sc.next_frontier.size() < delta && attempts < max_attempts) {
       ++attempts;
-      chosen.insert(rng.sample_cumulative(cum));
+      const std::size_t idx = sc.alias.sample(rng);
+      if (sc.chosen.insert(static_cast<std::int64_t>(idx))) {
+        sc.mask.insert(sc.pool[idx]);
+        sc.next_frontier.push_back(sc.pool[idx]);
+      }
     }
     work += static_cast<double>(attempts);
 
     // Keep every parent-graph edge between the frontier and the chosen
     // layer (this is the bipartite structure FastGCN trains on).
-    std::unordered_set<graph::NodeId> layer_nodes;
-    for (std::size_t idx : chosen) layer_nodes.insert(pool[idx]);
-    std::vector<graph::NodeId> next;
-    for (graph::NodeId v : frontier) {
+    for (graph::NodeId v : sc.frontier) {
       for (graph::NodeId u : g.neighbors(v)) {
-        if (layer_nodes.contains(u)) {
-          edges.emplace_back(v, u);
+        if (sc.mask.contains(u)) {
+          sc.edges.emplace_back(v, u);
         }
       }
     }
-    next.assign(layer_nodes.begin(), layer_nodes.end());
-    std::sort(next.begin(), next.end());
-    collected.insert(collected.end(), next.begin(), next.end());
-    frontier = std::move(next);
+    std::sort(sc.next_frontier.begin(), sc.next_frontier.end());
+    sc.collected.insert(sc.collected.end(), sc.next_frontier.begin(),
+                        sc.next_frontier.end());
+    std::swap(sc.frontier, sc.next_frontier);
   }
 
-  const auto ordered = detail::order_nodes(seeds, collected);
-  return detail::build_from_edges(seeds, ordered, edges, work);
+  const auto& ordered = detail::order_nodes(g, seeds, sc.collected, sc);
+  return detail::build_from_edges(g, seeds, ordered, sc.edges, work, sc);
 }
 
 }  // namespace gnav::sampling

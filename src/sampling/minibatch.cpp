@@ -1,11 +1,11 @@
 #include "sampling/minibatch.hpp"
 
-#include <unordered_map>
+#include <algorithm>
 #include <unordered_set>
 
-#include "graph/graph_builder.hpp"
 #include "sampling/build.hpp"
 #include "support/error.hpp"
+#include "support/parallel.hpp"
 
 namespace gnav::sampling {
 
@@ -24,48 +24,125 @@ void MiniBatch::validate(const graph::CsrGraph& parent) const {
 }
 
 namespace detail {
+namespace {
 
-std::vector<graph::NodeId> order_nodes(
-    std::span<const graph::NodeId> seeds,
-    const std::vector<graph::NodeId>& extra) {
-  std::vector<graph::NodeId> ordered;
-  ordered.reserve(seeds.size() + extra.size());
-  std::unordered_set<graph::NodeId> seen;
-  seen.reserve((seeds.size() + extra.size()) * 2);
+/// Row-parallelism threshold: below this many edge slots the dispatch
+/// overhead of the pool outweighs the sort work. Results are identical
+/// either way (rows are index-disjoint), so the constant is perf-only.
+constexpr std::size_t kParallelEdgeThreshold = 1 << 14;
+
+void for_each_row(std::size_t n, std::size_t total_slots,
+                  const std::function<void(std::size_t)>& body) {
+  // On a pool worker (MiniBatchLoader prefetching — possibly on a
+  // caller-provided pool) parallel_for would run inline anyway; loop
+  // directly so the process-wide global pool is never instantiated on
+  // behalf of someone else's pool. Only the serial sampling path (e.g.
+  // cache-aware bias) fans rows out, and it has no pool handle of its
+  // own, so the global pool is the right one there.
+  if (total_slots < kParallelEdgeThreshold ||
+      support::ThreadPool::in_worker()) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+  } else {
+    support::global_pool().parallel_for(0, n, body);
+  }
+}
+
+/// Sorts + deduplicates each filled row of `scratch.adj_tmp` (rows at
+/// `row_offsets` with `row_counts` entries), then compacts into an
+/// exact-size CSR. Neighbor lists come out sorted ascending — the same
+/// layout GraphBuilder produced, which the symmetry check and the tests'
+/// binary searches rely on.
+graph::CsrGraph finalize_rows(std::size_t n, SampleScratch& scratch) {
+  const auto total =
+      static_cast<std::size_t>(scratch.row_offsets[n]);
+  for_each_row(n, total, [&](std::size_t i) {
+    graph::NodeId* begin = scratch.adj_tmp.data() + scratch.row_offsets[i];
+    graph::NodeId* end = begin + scratch.row_counts[i];
+    std::sort(begin, end);
+    scratch.row_counts[i] = std::unique(begin, end) - begin;
+  });
+  std::vector<graph::EdgeId> indptr(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    indptr[i + 1] = indptr[i] + scratch.row_counts[i];
+  }
+  std::vector<graph::NodeId> indices(static_cast<std::size_t>(indptr[n]));
+  for_each_row(n, total, [&](std::size_t i) {
+    std::copy_n(scratch.adj_tmp.data() + scratch.row_offsets[i],
+                scratch.row_counts[i], indices.data() + indptr[i]);
+  });
+  return graph::CsrGraph(std::move(indptr), std::move(indices));
+}
+
+}  // namespace
+
+const std::vector<graph::NodeId>& order_nodes(
+    const graph::CsrGraph& parent, std::span<const graph::NodeId> seeds,
+    const std::vector<graph::NodeId>& extra, SampleScratch& scratch) {
+  scratch.visited.begin_pass(static_cast<std::size_t>(parent.num_nodes()));
+  scratch.ordered.clear();
+  scratch.ordered.reserve(seeds.size() + extra.size());
   for (graph::NodeId s : seeds) {
-    if (seen.insert(s).second) ordered.push_back(s);
+    if (scratch.visited.insert(s)) scratch.ordered.push_back(s);
   }
   for (graph::NodeId v : extra) {
-    if (seen.insert(v).second) ordered.push_back(v);
+    if (scratch.visited.insert(v)) scratch.ordered.push_back(v);
   }
-  return ordered;
+  return scratch.ordered;
 }
 
 MiniBatch build_from_edges(
-    std::span<const graph::NodeId> seeds,
+    const graph::CsrGraph& parent, std::span<const graph::NodeId> seeds,
     const std::vector<graph::NodeId>& ordered_nodes,
     const std::vector<std::pair<graph::NodeId, graph::NodeId>>& edges,
-    double sampling_work) {
-  std::unordered_map<graph::NodeId, graph::NodeId> local;
-  local.reserve(ordered_nodes.size() * 2);
-  for (std::size_t i = 0; i < ordered_nodes.size(); ++i) {
-    local.emplace(ordered_nodes[i], static_cast<graph::NodeId>(i));
+    double sampling_work, SampleScratch& scratch) {
+  const std::size_t n = ordered_nodes.size();
+  scratch.local_ids.begin_pass(static_cast<std::size_t>(parent.num_nodes()));
+  for (std::size_t i = 0; i < n; ++i) {
+    scratch.local_ids.set(ordered_nodes[i], static_cast<std::int64_t>(i));
   }
-  graph::GraphBuilder b(static_cast<graph::NodeId>(ordered_nodes.size()));
+
+  // Counting pass (each kept edge lands in both endpoint rows).
+  scratch.row_counts.assign(n, 0);
   for (const auto& [u, v] : edges) {
-    const auto iu = local.find(u);
-    const auto iv = local.find(v);
-    GNAV_CHECK(iu != local.end() && iv != local.end(),
+    const std::int64_t lu = scratch.local_ids.get(u);
+    const std::int64_t lv = scratch.local_ids.get(v);
+    GNAV_CHECK(lu != NodeMarker::kAbsent && lv != NodeMarker::kAbsent,
                "sampled edge endpoint missing from node set");
-    b.add_edge(iu->second, iv->second);
+    if (lu == lv) continue;  // self-loop
+    ++scratch.row_counts[static_cast<std::size_t>(lu)];
+    ++scratch.row_counts[static_cast<std::size_t>(lv)];
   }
+
+  // Prefix sum + symmetrized fill.
+  scratch.row_offsets.resize(n + 1);
+  scratch.row_offsets[0] = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    scratch.row_offsets[i + 1] = scratch.row_offsets[i] +
+                                 scratch.row_counts[i];
+  }
+  scratch.adj_tmp.resize(static_cast<std::size_t>(scratch.row_offsets[n]));
+  scratch.row_cursor.assign(scratch.row_offsets.begin(),
+                            scratch.row_offsets.end() - 1);
+  for (const auto& [u, v] : edges) {
+    const std::int64_t lu = scratch.local_ids.get(u);
+    const std::int64_t lv = scratch.local_ids.get(v);
+    if (lu == lv) continue;
+    scratch.adj_tmp[static_cast<std::size_t>(
+        scratch.row_cursor[static_cast<std::size_t>(lu)]++)] =
+        static_cast<graph::NodeId>(lv);
+    scratch.adj_tmp[static_cast<std::size_t>(
+        scratch.row_cursor[static_cast<std::size_t>(lv)]++)] =
+        static_cast<graph::NodeId>(lu);
+  }
+
   MiniBatch mb;
-  mb.subgraph =
-      b.symmetrize(true).deduplicate(true).remove_self_loops(true).build();
-  mb.nodes = ordered_nodes;
+  mb.subgraph = finalize_rows(n, scratch);
+  mb.nodes.assign(ordered_nodes.begin(), ordered_nodes.end());
   mb.seed_local.reserve(seeds.size());
   for (graph::NodeId s : seeds) {
-    mb.seed_local.push_back(local.at(s));
+    const std::int64_t local = scratch.local_ids.get(s);
+    GNAV_CHECK(local != NodeMarker::kAbsent, "seed missing from node set");
+    mb.seed_local.push_back(local);
   }
   mb.sampling_work = sampling_work;
   return mb;
@@ -74,23 +151,65 @@ MiniBatch build_from_edges(
 MiniBatch build_induced(const graph::CsrGraph& parent,
                         std::span<const graph::NodeId> seeds,
                         const std::vector<graph::NodeId>& ordered_nodes,
-                        double sampling_work) {
-  MiniBatch mb;
-  mb.subgraph = graph::induced_subgraph(parent, ordered_nodes);
-  mb.nodes = ordered_nodes;
-  std::unordered_map<graph::NodeId, std::int64_t> local;
-  local.reserve(ordered_nodes.size() * 2);
-  for (std::size_t i = 0; i < ordered_nodes.size(); ++i) {
-    local.emplace(ordered_nodes[i], static_cast<std::int64_t>(i));
+                        double sampling_work, SampleScratch& scratch) {
+  const std::size_t n = ordered_nodes.size();
+  scratch.local_ids.begin_pass(static_cast<std::size_t>(parent.num_nodes()));
+  for (std::size_t i = 0; i < n; ++i) {
+    GNAV_CHECK(parent.contains(ordered_nodes[i]),
+               "build_induced: node out of range");
+    GNAV_CHECK(scratch.local_ids.get(ordered_nodes[i]) == NodeMarker::kAbsent,
+               "build_induced: duplicate node id");
+    scratch.local_ids.set(ordered_nodes[i], static_cast<std::int64_t>(i));
   }
-  std::unordered_set<std::int64_t> seen_seed;
+
+  // Counting pass over the parent neighborhoods (reads the marker only —
+  // safe to run rows concurrently).
+  scratch.row_counts.assign(n, 0);
+  std::size_t total_degree = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total_degree +=
+        static_cast<std::size_t>(parent.degree(ordered_nodes[i]));
+  }
+  for_each_row(n, total_degree, [&](std::size_t i) {
+    graph::EdgeId count = 0;
+    for (graph::NodeId u : parent.neighbors(ordered_nodes[i])) {
+      const std::int64_t lu = scratch.local_ids.get(u);
+      if (lu != NodeMarker::kAbsent &&
+          lu != static_cast<std::int64_t>(i)) {
+        ++count;
+      }
+    }
+    scratch.row_counts[i] = count;
+  });
+
+  scratch.row_offsets.resize(n + 1);
+  scratch.row_offsets[0] = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    scratch.row_offsets[i + 1] = scratch.row_offsets[i] +
+                                 scratch.row_counts[i];
+  }
+  scratch.adj_tmp.resize(static_cast<std::size_t>(scratch.row_offsets[n]));
+  for_each_row(n, total_degree, [&](std::size_t i) {
+    auto cursor = static_cast<std::size_t>(scratch.row_offsets[i]);
+    for (graph::NodeId u : parent.neighbors(ordered_nodes[i])) {
+      const std::int64_t lu = scratch.local_ids.get(u);
+      if (lu != NodeMarker::kAbsent &&
+          lu != static_cast<std::int64_t>(i)) {
+        scratch.adj_tmp[cursor++] = static_cast<graph::NodeId>(lu);
+      }
+    }
+  });
+
+  MiniBatch mb;
+  mb.subgraph = finalize_rows(n, scratch);
+  mb.nodes.assign(ordered_nodes.begin(), ordered_nodes.end());
+  scratch.chosen.begin_pass(n);
   mb.seed_local.reserve(seeds.size());
   for (graph::NodeId s : seeds) {
-    const auto it = local.find(s);
-    GNAV_CHECK(it != local.end(), "seed missing from induced node set");
-    if (seen_seed.insert(it->second).second) {
-      mb.seed_local.push_back(it->second);
-    }
+    const std::int64_t local = scratch.local_ids.get(s);
+    GNAV_CHECK(local != NodeMarker::kAbsent,
+               "seed missing from induced node set");
+    if (scratch.chosen.insert(local)) mb.seed_local.push_back(local);
   }
   mb.sampling_work = sampling_work;
   return mb;

@@ -1,7 +1,7 @@
 #include <algorithm>
-#include <unordered_set>
 
 #include "sampling/build.hpp"
+#include "sampling/sample_scratch.hpp"
 #include "sampling/sampler.hpp"
 #include "support/error.hpp"
 
@@ -49,7 +49,7 @@ namespace {
 /// k == -1 keeps the whole neighborhood. Appends picked vertices to `out`
 /// and sampled (v,u) edges to `edges`; returns candidate-scan work.
 double fanout_one(const graph::CsrGraph& g, graph::NodeId v, int k,
-                  const SamplingBias& bias, Rng& rng,
+                  const SamplingBias& bias, Rng& rng, SampleScratch& sc,
                   std::vector<graph::NodeId>& out,
                   std::vector<std::pair<graph::NodeId, graph::NodeId>>& edges) {
   const auto nb = g.neighbors(v);
@@ -87,29 +87,25 @@ double fanout_one(const graph::CsrGraph& g, graph::NodeId v, int k,
     }
     return static_cast<double>(k);
   }
-  // Biased sampling without replacement via cumulative-weight draws with
-  // rejection of duplicates (k << deg in practice).
-  std::vector<double> cum(nb.size());
-  double acc = 0.0;
-  for (std::size_t i = 0; i < nb.size(); ++i) {
-    acc += bias.weight(nb[i]);
-    cum[i] = acc;
-  }
-  std::unordered_set<std::size_t> chosen;
+  // Biased sampling without replacement: the two-valued bias weights need
+  // no cumulative array — split the neighborhood into preferred/rest once,
+  // then draw in O(1) with stamped-marker rejection of duplicates
+  // (k << deg in practice).
+  const TwoGroupDraw draw(nb, *bias.preference, bias.weight_preferred(),
+                          1.0, sc.pref_idx, sc.rest_idx);
+  sc.chosen.begin_pass(nb.size());
+  int picked = 0;
   int attempts = 0;
   const int max_attempts = k * 20;
-  while (static_cast<int>(chosen.size()) < k && attempts < max_attempts) {
+  while (picked < k && attempts < max_attempts) {
     ++attempts;
-    chosen.insert(rng.sample_cumulative(cum));
+    const std::size_t idx = draw.sample(rng);
+    if (sc.chosen.insert(static_cast<std::int64_t>(idx))) {
+      ++picked;
+      out.push_back(nb[idx]);
+      edges.emplace_back(v, nb[idx]);
+    }
   }
-  for (std::size_t idx : chosen) {
-    const graph::NodeId u = nb[idx];
-    out.push_back(u);
-    edges.emplace_back(v, u);
-  }
-  // Weighted selection is vectorized on real hosts (prefix weights live in
-  // SIMD-friendly arrays); the work model charges the draws, not the
-  // full-neighborhood weight scan.
   return static_cast<double>(attempts);
 }
 
@@ -119,28 +115,33 @@ MiniBatch NodeWiseSampler::sample(const graph::CsrGraph& g,
                                   std::span<const graph::NodeId> seeds,
                                   Rng& rng) const {
   GNAV_CHECK(!seeds.empty(), "cannot sample from an empty seed set");
-  std::vector<graph::NodeId> frontier(seeds.begin(), seeds.end());
-  std::vector<graph::NodeId> collected;
-  std::vector<std::pair<graph::NodeId, graph::NodeId>> edges;
-  std::unordered_set<graph::NodeId> visited(seeds.begin(), seeds.end());
+  SampleScratch& sc = SampleScratch::local();
+  sc.visited.begin_pass(static_cast<std::size_t>(g.num_nodes()));
+  sc.frontier.assign(seeds.begin(), seeds.end());
+  sc.collected.clear();
+  sc.edges.clear();
+  for (graph::NodeId s : seeds) sc.visited.insert(s);
   double work = static_cast<double>(seeds.size());
 
   for (int k : hops_) {
-    std::vector<graph::NodeId> next;
-    for (graph::NodeId v : frontier) {
-      std::vector<graph::NodeId> picked;
-      work += fanout_one(g, v, k, bias_, rng, picked, edges);
-      for (graph::NodeId u : picked) {
-        collected.push_back(u);
-        if (visited.insert(u).second) next.push_back(u);
+    sc.next_frontier.clear();
+    for (graph::NodeId v : sc.frontier) {
+      sc.picked.clear();
+      work += fanout_one(g, v, k, bias_, rng, sc, sc.picked, sc.edges);
+      for (graph::NodeId u : sc.picked) {
+        sc.collected.push_back(u);
+        if (sc.visited.insert(u)) sc.next_frontier.push_back(u);
       }
     }
-    frontier = std::move(next);
-    if (frontier.empty()) break;
+    std::swap(sc.frontier, sc.next_frontier);
+    if (sc.frontier.empty()) break;
   }
 
-  const auto ordered = detail::order_nodes(seeds, collected);
-  return detail::build_from_edges(seeds, ordered, edges, work);
+  // order_nodes re-derives the dedup in first-seen order (seeds first);
+  // sc.visited is re-stamped inside, so the hop bookkeeping above cannot
+  // leak into it.
+  const auto& ordered = detail::order_nodes(g, seeds, sc.collected, sc);
+  return detail::build_from_edges(g, seeds, ordered, sc.edges, work, sc);
 }
 
 }  // namespace gnav::sampling

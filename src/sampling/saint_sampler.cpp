@@ -1,7 +1,7 @@
 #include <algorithm>
-#include <unordered_set>
 
 #include "sampling/build.hpp"
+#include "sampling/sample_scratch.hpp"
 #include "sampling/sampler.hpp"
 #include "support/error.hpp"
 
@@ -35,11 +35,39 @@ std::vector<int> SaintSampler::hop_list() const {
   return std::vector<int>(static_cast<std::size_t>(walk_length_), 1);
 }
 
+std::shared_ptr<const support::AliasTable> SaintSampler::node_alias(
+    const graph::CsrGraph& g) const {
+  // Degree-weighted node distribution (GraphSAINT-Node uses p_v ∝ deg^2;
+  // a plain degree weighting keeps the same hub preference), cached per
+  // (graph, bias version) so repeated batches skip the O(|V|) rebuild.
+  const std::uint64_t version = bias_.version != nullptr ? *bias_.version : 0;
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  // The key includes the graph's shape, not just its address: a rebuilt
+  // graph can legitimately reuse a freed graph's address, and a stale
+  // table would then draw from the wrong distribution (or out of range).
+  if (cached_graph_ != &g || cached_num_nodes_ != g.num_nodes() ||
+      cached_num_edges_ != g.num_edges() || cached_version_ != version ||
+      cached_node_alias_ == nullptr) {
+    std::vector<double> weights(static_cast<std::size_t>(g.num_nodes()));
+    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+      weights[static_cast<std::size_t>(v)] =
+          static_cast<double>(g.degree(v) + 1) * bias_.weight(v);
+    }
+    cached_node_alias_ = std::make_shared<support::AliasTable>(weights);
+    cached_graph_ = &g;
+    cached_num_nodes_ = g.num_nodes();
+    cached_num_edges_ = g.num_edges();
+    cached_version_ = version;
+  }
+  return cached_node_alias_;
+}
+
 MiniBatch SaintSampler::sample(const graph::CsrGraph& g,
                                std::span<const graph::NodeId> seeds,
                                Rng& rng) const {
   GNAV_CHECK(!seeds.empty(), "cannot sample from an empty seed set");
-  std::vector<graph::NodeId> collected;
+  SampleScratch& sc = SampleScratch::local();
+  sc.collected.clear();
   double work = static_cast<double>(seeds.size());
 
   if (variant_ == Variant::kWalk) {
@@ -52,43 +80,49 @@ MiniBatch SaintSampler::sample(const graph::CsrGraph& g,
         if (nb.empty()) break;
         std::size_t pick = 0;
         if (bias_.active()) {
-          std::vector<double> cum(nb.size());
-          double acc = 0.0;
-          for (std::size_t i = 0; i < nb.size(); ++i) {
-            acc += bias_.weight(nb[i]);
-            cum[i] = acc;
-          }
-          pick = rng.sample_cumulative(cum);
-          work += 2.0;  // weighted step: draw + binary search
+          const TwoGroupDraw draw(nb, *bias_.preference,
+                                  bias_.weight_preferred(), 1.0,
+                                  sc.pref_idx, sc.rest_idx);
+          pick = draw.sample(rng);
+          work += 2.0;  // weighted step: group coin + in-group draw
         } else {
           pick = static_cast<std::size_t>(rng.uniform_index(nb.size()));
           work += 1.0;
         }
         v = nb[pick];
-        collected.push_back(v);
+        sc.collected.push_back(v);
       }
     }
   } else if (variant_ == Variant::kNode) {
-    // Degree-weighted node budget (GraphSAINT-Node uses p_v ∝ deg^2; a
-    // plain degree weighting keeps the same hub preference).
-    const auto budget = static_cast<std::size_t>(
-        budget_multiplier_ * static_cast<double>(seeds.size()));
-    std::vector<double> cum(static_cast<std::size_t>(g.num_nodes()));
-    double acc = 0.0;
-    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
-      acc += static_cast<double>(g.degree(v) + 1) * bias_.weight(v);
-      cum[static_cast<std::size_t>(v)] = acc;
+    // Degree-weighted node budget, clamped to the vertex count: beyond
+    // |V| the rejection loop cannot find new vertices and used to burn
+    // the whole attempt allowance before silently returning a short
+    // batch.
+    const auto num_nodes = static_cast<std::size_t>(g.num_nodes());
+    const auto budget = std::min<std::size_t>(
+        static_cast<std::size_t>(budget_multiplier_ *
+                                 static_cast<double>(seeds.size())),
+        num_nodes);
+    if (budget >= num_nodes) {
+      // The whole graph is the batch; no draws needed.
+      sc.collected.resize(num_nodes);
+      for (std::size_t v = 0; v < num_nodes; ++v) {
+        sc.collected[v] = static_cast<graph::NodeId>(v);
+      }
+      work += static_cast<double>(num_nodes);
+    } else {
+      const auto table = node_alias(g);
+      sc.visited.begin_pass(num_nodes);
+      std::size_t attempts = 0;
+      while (sc.collected.size() < budget &&
+             attempts < budget * 30 + 10) {
+        ++attempts;
+        const auto v = static_cast<graph::NodeId>(table->sample(rng));
+        if (sc.visited.insert(v)) sc.collected.push_back(v);
+      }
+      work += static_cast<double>(attempts);
+      std::sort(sc.collected.begin(), sc.collected.end());
     }
-    std::unordered_set<graph::NodeId> chosen;
-    std::size_t attempts = 0;
-    while (chosen.size() < budget && attempts < budget * 30 + 10) {
-      ++attempts;
-      chosen.insert(
-          static_cast<graph::NodeId>(rng.sample_cumulative(cum)));
-    }
-    work += static_cast<double>(attempts);
-    collected.assign(chosen.begin(), chosen.end());
-    std::sort(collected.begin(), collected.end());
   } else {
     // Edge variant: uniform edges; both endpoints join the batch.
     const auto budget = static_cast<std::size_t>(
@@ -105,15 +139,15 @@ MiniBatch SaintSampler::sample(const graph::CsrGraph& g,
         const auto src = static_cast<graph::NodeId>(
             std::distance(indptr.begin(), it) - 1);
         const graph::NodeId dst = g.indices()[e];
-        collected.push_back(src);
-        collected.push_back(dst);
+        sc.collected.push_back(src);
+        sc.collected.push_back(dst);
       }
       work += static_cast<double>(budget);
     }
   }
 
-  const auto ordered = detail::order_nodes(seeds, collected);
-  MiniBatch mb = detail::build_induced(g, seeds, ordered, work);
+  const auto& ordered = detail::order_nodes(g, seeds, sc.collected, sc);
+  MiniBatch mb = detail::build_induced(g, seeds, ordered, work, sc);
   // Induction touches every kept vertex's full neighbor list.
   mb.sampling_work += static_cast<double>(mb.subgraph.num_edges());
   return mb;

@@ -1,0 +1,10 @@
+#include "sampling/sample_scratch.hpp"
+
+namespace gnav::sampling {
+
+SampleScratch& SampleScratch::local() {
+  thread_local SampleScratch scratch;
+  return scratch;
+}
+
+}  // namespace gnav::sampling

@@ -1,0 +1,163 @@
+// Reusable per-thread scratch for the sampling hot path.
+//
+// Every sampler used to rebuild hash sets/maps and temporary vectors per
+// sample() call; at navigation scale (re-sampling every epoch under every
+// candidate configuration) those allocations and pointer-chasing probes
+// dominated the serial sampling path. SampleScratch replaces them with
+// flat, epoch-stamped marker arrays and growable buffers that live in
+// thread-local storage and are reused across batches.
+//
+// Determinism rules (see README "Sampling pipeline"):
+//   - A marker pass begins with begin_pass(n), which bumps the stamp —
+//     O(1), no clearing — so results never depend on what a previous
+//     batch left behind.
+//   - Scratch is per-thread (SampleScratch::local()); sampler results are
+//     a pure function of (graph, seeds, Rng stream), so which thread's
+//     scratch served a batch is unobservable.
+//   - Buffers only grow; peak size is bounded by the largest |V| sampled
+//     on that thread.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "support/alias_table.hpp"
+#include "support/rng.hpp"
+
+namespace gnav::sampling {
+
+/// Dense epoch-stamped set/map over ids in [0, n). contains/insert/set/
+/// get are O(1) with no hashing; begin_pass is O(1) amortized (grows the
+/// backing arrays to n on first use).
+class NodeMarker {
+ public:
+  static constexpr std::int64_t kAbsent = -1;
+
+  void begin_pass(std::size_t n) {
+    if (stamp_.size() < n) {
+      stamp_.resize(n, 0);
+      value_.resize(n, kAbsent);
+    }
+    ++epoch_;
+  }
+
+  bool contains(std::int64_t id) const {
+    return stamp_[static_cast<std::size_t>(id)] == epoch_;
+  }
+
+  /// Marks `id`; returns true when it was not yet marked this pass.
+  bool insert(std::int64_t id) {
+    auto& s = stamp_[static_cast<std::size_t>(id)];
+    if (s == epoch_) return false;
+    s = epoch_;
+    return true;
+  }
+
+  void set(std::int64_t id, std::int64_t value) {
+    stamp_[static_cast<std::size_t>(id)] = epoch_;
+    value_[static_cast<std::size_t>(id)] = value;
+  }
+
+  /// Mapped value of `id`, or kAbsent when unset this pass.
+  std::int64_t get(std::int64_t id) const {
+    return stamp_[static_cast<std::size_t>(id)] == epoch_
+               ? value_[static_cast<std::size_t>(id)]
+               : kAbsent;
+  }
+
+ private:
+  std::vector<std::uint64_t> stamp_;
+  std::vector<std::int64_t> value_;
+  std::uint64_t epoch_ = 0;
+};
+
+/// One weighted neighbor-draw context for the two-valued bias weights
+/// (preferred vertices vs the rest). The neighborhood is split once —
+/// O(deg) — after which every draw is O(1): choose the group by mass,
+/// then uniform within it. Equivalent to the cumulative-array draw it
+/// replaces, without the per-call O(deg) array or O(log deg) search.
+/// Zero total mass falls back to a uniform draw over the neighborhood.
+class TwoGroupDraw {
+ public:
+  TwoGroupDraw(std::span<const graph::NodeId> nb,
+               const std::vector<char>& preference, double preferred_weight,
+               double other_weight, std::vector<std::uint32_t>& pref_buf,
+               std::vector<std::uint32_t>& rest_buf)
+      : nb_(nb), pref_(pref_buf), rest_(rest_buf) {
+    pref_.clear();
+    rest_.clear();
+    for (std::size_t i = 0; i < nb.size(); ++i) {
+      const bool preferred =
+          preference[static_cast<std::size_t>(nb[i])] != 0;
+      (preferred ? pref_ : rest_).push_back(static_cast<std::uint32_t>(i));
+    }
+    pref_mass_ = preferred_weight * static_cast<double>(pref_.size());
+    total_ = pref_mass_ + other_weight * static_cast<double>(rest_.size());
+  }
+
+  bool zero_mass() const { return !(total_ > 0.0); }
+
+  /// Draws one neighbor position in [0, nb.size()).
+  std::size_t sample(Rng& rng) const {
+    if (zero_mass()) {
+      // Zero-mass guard: all weights vanished; uniform keeps the draw
+      // well-defined instead of dividing by zero.
+      return static_cast<std::size_t>(rng.uniform_index(nb_.size()));
+    }
+    if (rest_.empty()) {
+      return pref_[static_cast<std::size_t>(rng.uniform_index(pref_.size()))];
+    }
+    if (pref_.empty()) {
+      return rest_[static_cast<std::size_t>(rng.uniform_index(rest_.size()))];
+    }
+    if (rng.uniform() * total_ < pref_mass_) {
+      return pref_[static_cast<std::size_t>(rng.uniform_index(pref_.size()))];
+    }
+    return rest_[static_cast<std::size_t>(rng.uniform_index(rest_.size()))];
+  }
+
+ private:
+  std::span<const graph::NodeId> nb_;
+  std::vector<std::uint32_t>& pref_;
+  std::vector<std::uint32_t>& rest_;
+  double pref_mass_ = 0.0;
+  double total_ = 0.0;
+};
+
+/// The per-thread scratch bundle. All samplers and the mini-batch
+/// builders draw their temporaries from here; nothing in it outlives a
+/// sample() call semantically (markers are stamped per pass, vectors are
+/// cleared by their users).
+struct SampleScratch {
+  NodeMarker visited;    // frontier/pool membership
+  NodeMarker chosen;     // distinct-draw rejection (indices)
+  NodeMarker mask;       // per-layer selected-vertex mask
+  NodeMarker local_ids;  // global id -> local row during batch build
+
+  std::vector<graph::NodeId> frontier;
+  std::vector<graph::NodeId> next_frontier;
+  std::vector<graph::NodeId> collected;
+  std::vector<graph::NodeId> picked;
+  std::vector<graph::NodeId> pool;
+  std::vector<graph::NodeId> ordered;
+  std::vector<std::uint32_t> pref_idx;
+  std::vector<std::uint32_t> rest_idx;
+  std::vector<double> weights;
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> edges;
+  support::AliasTable alias;
+
+  // Flat CSR-construction buffers (counting pass + prefix sum + fill).
+  std::vector<graph::EdgeId> row_counts;
+  std::vector<graph::EdgeId> row_offsets;
+  std::vector<graph::EdgeId> row_cursor;
+  std::vector<graph::NodeId> adj_tmp;
+
+  /// The calling thread's scratch. Pool workers each get their own; the
+  /// serial path reuses the main thread's across every batch.
+  static SampleScratch& local();
+};
+
+}  // namespace gnav::sampling

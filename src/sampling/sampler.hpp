@@ -7,13 +7,16 @@
 // reconfiguration alone.
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "graph/csr_graph.hpp"
 #include "sampling/minibatch.hpp"
+#include "support/alias_table.hpp"
 #include "support/rng.hpp"
 
 namespace gnav::sampling {
@@ -37,18 +40,23 @@ SamplerKind sampler_kind_from_string(const std::string& s);
 struct SamplingBias {
   const std::vector<char>* preference = nullptr;  // size == num_nodes
   double bias_rate = 0.0;
+  /// Monotone change counter for `preference` (the device cache bumps it
+  /// on every residency change). Samplers key their cached weighted-draw
+  /// structures on it; when null the bitmap is treated as immutable.
+  const std::uint64_t* version = nullptr;
 
   bool active() const {
     return preference != nullptr && bias_rate > 0.0;
   }
+  /// Weight of a preferred vertex. Linear interpolation between uniform
+  /// weight 1 and a strong preference ratio (preferred vertices are up to
+  /// ~40x likelier at full bias — 2PGraph-style samplers pick cached
+  /// vertices almost exclusively when available).
+  double weight_preferred() const { return 1.0 + 39.0 * bias_rate; }
   double weight(graph::NodeId v) const {
     if (!active()) return 1.0;
     const bool preferred = (*preference)[static_cast<std::size_t>(v)] != 0;
-    // Linear interpolation between uniform weight 1 and a strong
-    // preference ratio (preferred vertices are up to ~40x likelier at
-    // full bias — 2PGraph-style samplers pick cached vertices almost
-    // exclusively when available).
-    return preferred ? 1.0 + 39.0 * bias_rate : 1.0;
+    return preferred ? weight_preferred() : 1.0;
   }
 };
 
@@ -121,10 +129,22 @@ class SaintSampler final : public Sampler {
   std::vector<int> hop_list() const override;
 
  private:
+  /// Node-variant degree weights as an alias table, built once per
+  /// (graph, bias version) and shared across batches — the per-call
+  /// O(|V|) cumulative-array rebuild was the sampler's dominant cost.
+  std::shared_ptr<const support::AliasTable> node_alias(
+      const graph::CsrGraph& g) const;
+
   Variant variant_;
   int walk_length_;
   double budget_multiplier_;
   SamplingBias bias_;
+  mutable std::mutex cache_mutex_;
+  mutable const graph::CsrGraph* cached_graph_ = nullptr;
+  mutable graph::NodeId cached_num_nodes_ = -1;
+  mutable graph::EdgeId cached_num_edges_ = -1;
+  mutable std::uint64_t cached_version_ = 0;
+  mutable std::shared_ptr<const support::AliasTable> cached_node_alias_;
 };
 
 }  // namespace gnav::sampling

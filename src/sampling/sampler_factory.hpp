@@ -26,8 +26,12 @@ struct SamplerSettings {
 
 /// `preference` (may be null) marks preferred vertices for biased
 /// sampling; the pointer must outlive the sampler (the runtime backend
-/// hands in its device-cache residency bitmap).
-std::unique_ptr<Sampler> make_sampler(const SamplerSettings& settings,
-                                      const std::vector<char>* preference);
+/// hands in its device-cache residency bitmap). `preference_version`
+/// (may be null) is a change counter for that bitmap — samplers key
+/// cached weighted-draw structures on it; when null the bitmap is
+/// treated as immutable for the sampler's lifetime.
+std::unique_ptr<Sampler> make_sampler(
+    const SamplerSettings& settings, const std::vector<char>* preference,
+    const std::uint64_t* preference_version = nullptr);
 
 }  // namespace gnav::sampling

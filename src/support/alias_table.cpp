@@ -1,0 +1,73 @@
+#include "support/alias_table.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "support/error.hpp"
+
+namespace gnav::support {
+
+void AliasTable::build(std::span<const double> weights) {
+  const std::size_t n = weights.size();
+  GNAV_CHECK(n <= std::numeric_limits<std::uint32_t>::max(),
+             "alias table support too large");
+  prob_.assign(n, 1.0);
+  alias_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    alias_[i] = static_cast<std::uint32_t>(i);
+  }
+  uniform_fallback_ = false;
+  if (n == 0) return;
+
+  double total = 0.0;
+  for (double w : weights) {
+    GNAV_CHECK(std::isfinite(w) && w >= 0.0,
+               "alias table weights must be finite and non-negative");
+    total += w;
+  }
+  if (!(total > 0.0)) {
+    // Zero-mass guard: every weight is 0 — e.g. a fully biased draw with
+    // no preferred vertex in the support. Degrade to uniform instead of
+    // dividing by zero.
+    uniform_fallback_ = true;
+    return;
+  }
+
+  // Vose's method. Worklists are processed in ascending index order so
+  // the table layout (and therefore every downstream draw) is a pure
+  // function of the weights.
+  small_.clear();
+  large_.clear();
+  const double scale = static_cast<double>(n) / total;
+  for (std::size_t i = 0; i < n; ++i) {
+    prob_[i] = weights[i] * scale;
+    (prob_[i] < 1.0 ? small_ : large_)
+        .push_back(static_cast<std::uint32_t>(i));
+  }
+  std::size_t si = 0;
+  std::size_t li = 0;
+  while (si < small_.size() && li < large_.size()) {
+    const std::uint32_t s = small_[si++];
+    const std::uint32_t l = large_[li];
+    alias_[s] = l;
+    prob_[l] -= 1.0 - prob_[s];
+    if (prob_[l] < 1.0) {
+      ++li;
+      small_.push_back(l);
+    }
+  }
+  // Residual columns (numerical leftovers) accept unconditionally.
+  for (; li < large_.size(); ++li) prob_[large_[li]] = 1.0;
+  for (; si < small_.size(); ++si) prob_[small_[si]] = 1.0;
+}
+
+std::size_t AliasTable::sample(Rng& rng) const {
+  GNAV_CHECK(!prob_.empty(), "cannot sample from an empty alias table");
+  const auto column =
+      static_cast<std::size_t>(rng.uniform_index(prob_.size()));
+  const double coin = rng.uniform();
+  if (uniform_fallback_) return column;
+  return coin < prob_[column] ? column : alias_[column];
+}
+
+}  // namespace gnav::support

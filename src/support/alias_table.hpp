@@ -1,0 +1,53 @@
+// Walker/Vose alias table: O(n) construction, O(1) weighted draws.
+//
+// This is the precomputed weighted-draw structure behind the samplers'
+// biased selection probabilities (Eq. 2's p(η)): built once per
+// (graph, bias) and shared across mini-batches, it replaces the per-call
+// cumulative-weight arrays whose O(n) rebuild + O(log n) binary-search
+// draws dominated sampler wall time. Construction is fully deterministic
+// (index-ascending worklists), so a table built from the same weights is
+// bit-identical everywhere, and a draw consumes exactly two Rng values —
+// the determinism contract of task_seed batching is preserved.
+//
+// Zero total mass (every weight 0) is explicitly supported: the table
+// falls back to a uniform draw over the support instead of dividing by
+// zero — the hazard the biased samplers hit at bias-rate extremes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace gnav::support {
+
+class AliasTable {
+ public:
+  AliasTable() = default;
+  explicit AliasTable(std::span<const double> weights) { build(weights); }
+
+  /// (Re)builds the table from `weights` (all finite and >= 0; throws
+  /// gnav::Error otherwise). Reuses internal storage across rebuilds.
+  void build(std::span<const double> weights);
+
+  std::size_t size() const { return prob_.size(); }
+  bool empty() const { return prob_.empty(); }
+
+  /// True when the last build saw zero total mass and draws degrade to
+  /// uniform over [0, size()).
+  bool uniform_fallback() const { return uniform_fallback_; }
+
+  /// Draws one index with probability proportional to its weight.
+  /// Requires size() > 0. Consumes exactly two Rng draws.
+  std::size_t sample(Rng& rng) const;
+
+ private:
+  std::vector<double> prob_;          // acceptance threshold per column
+  std::vector<std::uint32_t> alias_;  // fallback index per column
+  std::vector<std::uint32_t> small_;  // build worklists (kept for reuse)
+  std::vector<std::uint32_t> large_;
+  bool uniform_fallback_ = false;
+};
+
+}  // namespace gnav::support

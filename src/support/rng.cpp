@@ -123,7 +123,11 @@ std::vector<std::int64_t> Rng::sample_without_replacement(std::int64_t n,
 std::size_t Rng::sample_cumulative(const std::vector<double>& cumulative) {
   GNAV_CHECK(!cumulative.empty(), "empty cumulative weights");
   const double total = cumulative.back();
-  GNAV_CHECK(total > 0.0, "total weight must be positive");
+  // Explicit zero-mass guard (also rejects NaN totals): with every weight
+  // zero there is no distribution to draw from; callers that want a
+  // uniform fallback should use AliasTable / TwoGroupDraw instead.
+  GNAV_CHECK(total > 0.0,
+             "sample_cumulative: zero total mass (all weights zero?)");
   const double x = uniform() * total;
   // Binary search for the first cumulative value exceeding x.
   std::size_t lo = 0;

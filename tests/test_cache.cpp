@@ -17,6 +17,29 @@ graph::CsrGraph star_graph(graph::NodeId leaves) {
   return b.build();
 }
 
+/// Vertices 0..cores-1 have strictly increasing degrees (core i has i+1
+/// private leaves); leaf vertices all have degree 1. Gives full control
+/// over degree-based eviction decisions.
+graph::CsrGraph degree_ladder(graph::NodeId cores) {
+  graph::NodeId n = cores;
+  for (graph::NodeId i = 0; i < cores; ++i) n += i + 1;
+  graph::GraphBuilder b(n);
+  graph::NodeId next = cores;
+  for (graph::NodeId i = 0; i < cores; ++i) {
+    for (graph::NodeId j = 0; j <= i; ++j) b.add_undirected_edge(i, next++);
+  }
+  return b.build();
+}
+
+std::vector<graph::NodeId> residents_of(const DeviceCache& cache,
+                                        const graph::CsrGraph& g) {
+  std::vector<graph::NodeId> out;
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (cache.is_resident(v)) out.push_back(v);
+  }
+  return out;
+}
+
 class CachePolicyInvariants : public ::testing::TestWithParam<CachePolicy> {};
 
 TEST_P(CachePolicyInvariants, CapacityAndAccountingHold) {
@@ -123,6 +146,112 @@ TEST(DeviceCache, WeightedDegreeKeepsHubs) {
   c2.lookup_and_update({0});
   EXPECT_TRUE(c2.is_resident(0));
   EXPECT_FALSE(c2.is_resident(1));
+}
+
+// ------------------------------------------------------------------
+// Exact scripted eviction order per policy. These pin the precise
+// victim-selection semantics (including tie-breaks) so the O(1)
+// replacement machinery cannot silently change which vertices survive.
+
+TEST(DeviceCache, FifoEvictionOrderScripted) {
+  const auto g = star_graph(10);
+  DeviceCache cache(CachePolicy::kFifo, 2, g);
+  cache.lookup_and_update({4});
+  cache.lookup_and_update({5});
+  EXPECT_EQ(residents_of(cache, g), (std::vector<graph::NodeId>{4, 5}));
+  cache.lookup_and_update({4});  // hit; FIFO ignores recency
+  const auto r1 = cache.lookup_and_update({6});  // evicts 4 (oldest)
+  EXPECT_EQ(r1.replaced, 1u);
+  EXPECT_EQ(residents_of(cache, g), (std::vector<graph::NodeId>{5, 6}));
+  cache.lookup_and_update({7});  // evicts 5
+  EXPECT_EQ(residents_of(cache, g), (std::vector<graph::NodeId>{6, 7}));
+  EXPECT_EQ(cache.stats().evictions, 2u);
+}
+
+TEST(DeviceCache, LruEvictionOrderScripted) {
+  const auto g = star_graph(10);
+  DeviceCache cache(CachePolicy::kLru, 3, g);
+  cache.lookup_and_update({1});
+  cache.lookup_and_update({2});
+  cache.lookup_and_update({3});  // resident {1,2,3}
+  cache.lookup_and_update({2});  // recency order now 1 < 3 < 2
+  cache.lookup_and_update({1});  // recency order now 3 < 2 < 1
+  const auto r1 = cache.lookup_and_update({4});  // evicts 3
+  EXPECT_EQ(r1.replaced, 1u);
+  EXPECT_EQ(residents_of(cache, g), (std::vector<graph::NodeId>{1, 2, 4}));
+  cache.lookup_and_update({5});  // evicts 2
+  EXPECT_EQ(residents_of(cache, g), (std::vector<graph::NodeId>{1, 4, 5}));
+  cache.lookup_and_update({4});  // touch 4; 1 is now least recent
+  cache.lookup_and_update({6});  // evicts 1
+  EXPECT_EQ(residents_of(cache, g), (std::vector<graph::NodeId>{4, 5, 6}));
+}
+
+TEST(DeviceCache, WdegAdmissionAndEvictionScripted) {
+  const auto g = degree_ladder(4);  // deg(0)=1, deg(1)=2, deg(2)=3, deg(3)=4
+  DeviceCache cache(CachePolicy::kWeightedDegree, 2, g);
+  cache.lookup_and_update({1});
+  cache.lookup_and_update({2});  // resident {1,2}, min resident degree 2
+  // Admission check: deg(0)=1 <= 2, so vertex 0 must be rejected without
+  // evicting anything.
+  const auto rejected = cache.lookup_and_update({0});
+  EXPECT_EQ(rejected.replaced, 0u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  EXPECT_EQ(residents_of(cache, g), (std::vector<graph::NodeId>{1, 2}));
+  // deg(3)=4 > 2 displaces exactly the minimum-degree resident (vertex 1).
+  const auto admitted = cache.lookup_and_update({3});
+  EXPECT_EQ(admitted.replaced, 1u);
+  EXPECT_EQ(residents_of(cache, g), (std::vector<graph::NodeId>{2, 3}));
+  // Equal-degree admission is also rejected (strictly-greater rule).
+  cache.lookup_and_update({2});
+  const auto equal = cache.lookup_and_update({1});
+  EXPECT_EQ(equal.replaced, 0u);
+  EXPECT_FALSE(cache.is_resident(1));
+}
+
+TEST(DeviceCache, WdegDegreeTieEvictsEarliestInserted) {
+  const auto g = degree_ladder(4);
+  // Leaves all have degree 1; the first-inserted of a degree tie must be
+  // the victim.
+  const graph::NodeId leaf_a = 4;
+  const graph::NodeId leaf_b = 5;
+  DeviceCache cache(CachePolicy::kWeightedDegree, 2, g);
+  cache.lookup_and_update({leaf_a});
+  cache.lookup_and_update({leaf_b});
+  const auto res = cache.lookup_and_update({3});  // deg 4 displaces leaf_a
+  EXPECT_EQ(res.replaced, 1u);
+  EXPECT_FALSE(cache.is_resident(leaf_a));
+  EXPECT_TRUE(cache.is_resident(leaf_b));
+  EXPECT_TRUE(cache.is_resident(3));
+}
+
+TEST(DeviceCache, CapacityZeroNeverAdmits) {
+  const auto g = star_graph(6);
+  for (CachePolicy p : {CachePolicy::kLru, CachePolicy::kFifo,
+                        CachePolicy::kWeightedDegree, CachePolicy::kStatic}) {
+    DeviceCache cache(p, 0, g);
+    const auto res = cache.lookup_and_update({0, 1, 2});
+    EXPECT_EQ(res.hits, 0u);
+    EXPECT_EQ(res.misses.size(), 3u);
+    EXPECT_EQ(res.replaced, 0u);
+    EXPECT_EQ(cache.resident_count(), 0u);
+    EXPECT_EQ(cache.stats().evictions, 0u);
+  }
+}
+
+TEST(DeviceCache, CapacityAtLeastGraphNeverEvicts) {
+  const auto g = star_graph(6);  // 7 vertices
+  for (CachePolicy p : {CachePolicy::kLru, CachePolicy::kFifo,
+                        CachePolicy::kWeightedDegree}) {
+    DeviceCache cache(p, 100, g);
+    EXPECT_EQ(cache.capacity(), 7u);
+    std::vector<graph::NodeId> all;
+    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) all.push_back(v);
+    cache.lookup_and_update(all);
+    cache.lookup_and_update(all);
+    EXPECT_EQ(cache.resident_count(), 7u);
+    EXPECT_EQ(cache.stats().evictions, 0u);
+    EXPECT_EQ(cache.stats().hits, 7u);  // second pass hits everything
+  }
 }
 
 TEST(DeviceCache, CapacityClampedToGraph) {

@@ -56,7 +56,7 @@ const GoldenCase kGolden[] = {
      "[-1];\nlr = 0.0099999997764825821;\nmodel = sage;\nname = "
      "gnav-balance;\nnumlayers = 2;\npipeline = true;\nreorder = "
      "false;\nsaintbudget = 8;\nsampler = cluster;\n",
-     0.097831895103963437, 0.59528653721010449, 0.58466056548800338,
+     0.097745504476018444, 0.59698107322516636, 0.59442920180293468,
      1.9327334607860969},
     {"reddit2", "ogbn-arxiv",
      "batchsize = 512;\nbiasrate = 0;\ncachepolicy = none;\ncacheratio = "
@@ -64,7 +64,7 @@ const GoldenCase kGolden[] = {
      "64;\nhoplist = [-1];\nlr = 0.0099999997764825821;\nmodel = "
      "sage;\nname = gnav-balance;\nnumlayers = 2;\npipeline = "
      "true;\nreorder = false;\nsaintbudget = 8;\nsampler = cluster;\n",
-     0.57805147540545143, 0.67091865417629215, 0.66902146096010839,
+     0.60345994773033074, 0.67563103608602271, 0.65761915855138842,
      1.4746742189646083},
 };
 

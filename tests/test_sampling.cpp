@@ -8,11 +8,13 @@
 
 #include "graph/dataset.hpp"
 #include "graph/generators.hpp"
+#include "graph/graph_builder.hpp"
 #include "graph/graph_stats.hpp"
 #include "sampling/batch_size_model.hpp"
 #include "sampling/batcher.hpp"
 #include "sampling/sampler_factory.hpp"
 #include "support/error.hpp"
+#include "support/parallel.hpp"
 
 namespace gnav::sampling {
 namespace {
@@ -175,6 +177,143 @@ TEST(SaintSampler, NodeBudgetRespected) {
   SaintSampler node_sampler(SaintSampler::Variant::kNode, 1, 4.0, {});
   const auto mb = node_sampler.sample(g, seeds, rng);
   EXPECT_LE(mb.num_nodes(), static_cast<std::int64_t>(10 + 10 * 4));
+}
+
+// ------------------------------------------------------------------
+// Sampler edge cases.
+
+TEST(SamplerEdgeCases, IsolatedSeedVertexYieldsSingletonBatch) {
+  // Vertex 4 has no edges at all; every sampler must still produce a
+  // well-formed batch containing it.
+  graph::GraphBuilder b(5);
+  b.add_undirected_edge(0, 1);
+  b.add_undirected_edge(1, 2);
+  b.add_undirected_edge(2, 3);
+  const auto g = b.build();
+  const std::vector<graph::NodeId> seeds = {4};
+  for (SamplerKind kind :
+       {SamplerKind::kNodeWise, SamplerKind::kLayerWise,
+        SamplerKind::kSaintWalk, SamplerKind::kSaintNode,
+        SamplerKind::kSaintEdge}) {
+    Rng rng(41);
+    SamplerSettings settings;
+    settings.kind = kind;
+    settings.hop_list = {3, 3};
+    const auto sampler = make_sampler(settings, nullptr);
+    const MiniBatch mb = sampler->sample(g, seeds, rng);
+    EXPECT_NO_THROW(mb.validate(g)) << to_string(kind);
+    ASSERT_GE(mb.nodes.size(), 1u) << to_string(kind);
+    EXPECT_EQ(mb.nodes[0], 4) << to_string(kind);
+    EXPECT_EQ(mb.seed_local[0], 0) << to_string(kind);
+    // The isolated seed contributes no edges of its own.
+    EXPECT_EQ(mb.subgraph.degree(0), 0) << to_string(kind);
+  }
+}
+
+TEST(SamplerEdgeCases, FanoutGreaterThanDegreeKeepsWholeNeighborhood) {
+  const auto g = test_graph();
+  Rng rng(43);
+  const std::vector<graph::NodeId> seeds = {0};
+  NodeWiseSampler sampler({1000}, {});
+  const auto mb = sampler.sample(g, seeds, rng);
+  EXPECT_EQ(mb.num_nodes(), 1 + g.degree(0));
+  // Biased variant with k > degree also takes the full-neighborhood
+  // path (probabilistic drops only) and must stay well-formed.
+  std::vector<char> preference(static_cast<std::size_t>(g.num_nodes()), 0);
+  NodeWiseSampler biased({1000}, SamplingBias{&preference, 1.0, nullptr});
+  const auto mbb = biased.sample(g, seeds, rng);
+  EXPECT_NO_THROW(mbb.validate(g));
+  EXPECT_LE(mbb.num_nodes(), mb.num_nodes());
+}
+
+TEST(SamplerEdgeCases, SaintNodeBudgetClampedToGraph) {
+  const auto g = test_graph();
+  Rng rng(47);
+  const auto seeds = pick_seeds(g, 50, rng);
+  // budget_multiplier x |seeds| = 50000 >> |V| = 500: before the clamp
+  // the rejection loop burned budget*30+10 draws and silently returned a
+  // short batch; now the batch is exactly the whole graph.
+  SaintSampler sampler(SaintSampler::Variant::kNode, 1, 1000.0, {});
+  const auto mb = sampler.sample(g, seeds, rng);
+  EXPECT_EQ(mb.num_nodes(), g.num_nodes());
+  EXPECT_NO_THROW(mb.validate(g));
+}
+
+TEST(SamplerEdgeCases, FullyBiasedSamplingWithEmptyPreferenceSet) {
+  // bias_rate = 1 with nothing resident: every weighted draw sees only
+  // weight-1 vertices (zero preferred mass) and must behave uniformly
+  // rather than dividing by zero.
+  const auto g = test_graph();
+  std::vector<char> preference(static_cast<std::size_t>(g.num_nodes()), 0);
+  for (SamplerKind kind :
+       {SamplerKind::kNodeWise, SamplerKind::kLayerWise,
+        SamplerKind::kSaintWalk, SamplerKind::kSaintNode}) {
+    Rng rng(53);
+    SamplerSettings settings;
+    settings.kind = kind;
+    settings.hop_list = {4, 4};
+    settings.bias_rate = 1.0;
+    const auto sampler = make_sampler(settings, &preference);
+    const auto seeds = pick_seeds(g, 16, rng);
+    const MiniBatch mb = sampler->sample(g, seeds, rng);
+    EXPECT_NO_THROW(mb.validate(g)) << to_string(kind);
+    EXPECT_GE(mb.num_nodes(),
+              static_cast<std::int64_t>(seeds.size())) << to_string(kind);
+  }
+}
+
+// ------------------------------------------------------------------
+// The per-batch task_seed determinism contract: for every sampler kind
+// the epoch's mini-batch stream must be bit-identical whether batches
+// build on 1, 2, or 8 pool threads.
+
+TEST(MiniBatchLoader, BitIdenticalAcrossThreadCounts) {
+  const auto g = test_graph();
+  Rng seed_rng(59);
+  std::vector<graph::NodeId> train;
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) train.push_back(v);
+  SeedBatcher batcher(train, 64);
+  const auto seed_batches = batcher.epoch_batches(seed_rng);
+  const std::uint64_t epoch_seed = 0xEB0C5EEDULL;
+
+  for (SamplerKind kind :
+       {SamplerKind::kNodeWise, SamplerKind::kLayerWise,
+        SamplerKind::kSaintWalk, SamplerKind::kSaintNode,
+        SamplerKind::kSaintEdge, SamplerKind::kCluster}) {
+    SamplerSettings settings;
+    settings.kind = kind;
+    settings.hop_list = {4, 4};
+    const auto sampler = make_sampler(settings, nullptr);
+
+    std::vector<MiniBatch> reference;
+    for (std::size_t threads : {1u, 2u, 8u}) {
+      support::ThreadPool pool(threads);
+      MiniBatchLoader loader(*sampler, g, seed_batches, epoch_seed, pool,
+                             /*window=*/4);
+      std::vector<MiniBatch> stream;
+      while (!loader.done()) stream.push_back(loader.next());
+      if (threads == 1u) {
+        reference = std::move(stream);
+        continue;
+      }
+      ASSERT_EQ(stream.size(), reference.size()) << to_string(kind);
+      for (std::size_t i = 0; i < stream.size(); ++i) {
+        EXPECT_EQ(stream[i].nodes, reference[i].nodes)
+            << to_string(kind) << " batch " << i << " @" << threads;
+        EXPECT_EQ(stream[i].seed_local, reference[i].seed_local)
+            << to_string(kind) << " batch " << i;
+        EXPECT_EQ(stream[i].subgraph.indptr(),
+                  reference[i].subgraph.indptr())
+            << to_string(kind) << " batch " << i;
+        EXPECT_EQ(stream[i].subgraph.indices(),
+                  reference[i].subgraph.indices())
+            << to_string(kind) << " batch " << i;
+        EXPECT_DOUBLE_EQ(stream[i].sampling_work,
+                         reference[i].sampling_work)
+            << to_string(kind) << " batch " << i;
+      }
+    }
+  }
 }
 
 TEST(SeedBatcher, PartitionsTrainSetExactly) {

@@ -1,0 +1,156 @@
+// Tests for the precomputed weighted-draw structures behind the samplers
+// (support/alias_table, sampling/sample_scratch): distribution
+// correctness, determinism, the zero-total-mass guards, and the
+// epoch-stamped marker semantics the flat sampling pipeline relies on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sampling/sample_scratch.hpp"
+#include "support/alias_table.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace gnav {
+namespace {
+
+TEST(AliasTable, MatchesWeightsEmpirically) {
+  const std::vector<double> weights = {1.0, 0.0, 3.0, 6.0};
+  support::AliasTable table(weights);
+  ASSERT_EQ(table.size(), 4u);
+  EXPECT_FALSE(table.uniform_fallback());
+  Rng rng(71);
+  std::vector<int> counts(weights.size(), 0);
+  const int draws = 200000;
+  for (int i = 0; i < draws; ++i) ++counts[table.sample(rng)];
+  EXPECT_EQ(counts[1], 0);  // zero-weight index must never be drawn
+  const double total = 10.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double expected = weights[i] / total;
+    const double observed =
+        static_cast<double>(counts[i]) / static_cast<double>(draws);
+    EXPECT_NEAR(observed, expected, 0.01) << "index " << i;
+  }
+}
+
+TEST(AliasTable, DeterministicGivenRngState) {
+  const std::vector<double> weights = {0.5, 2.5, 1.0, 0.25, 4.0};
+  support::AliasTable table(weights);
+  Rng a(5);
+  Rng b(5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(table.sample(a), table.sample(b));
+  }
+}
+
+TEST(AliasTable, ZeroMassFallsBackToUniform) {
+  // The hazard: every weight zero (e.g. a fully biased draw over a
+  // support with no preferred vertex). The draw must stay well-defined.
+  const std::vector<double> weights = {0.0, 0.0, 0.0};
+  support::AliasTable table(weights);
+  EXPECT_TRUE(table.uniform_fallback());
+  Rng rng(9);
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 30000; ++i) ++counts[table.sample(rng)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / 30000.0, 1.0 / 3.0, 0.02);
+  }
+}
+
+TEST(AliasTable, RejectsInvalidWeights) {
+  support::AliasTable table;
+  const std::vector<double> negative = {1.0, -0.5};
+  EXPECT_THROW(table.build(negative), Error);
+  const std::vector<double> nan = {1.0, std::nan("")};
+  EXPECT_THROW(table.build(nan), Error);
+  support::AliasTable empty;
+  Rng rng(1);
+  EXPECT_THROW(empty.sample(rng), Error);
+}
+
+TEST(AliasTable, RebuildReusesStorage) {
+  support::AliasTable table;
+  table.build(std::vector<double>{1.0, 2.0});
+  EXPECT_EQ(table.size(), 2u);
+  table.build(std::vector<double>{3.0, 1.0, 1.0});
+  EXPECT_EQ(table.size(), 3u);
+  Rng rng(3);
+  int zero = 0;
+  for (int i = 0; i < 40000; ++i) zero += table.sample(rng) == 0;
+  EXPECT_NEAR(zero / 40000.0, 0.6, 0.01);
+}
+
+TEST(RngSampleCumulative, ZeroTotalMassThrowsClearError) {
+  Rng rng(1);
+  const std::vector<double> zeros = {0.0, 0.0, 0.0};
+  try {
+    rng.sample_cumulative(zeros);
+    FAIL() << "expected gnav::Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("zero total mass"),
+              std::string::npos)
+        << "message was: " << e.what();
+  }
+}
+
+TEST(TwoGroupDraw, ZeroMassFallsBackToUniform) {
+  // Both group weights zero — the guard the biased fanout path needs at
+  // bias-rate extremes.
+  const std::vector<graph::NodeId> nb = {10, 11, 12, 13};
+  const std::vector<char> preference(20, 0);
+  std::vector<std::uint32_t> pref_buf;
+  std::vector<std::uint32_t> rest_buf;
+  const sampling::TwoGroupDraw draw(nb, preference, /*preferred_weight=*/0.0,
+                                    /*other_weight=*/0.0, pref_buf, rest_buf);
+  EXPECT_TRUE(draw.zero_mass());
+  Rng rng(13);
+  std::vector<int> counts(nb.size(), 0);
+  for (int i = 0; i < 40000; ++i) ++counts[draw.sample(rng)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / 40000.0, 0.25, 0.02);
+  }
+}
+
+TEST(TwoGroupDraw, RespectsPreferenceWeights) {
+  // Neighbors 0,1 preferred at weight 4, neighbors 2,3 at weight 1 →
+  // preferred mass 8/10.
+  const std::vector<graph::NodeId> nb = {0, 1, 2, 3};
+  std::vector<char> preference(4, 0);
+  preference[0] = preference[1] = 1;
+  std::vector<std::uint32_t> pref_buf;
+  std::vector<std::uint32_t> rest_buf;
+  const sampling::TwoGroupDraw draw(nb, preference, 4.0, 1.0, pref_buf,
+                                    rest_buf);
+  EXPECT_FALSE(draw.zero_mass());
+  Rng rng(17);
+  int preferred = 0;
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) preferred += draw.sample(rng) < 2;
+  EXPECT_NEAR(static_cast<double>(preferred) / draws, 0.8, 0.01);
+}
+
+TEST(NodeMarker, StampedPassesIsolateState) {
+  sampling::NodeMarker marker;
+  marker.begin_pass(8);
+  EXPECT_TRUE(marker.insert(3));
+  EXPECT_FALSE(marker.insert(3));
+  EXPECT_TRUE(marker.contains(3));
+  EXPECT_FALSE(marker.contains(4));
+  marker.set(5, 42);
+  EXPECT_EQ(marker.get(5), 42);
+  EXPECT_EQ(marker.get(6), sampling::NodeMarker::kAbsent);
+  // A new pass forgets everything in O(1).
+  marker.begin_pass(8);
+  EXPECT_FALSE(marker.contains(3));
+  EXPECT_EQ(marker.get(5), sampling::NodeMarker::kAbsent);
+  EXPECT_TRUE(marker.insert(3));
+  // Growing mid-stream preserves the current pass.
+  marker.begin_pass(16);
+  marker.set(15, 7);
+  EXPECT_EQ(marker.get(15), 7);
+  EXPECT_FALSE(marker.contains(3));
+}
+
+}  // namespace
+}  // namespace gnav
