@@ -1,0 +1,222 @@
+// Pipelined-epoch-executor sweep: sampler kind x prefetch depth x sampler
+// workers, async vs the synchronous baseline, on a mid-size synthetic
+// dataset. Each cell trains for real through RuntimeBackend::run and
+// records
+//
+//   - measured wall time of the training loops and the per-stage busy
+//     breakdown (sample / transfer / compute),
+//   - backpressure evidence: queue-full and queue-empty stall counts and
+//     the mean prefetch-queue occupancy (nonzero stalls + occupancy
+//     between 0 and depth prove the stages genuinely ran concurrently),
+//   - the measured overlap speedup and efficiency next to Eq. 4's
+//     predicted speedup — the data the estimator's f_overlapping
+//     correction can later be fit from,
+//   - a bit-identity flag: the async loss trajectory must equal the sync
+//     baseline's exactly, so a perf regression hunt can trust that every
+//     cell did the same arithmetic.
+//
+//   ./bench_pipeline [--json out.json] [--epochs N]
+//
+// Emits a JSON document (stdout by default) so CI archives the executor
+// perf trajectory next to bench_micro_kernels / bench_sampling.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "graph/dataset.hpp"
+#include "hw/platform.hpp"
+#include "runtime/backend.hpp"
+#include "runtime/templates.hpp"
+#include "support/parallel.hpp"
+
+using namespace gnav;
+
+namespace {
+
+struct Cell {
+  std::string sampler;
+  std::string executor;
+  std::size_t workers = 0;
+  std::size_t depth = 0;
+  double wall_s = 0.0;          // measured training-loop wall
+  double sample_wall_s = 0.0;   // per-stage busy seconds
+  double transfer_wall_s = 0.0;
+  double compute_wall_s = 0.0;
+  double speedup_vs_sync = 0.0;
+  double measured_speedup = 0.0;   // sequential stage work / wall
+  double overlap_efficiency = 0.0;
+  double predicted_speedup = 0.0;  // Eq. 4
+  unsigned long long push_stalls = 0;
+  unsigned long long pop_stalls = 0;
+  double queue_occupancy = 0.0;
+  bool bit_identical = false;
+};
+
+runtime::TrainConfig config_for(sampling::SamplerKind kind) {
+  runtime::TrainConfig c = runtime::template_pyg();
+  c.sampler = kind;
+  c.batch_size = 256;
+  if (kind == sampling::SamplerKind::kLayerWise) {
+    c = runtime::template_fastgcn();
+    c.batch_size = 256;
+  } else if (kind == sampling::SamplerKind::kSaintWalk ||
+             kind == sampling::SamplerKind::kSaintNode ||
+             kind == sampling::SamplerKind::kSaintEdge) {
+    c = runtime::template_graphsaint();
+    c.sampler = kind;
+    c.batch_size = 256;
+  }
+  c.name = "bench-" + to_string(kind);
+  return c;
+}
+
+void emit_json(std::FILE* out, const std::vector<Cell>& cells) {
+  std::fprintf(out, "{\n  \"benchmark\": \"bench_pipeline\",\n");
+  std::fprintf(out, "  \"results\": [\n");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    std::fprintf(
+        out,
+        "    {\"sampler\": \"%s\", \"executor\": \"%s\", \"workers\": %zu, "
+        "\"depth\": %zu, \"wall_s\": %.6f, \"sample_wall_s\": %.6f, "
+        "\"transfer_wall_s\": %.6f, \"compute_wall_s\": %.6f, "
+        "\"speedup_vs_sync\": %.3f, \"measured_speedup\": %.3f, "
+        "\"overlap_efficiency\": %.3f, \"predicted_speedup\": %.3f, "
+        "\"push_stalls\": %llu, \"pop_stalls\": %llu, "
+        "\"queue_occupancy\": %.3f, \"bit_identical\": %s}%s\n",
+        c.sampler.c_str(), c.executor.c_str(), c.workers, c.depth, c.wall_s,
+        c.sample_wall_s, c.transfer_wall_s, c.compute_wall_s,
+        c.speedup_vs_sync, c.measured_speedup, c.overlap_efficiency,
+        c.predicted_speedup, c.push_stalls, c.pop_stalls, c.queue_occupancy,
+        c.bit_identical ? "true" : "false",
+        i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+}
+
+Cell cell_from_report(const runtime::TrainReport& r,
+                      const runtime::TrainReport& sync_r,
+                      const std::string& sampler) {
+  const runtime::PipelineReport& p = r.pipeline;
+  Cell cell;
+  cell.sampler = sampler;
+  cell.executor = p.executor;
+  cell.workers = p.sampler_workers;
+  cell.depth = p.prefetch_depth;
+  cell.wall_s = p.measured_wall_s;
+  cell.sample_wall_s = p.sample_wall_s;
+  cell.transfer_wall_s = p.transfer_wall_s;
+  cell.compute_wall_s = p.compute_wall_s;
+  cell.speedup_vs_sync =
+      p.measured_wall_s > 0.0
+          ? sync_r.pipeline.measured_wall_s / p.measured_wall_s
+          : 0.0;
+  cell.measured_speedup = p.measured_speedup();
+  cell.overlap_efficiency = p.overlap_efficiency();
+  cell.predicted_speedup = p.predicted_speedup();
+  cell.push_stalls = p.push_stalls;
+  cell.pop_stalls = p.pop_stalls;
+  cell.queue_occupancy = p.mean_queue_occupancy;
+  cell.bit_identical = r.epoch_loss == sync_r.epoch_loss &&
+                       r.cache_hit_rate == sync_r.cache_hit_rate &&
+                       r.test_accuracy == sync_r.test_accuracy;
+  return cell;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  int epochs = 2;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--epochs") == 0 && i + 1 < argc) {
+      epochs = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr, "usage: %s [--json out.json] [--epochs N]\n",
+                   argv[0]);
+      return 1;
+    }
+  }
+  if (epochs < 1) {
+    std::fprintf(stderr, "--epochs must be >= 1\n");
+    return 1;
+  }
+
+  graph::SyntheticSpec spec;
+  spec.name = "bench-pipeline";
+  spec.num_nodes = 6000;
+  spec.num_classes = 8;
+  spec.feature_dim = 32;
+  spec.min_degree = 4;
+  spec.max_degree = 120;
+  const graph::Dataset ds = graph::make_synthetic_dataset(spec, 17);
+  runtime::RuntimeBackend backend(ds, hw::make_profile("rtx4090"));
+
+  const std::vector<sampling::SamplerKind> kinds = {
+      sampling::SamplerKind::kNodeWise,
+      sampling::SamplerKind::kLayerWise,
+      sampling::SamplerKind::kSaintNode,
+      sampling::SamplerKind::kCluster,
+  };
+  const std::vector<std::size_t> depths = {1, 2, 4, 8};
+  const std::vector<std::size_t> workers = {1, 2, 4};
+
+  std::vector<Cell> cells;
+  for (sampling::SamplerKind kind : kinds) {
+    const runtime::TrainConfig config = config_for(kind);
+    const std::string sampler = to_string(kind);
+
+    runtime::RunOptions sync_opts;
+    sync_opts.epochs = epochs;
+    sync_opts.seed = 7;
+    sync_opts.evaluate_every_epoch = false;
+    sync_opts.pipeline.mode = runtime::PipelineMode::kSync;
+    const runtime::TrainReport sync_r = backend.run(config, sync_opts);
+    cells.push_back(cell_from_report(sync_r, sync_r, sampler));
+    std::fprintf(stderr, "%-12s sync            wall=%7.3fs\n",
+                 sampler.c_str(), sync_r.pipeline.measured_wall_s);
+
+    for (std::size_t w : workers) {
+      for (std::size_t d : depths) {
+        runtime::RunOptions opts = sync_opts;
+        opts.pipeline.mode = runtime::PipelineMode::kAsync;
+        opts.pipeline.sampler_workers = w;
+        opts.pipeline.prefetch_depth = d;
+        const runtime::TrainReport r = backend.run(config, opts);
+        const Cell cell = cell_from_report(r, sync_r, sampler);
+        if (!cell.bit_identical) {
+          std::fprintf(stderr,
+                       "FATAL: async report diverged from sync "
+                       "(%s, workers=%zu, depth=%zu)\n",
+                       sampler.c_str(), w, d);
+          return 1;
+        }
+        std::fprintf(stderr,
+                     "%-12s async w=%zu d=%zu wall=%7.3fs  x%4.2f vs sync  "
+                     "overlap=%4.2f  stalls=%llu/%llu\n",
+                     sampler.c_str(), w, d, cell.wall_s,
+                     cell.speedup_vs_sync, cell.measured_speedup,
+                     cell.push_stalls, cell.pop_stalls);
+        cells.push_back(cell);
+      }
+    }
+  }
+
+  if (json_path.empty()) {
+    emit_json(stdout, cells);
+  } else {
+    std::FILE* out = std::fopen(json_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+      return 1;
+    }
+    emit_json(out, cells);
+    std::fclose(out);
+    std::fprintf(stderr, "wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -3,11 +3,16 @@
 //   gnavigator_cli --dataset reddit2 --model sage --hw rtx4090
 //                  --priority ex-tm --max-memory-gb 8 --epochs 4
 //                  [--corpus corpus.csv] [--save-corpus corpus.csv]
+//                  [--pipeline sync|async] [--pipeline-depth N]
 //
 // Runs Step 1 (input analysis), Step 2 (guideline generation — reusing a
 // cached profiling corpus when --corpus is given), trains the baseline
-// PyG configuration and the generated guideline, and prints both.
+// PyG configuration and the generated guideline, and prints both,
+// including the epoch executor's measured stage/backpressure profile.
+// --pipeline/--pipeline-depth select the epoch executor (equivalent to
+// GNAV_PIPELINE / GNAV_PIPELINE_DEPTH).
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <string>
 
@@ -48,6 +53,19 @@ void print_report(const char* tag, const runtime::TrainReport& r) {
               "hit=%5.1f%%\n",
               tag, r.epoch_time_s, r.peak_memory_gb,
               100.0 * r.test_accuracy, 100.0 * r.cache_hit_rate);
+  const runtime::PipelineReport& p = r.pipeline;
+  std::printf("  executor=%s workers=%zu depth=%zu | stage wall s/t/c = "
+              "%.3f/%.3f/%.3f s | stalls full=%llu empty=%llu | "
+              "queue occ=%.2f\n",
+              p.executor.c_str(), p.sampler_workers, p.prefetch_depth,
+              p.sample_wall_s, p.transfer_wall_s, p.compute_wall_s,
+              static_cast<unsigned long long>(p.push_stalls),
+              static_cast<unsigned long long>(p.pop_stalls),
+              p.mean_queue_occupancy);
+  std::printf("  overlap: measured %.2fx (efficiency %.0f%%) vs Eq.4 "
+              "predicted %.2fx\n",
+              p.measured_speedup(), 100.0 * p.overlap_efficiency(),
+              p.predicted_speedup());
 }
 
 }  // namespace
@@ -66,6 +84,17 @@ int main(int argc, char** argv) {
     const int epochs = args.contains("epochs")
                            ? static_cast<int>(parse_int(args.at("epochs")))
                            : 4;
+    // Executor flags are forwarded through the environment — the
+    // navigator's RunOptions default from GNAV_PIPELINE*.
+    if (args.contains("pipeline")) {
+      runtime::pipeline_mode_from_string(args.at("pipeline"));  // validate
+      ::setenv("GNAV_PIPELINE", args.at("pipeline").c_str(), 1);
+    }
+    if (args.contains("pipeline-depth")) {
+      GNAV_CHECK(parse_int(args.at("pipeline-depth")) >= 1,
+                 "--pipeline-depth must be >= 1");
+      ::setenv("GNAV_PIPELINE_DEPTH", args.at("pipeline-depth").c_str(), 1);
+    }
 
     dse::BaseSettings base;
     base.model = nn::model_kind_from_string(model_name);

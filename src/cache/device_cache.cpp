@@ -184,7 +184,11 @@ void DeviceCache::insert(graph::NodeId v, LookupResult& result) {
 }
 
 LookupResult DeviceCache::lookup_and_update(
-    const std::vector<graph::NodeId>& batch) {
+    const std::vector<graph::NodeId>& batch, std::int64_t sequence) {
+  GNAV_CHECK(sequence < 0 ||
+                 static_cast<std::uint64_t>(sequence) == batches_applied_,
+             "cache admissions out of order (ordered-admission contract)");
+  ++batches_applied_;
   LookupResult result;
   for (graph::NodeId v : batch) {
     GNAV_CHECK(graph_.contains(v), "cache lookup: vertex out of range");

@@ -71,7 +71,17 @@ class DeviceCache {
   /// Processes one mini-batch worth of vertex ids: classifies hits vs
   /// misses and applies the update policy to the misses. O(batch) plus
   /// an amortized O(log capacity) heap access per wdeg admission.
-  LookupResult lookup_and_update(const std::vector<graph::NodeId>& batch);
+  ///
+  /// `sequence` is the ordered-admission contract: when >= 0 it must
+  /// equal the number of batches this cache has already admitted. The
+  /// pipelined epoch executor passes the running batch index so that a
+  /// stage-reordering bug trips a loud error instead of silently skewing
+  /// the hit/miss sequence; pass -1 (default) to opt out.
+  LookupResult lookup_and_update(const std::vector<graph::NodeId>& batch,
+                                 std::int64_t sequence = -1);
+
+  /// Batches admitted so far (the expected next `sequence`).
+  std::uint64_t batches_applied() const { return batches_applied_; }
 
   CachePolicy policy() const { return policy_; }
   std::size_t capacity() const { return capacity_; }
@@ -125,6 +135,7 @@ class DeviceCache {
   CacheStats stats_;
   std::uint64_t version_ = 0;
   std::uint64_t seq_counter_ = 0;
+  std::uint64_t batches_applied_ = 0;
 
   // Intrusive list over vertex ids (LRU: recency order, FIFO: insertion
   // order; head = next eviction victim).

@@ -18,7 +18,12 @@ constexpr const char* kHeader =
     "real_volume_scale,coverage10,coverage25,coverage50,"
     "epoch_time_s,peak_memory_gb,test_accuracy,avg_batch_nodes,"
     "avg_batch_edges,cache_hit_rate,iterations_per_epoch,"
-    "sample_s,transfer_s,replace_s,compute_s,config";
+    "sample_s,transfer_s,replace_s,compute_s,"
+    // Executor overlap data: Eq. 4's modeled overlapped/sequential pair
+    // plus the measured per-stage and wall seconds — the raw material
+    // for fitting an f_overlapping correction from profiled runs.
+    "modeled_overlap_s,modeled_sequential_s,sample_wall_s,"
+    "transfer_wall_s,compute_wall_s,measured_wall_s,config";
 
 std::string config_cell(const runtime::TrainConfig& config) {
   // One line: "key = value; key = value; ..."
@@ -54,6 +59,11 @@ void save_corpus(const std::vector<ProfiledRun>& corpus,
       << r.cache_hit_rate << ',' << r.iterations_per_epoch << ','
       << r.epoch_phases.sample_s << ',' << r.epoch_phases.transfer_s << ','
       << r.epoch_phases.replace_s << ',' << r.epoch_phases.compute_s << ','
+      << r.pipeline.modeled_overlapped_s << ','
+      << r.pipeline.modeled_sequential_s << ','
+      << r.pipeline.sample_wall_s << ',' << r.pipeline.transfer_wall_s
+      << ',' << r.pipeline.compute_wall_s << ','
+      << r.pipeline.measured_wall_s << ','
       << '"' << config_cell(run.config) << '"' << '\n';
   }
   GNAV_CHECK(f.good(), "write to '" + path + "' failed");
@@ -79,8 +89,8 @@ std::vector<ProfiledRun> load_corpus(const std::string& path) {
     const std::string config_text =
         line.substr(quote + 1, line.size() - quote - 2);
     auto cells = split(scalars, ',');
-    GNAV_CHECK(cells.size() == 30 && cells.back().empty(),
-               "malformed corpus row (expected 29 scalar cells)");
+    GNAV_CHECK(cells.size() == 36 && cells.back().empty(),
+               "malformed corpus row (expected 35 scalar cells)");
     cells.pop_back();
 
     ProfiledRun run;
@@ -118,6 +128,12 @@ std::vector<ProfiledRun> load_corpus(const std::string& path) {
     r.epoch_phases.transfer_s = parse_double(cells[i++]);
     r.epoch_phases.replace_s = parse_double(cells[i++]);
     r.epoch_phases.compute_s = parse_double(cells[i++]);
+    r.pipeline.modeled_overlapped_s = parse_double(cells[i++]);
+    r.pipeline.modeled_sequential_s = parse_double(cells[i++]);
+    r.pipeline.sample_wall_s = parse_double(cells[i++]);
+    r.pipeline.transfer_wall_s = parse_double(cells[i++]);
+    r.pipeline.compute_wall_s = parse_double(cells[i++]);
+    r.pipeline.measured_wall_s = parse_double(cells[i++]);
     // The cell stores statements separated by ';' on one line; ConfigMap
     // parses one statement per line.
     std::string statements = config_text;

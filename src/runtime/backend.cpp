@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <utility>
 
 #include "nn/loss.hpp"
 #include "nn/optim.hpp"
@@ -36,7 +37,25 @@ double structure_bytes(const sampling::MiniBatch& mb) {
          8.0 * static_cast<double>(mb.num_nodes());
 }
 
+/// Output of the transfer/cache stage: everything the compute stage needs
+/// to run a train step without touching the cache, the profiler, or the
+/// full-graph feature tensor.
+struct PreparedBatch {
+  sampling::MiniBatch mb;
+  tensor::Tensor x;          // gathered (and possibly quantized) features
+  std::vector<int> labels;   // per seed-local position
+};
+
 }  // namespace
+
+double PipelineReport::overlap_efficiency() const {
+  PipelineEpochStats s;
+  s.sample_busy_s = sample_wall_s;
+  s.transfer_busy_s = transfer_wall_s;
+  s.compute_busy_s = compute_wall_s;
+  s.wall_s = measured_wall_s;
+  return s.overlap_efficiency();
+}
 
 RuntimeBackend::RuntimeBackend(const graph::Dataset& dataset,
                                hw::HardwareProfile profile)
@@ -162,11 +181,21 @@ TrainReport RuntimeBackend::run(const TrainConfig& config,
       config.reorder ? kReorderSamplingDiscount : 1.0;
 
   // Cache-aware bias couples batch i's sampling to batch i-1's cache
-  // update through the residency bitmap, so it forces the serial path;
-  // everything else pre-builds mini-batches concurrently.
+  // update through the residency bitmap, so sampling and cache update
+  // cannot parallelize against each other; everything else pre-builds
+  // mini-batches concurrently.
   const bool biased_sampling = preference != nullptr;
   support::ThreadPool& pool =
       options.pool ? *options.pool : support::global_pool();
+
+  // Epoch executor selection. Both executors produce bit-identical
+  // reports (see RunOptions::pipeline); the async one additionally
+  // overlaps the sample / transfer / compute stages for real and records
+  // the measured overlap next to Eq. 4's prediction.
+  const PipelineConfig& pipe = options.pipeline;
+  const bool async_executor = pipe.mode == PipelineMode::kAsync;
+  PipelineEpochStats run_measured;  // real wall-clock totals, all epochs
+  const std::size_t num_batches = batcher.batches_per_epoch();
 
   // --- Algo. 1 main loop ------------------------------------------------
   for (int epoch = 0; epoch < options.epochs; ++epoch) {
@@ -181,10 +210,23 @@ TrainReport RuntimeBackend::run(const TrainConfig& config,
         options.seed ^ 0xB47C4E5EEDULL, static_cast<std::uint64_t>(epoch));
     const auto seed_batches = batcher.epoch_batches(rng);
 
-    auto train_step = [&](const sampling::MiniBatch& mb) {
-      // Component 2: transmission (cache lookup -> transfer misses).
-      const cache::LookupResult lookup =
-          device_cache.lookup_and_update(mb.nodes);
+    // Component 1: sampling. Thread-safe at any worker count — batch i
+    // always draws from its own task_seed-derived stream.
+    auto sample_batch = [&](std::size_t i) {
+      Rng batch_rng(support::task_seed(epoch_seed, i));
+      return sampler->sample(ds.graph, seed_batches[i], batch_rng);
+    };
+
+    // Component 2: transmission (cache lookup -> transfer misses) plus
+    // feature staging. Runs in STRICT batch order — under the async
+    // executor on the single transfer thread — so the cache hit/miss
+    // sequence and every profiler accumulation are order-identical to
+    // the synchronous path (the passed sequence number enforces it).
+    auto prepare_batch = [&](std::size_t i, sampling::MiniBatch&& mb) {
+      const cache::LookupResult lookup = device_cache.lookup_and_update(
+          mb.nodes, static_cast<std::int64_t>(
+                        static_cast<std::uint64_t>(epoch) * num_batches +
+                        static_cast<std::uint64_t>(i)));
 
       // INT8 link compression shrinks feature payloads 4x (plus a
       // negligible per-row scale/offset header, ignored).
@@ -225,7 +267,7 @@ TrainReport RuntimeBackend::run(const TrainConfig& config,
           (report.mem_model_gb + report.mem_cache_gb) * kBytesPerGb +
           runtime_bytes);
 
-      // Real training step. Compressed transfers quantize the gathered
+      // Feature staging. Compressed transfers quantize the gathered
       // features to int8 and back, so the accuracy impact is genuine.
       tensor::Tensor x = tensor::gather_rows(x_full, mb.nodes);
       if (config.compress_features) {
@@ -244,14 +286,21 @@ TrainReport RuntimeBackend::run(const TrainConfig& config,
           }
         }
       }
-      tensor::Tensor logits = model.forward(mb.subgraph, x, true, rng);
       std::vector<int> labels(mb.seed_local.size());
-      for (std::size_t i = 0; i < mb.seed_local.size(); ++i) {
-        labels[i] = ds.labels[static_cast<std::size_t>(
-            mb.nodes[static_cast<std::size_t>(mb.seed_local[i])])];
+      for (std::size_t s = 0; s < mb.seed_local.size(); ++s) {
+        labels[s] = ds.labels[static_cast<std::size_t>(
+            mb.nodes[static_cast<std::size_t>(mb.seed_local[s])])];
       }
+      return PreparedBatch{std::move(mb), std::move(x), std::move(labels)};
+    };
+
+    // Component 3: the real training step, always on this thread and in
+    // strict batch order — the optimizer state and the dropout RNG
+    // stream are serialized by batch index under both executors.
+    auto consume_batch = [&](std::size_t, PreparedBatch&& p) {
+      tensor::Tensor logits = model.forward(p.mb.subgraph, p.x, true, rng);
       const nn::LossResult loss =
-          nn::softmax_cross_entropy(logits, mb.seed_local, labels);
+          nn::softmax_cross_entropy(logits, p.mb.seed_local, p.labels);
       optimizer.zero_grad();
       model.backward(loss.grad_logits);
       optimizer.step();
@@ -259,31 +308,72 @@ TrainReport RuntimeBackend::run(const TrainConfig& config,
       epoch_loss += loss.loss;
       correct += loss.correct;
       total += loss.total;
-      report.avg_batch_nodes += static_cast<double>(mb.num_nodes());
-      report.avg_batch_edges += static_cast<double>(mb.num_edges());
+      report.avg_batch_nodes += static_cast<double>(p.mb.num_nodes());
+      report.avg_batch_edges += static_cast<double>(p.mb.num_edges());
       if (options.record_batch_sizes) {
         report.per_batch_nodes.push_back(
-            static_cast<double>(mb.num_nodes()));
+            static_cast<double>(p.mb.num_nodes()));
       }
     };
 
-    if (biased_sampling) {
-      // Component 1, serial: sampling must observe the cache residency
-      // left behind by the previous iteration's update.
+    PipelineEpochStats epoch_measured;
+    if (async_executor) {
+      // Pipelined executor: sampler workers feed the ordered transfer
+      // stage through bounded queues while this thread trains. Biased
+      // sampling chains sample+prepare on one producer (batch i's
+      // sampling must observe batch i-1's cache update) but still
+      // overlaps compute.
+      epoch_measured = run_pipelined_epoch<sampling::MiniBatch, PreparedBatch>(
+          seed_batches.size(), pipe, /*chain_sample_and_prepare=*/
+          biased_sampling, sample_batch, prepare_batch, consume_batch);
+    } else if (biased_sampling) {
+      // Synchronous serial path: sample -> transfer -> compute per batch.
+      const auto epoch_start = detail::Clock::now();
+      epoch_measured.batches = seed_batches.size();
+      epoch_measured.sampler_workers = 1;
       for (std::size_t i = 0; i < seed_batches.size(); ++i) {
-        Rng batch_rng(support::task_seed(epoch_seed, i));
-        train_step(sampler->sample(ds.graph, seed_batches[i], batch_rng));
+        auto t0 = detail::Clock::now();
+        sampling::MiniBatch mb = sample_batch(i);
+        epoch_measured.sample_busy_s += detail::seconds_since(t0);
+        t0 = detail::Clock::now();
+        PreparedBatch p = prepare_batch(i, std::move(mb));
+        epoch_measured.transfer_busy_s += detail::seconds_since(t0);
+        t0 = detail::Clock::now();
+        consume_batch(i, std::move(p));
+        epoch_measured.compute_busy_s += detail::seconds_since(t0);
       }
+      epoch_measured.wall_s = detail::seconds_since(epoch_start);
     } else {
-      // Component 1, parallel: workers build batch i+1..i+w while the
-      // inherently serial cache/train steps consume batch i (PyG
+      // Synchronous prefetch path: pool workers build batch i+1..i+w
+      // while the serial transfer/train steps consume batch i (PyG
       // num_workers-style prefetching). The window caps live mini-batch
-      // memory at ~4 per worker.
+      // memory at ~4 per worker. Only the caller's blocked time counts
+      // as the sampling stage — the builds themselves overlap.
+      const auto epoch_start = detail::Clock::now();
       const std::size_t window = std::max<std::size_t>(8, pool.size() * 4);
+      epoch_measured.batches = seed_batches.size();
+      epoch_measured.sampler_workers = pool.size();
+      epoch_measured.prefetch_depth = window;
       sampling::MiniBatchLoader loader(*sampler, ds.graph, seed_batches,
                                        epoch_seed, pool, window);
-      while (!loader.done()) train_step(loader.next());
+      for (std::size_t i = 0; !loader.done(); ++i) {
+        sampling::MiniBatch mb = loader.next();
+        auto t0 = detail::Clock::now();
+        PreparedBatch p = prepare_batch(i, std::move(mb));
+        epoch_measured.transfer_busy_s += detail::seconds_since(t0);
+        t0 = detail::Clock::now();
+        consume_batch(i, std::move(p));
+        epoch_measured.compute_busy_s += detail::seconds_since(t0);
+      }
+      epoch_measured.sample_busy_s = loader.wait_s();
+      epoch_measured.wall_s = detail::seconds_since(epoch_start);
     }
+    profiler.record_epoch_measured(epoch_measured);
+    run_measured.accumulate(epoch_measured);
+    report.pipeline.modeled_overlapped_s +=
+        profiler.epoch_modeled_overlapped_s() * time_scale;
+    report.pipeline.modeled_sequential_s +=
+        profiler.epoch_modeled_sequential_s() * time_scale;
 
     report.epoch_times_s.push_back(profiler.epoch_wall_s() * time_scale);
     report.epoch_loss.push_back(epoch_loss /
@@ -338,6 +428,19 @@ TrainReport RuntimeBackend::run(const TrainConfig& config,
                             ? 0.0
                             : report.epoch_val_accuracy.back();
   report.cache_hit_rate = device_cache.stats().hit_rate();
+
+  // Executor profile: measured wall/stall totals plus the Eq. 4 modeled
+  // pair accumulated per iteration above.
+  report.pipeline.executor = to_string(pipe.mode);
+  report.pipeline.prefetch_depth = run_measured.prefetch_depth;
+  report.pipeline.sampler_workers = run_measured.sampler_workers;
+  report.pipeline.push_stalls = run_measured.push_stalls;
+  report.pipeline.pop_stalls = run_measured.pop_stalls;
+  report.pipeline.mean_queue_occupancy = run_measured.mean_prepared_occupancy;
+  report.pipeline.sample_wall_s = run_measured.sample_busy_s;
+  report.pipeline.transfer_wall_s = run_measured.transfer_busy_s;
+  report.pipeline.compute_wall_s = run_measured.compute_busy_s;
+  report.pipeline.measured_wall_s = run_measured.wall_s;
 
   // Final test evaluation on the full graph.
   {

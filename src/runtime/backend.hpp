@@ -15,9 +15,12 @@
 #include <cstdint>
 #include <vector>
 
+#include <string>
+
 #include "graph/dataset.hpp"
 #include "hw/cost_model.hpp"
 #include "kernels/spmm.hpp"
+#include "runtime/pipeline.hpp"
 #include "runtime/profiler.hpp"
 #include "runtime/train_config.hpp"
 
@@ -26,6 +29,54 @@ class ThreadPool;
 }
 
 namespace gnav::runtime {
+
+/// Execution profile of the epoch executor, totaled over the run. The
+/// modeled_* pair is simulated (cost model, Eq. 4, dataset-scale seconds)
+/// and fully deterministic; everything else is REAL wall-clock and stall
+/// accounting, so it varies run to run like `wall_clock_s` does — it is
+/// exempt from the sync/async bit-identity contract.
+struct PipelineReport {
+  std::string executor = "sync";  // which executor ran ("sync" | "async")
+  std::size_t prefetch_depth = 0;
+  std::size_t sampler_workers = 0;
+
+  /// Backpressure: pushes that waited on a full inter-stage queue.
+  std::uint64_t push_stalls = 0;
+  /// Starvation: pops that waited on an empty inter-stage queue.
+  std::uint64_t pop_stalls = 0;
+  /// Mean depth of the compute-facing prefetch queue (0..prefetch_depth).
+  double mean_queue_occupancy = 0.0;
+
+  /// Measured per-stage busy seconds (sync: serial section timings).
+  double sample_wall_s = 0.0;
+  double transfer_wall_s = 0.0;
+  double compute_wall_s = 0.0;
+  /// Measured wall-clock of the training loops (excludes evaluation).
+  double measured_wall_s = 0.0;
+
+  /// Eq. 4 prediction for the same iterations (simulated seconds at
+  /// original dataset scale, like epoch_times_s).
+  double modeled_overlapped_s = 0.0;
+  double modeled_sequential_s = 0.0;
+
+  double measured_sequential_s() const {
+    return sample_wall_s + transfer_wall_s + compute_wall_s;
+  }
+  /// Measured stage-overlap speedup (1.0 = fully serial).
+  double measured_speedup() const {
+    return measured_wall_s > 0.0 ? measured_sequential_s() / measured_wall_s
+                                 : 1.0;
+  }
+  /// Eq. 4's predicted overlap speedup for comparison with the above.
+  double predicted_speedup() const {
+    return modeled_overlapped_s > 0.0
+               ? modeled_sequential_s / modeled_overlapped_s
+               : 1.0;
+  }
+  /// Fraction of the hideable (non-bottleneck) stage time actually
+  /// hidden by overlap: 0 = serial, 1 = wall equals the bottleneck stage.
+  double overlap_efficiency() const;
+};
 
 struct TrainReport {
   /// Mean simulated epoch time (seconds, original-dataset scale) — the T
@@ -50,6 +101,7 @@ struct TrainReport {
 
   /// Diagnostics.
   PhaseBreakdown epoch_phases;  // per-epoch average
+  PipelineReport pipeline;      // executor profile (run totals)
   double cache_hit_rate = 0.0;
   double avg_batch_nodes = 0.0;
   double avg_batch_edges = 0.0;
@@ -76,6 +128,13 @@ struct RunOptions {
   /// kernels/spmm.hpp). Defaults to the caller's current selection, so an
   /// ambient SpmmImplScope composes with it instead of being overridden.
   kernels::SpmmImpl spmm_impl = kernels::current_spmm_impl();
+  /// Epoch executor selection (sync | async) plus prefetch depth and
+  /// sampler worker count, defaulted from GNAV_PIPELINE /
+  /// GNAV_PIPELINE_DEPTH / GNAV_PIPELINE_WORKERS. The async executor
+  /// produces a bit-identical TrainReport (batch stream, cache hit/miss
+  /// sequence, losses, accuracies, memory, modeled times) at any depth
+  /// and worker count — only wall-clock observables change.
+  PipelineConfig pipeline = default_pipeline_config();
 };
 
 class RuntimeBackend {

@@ -1,0 +1,106 @@
+#include "runtime/pipeline.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+
+#include "support/log.hpp"
+#include "support/parallel.hpp"
+
+namespace gnav::runtime {
+
+std::string to_string(PipelineMode mode) {
+  return mode == PipelineMode::kAsync ? "async" : "sync";
+}
+
+PipelineMode pipeline_mode_from_string(const std::string& s) {
+  if (s == "sync") return PipelineMode::kSync;
+  if (s == "async") return PipelineMode::kAsync;
+  throw Error("unknown pipeline mode '" + s + "' (sync | async)");
+}
+
+PipelineConfig default_pipeline_config() {
+  PipelineConfig config;
+  if (const char* raw = std::getenv("GNAV_PIPELINE")) {
+    try {
+      config.mode = pipeline_mode_from_string(raw);
+    } catch (const Error&) {
+      // Warn once — RunOptions defaults re-resolve this per run.
+      static std::atomic<bool> warned{false};
+      if (!warned.exchange(true)) {
+        log_warn("GNAV_PIPELINE='", raw,
+                 "' is invalid (sync | async); falling back to sync");
+      }
+    }
+  }
+  if (const auto depth = support::env_long("GNAV_PIPELINE_DEPTH", 1)) {
+    config.prefetch_depth = static_cast<std::size_t>(*depth);
+  }
+  if (const auto workers = support::env_long("GNAV_PIPELINE_WORKERS", 1)) {
+    config.sampler_workers = static_cast<std::size_t>(*workers);
+  }
+  return config;
+}
+
+double PipelineEpochStats::overlap_efficiency() const {
+  const double seq = sequential_s();
+  const double bottleneck = std::max(
+      {sample_busy_s, transfer_busy_s, compute_busy_s});
+  // `seq - bottleneck` is the hideable time; below it there is nothing a
+  // pipeline could overlap (single stage, or empty epoch).
+  const double hideable = seq - bottleneck;
+  if (hideable <= 0.0) return 0.0;
+  const double hidden = std::clamp(seq - wall_s, 0.0, hideable);
+  return hidden / hideable;
+}
+
+void PipelineEpochStats::accumulate(const PipelineEpochStats& e) {
+  batches += e.batches;
+  sampler_workers = std::max(sampler_workers, e.sampler_workers);
+  prefetch_depth = std::max(prefetch_depth, e.prefetch_depth);
+  push_stalls += e.push_stalls;
+  pop_stalls += e.pop_stalls;
+  // Occupancy is a mean, not a count — weight epochs equally by keeping a
+  // running average over however many accumulations happened.
+  ++occupancy_epochs_;
+  mean_prepared_occupancy +=
+      (e.mean_prepared_occupancy - mean_prepared_occupancy) /
+      static_cast<double>(occupancy_epochs_);
+  sample_busy_s += e.sample_busy_s;
+  transfer_busy_s += e.transfer_busy_s;
+  compute_busy_s += e.compute_busy_s;
+  wall_s += e.wall_s;
+}
+
+namespace detail {
+
+TicketGate::TicketGate(std::size_t num_tickets, std::size_t depth)
+    : num_tickets_(num_tickets), depth_(std::max<std::size_t>(1, depth)) {}
+
+std::optional<std::size_t> TicketGate::acquire() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] {
+    return aborted_ || next_ >= num_tickets_ || next_ < released_ + depth_;
+  });
+  if (aborted_ || next_ >= num_tickets_) return std::nullopt;
+  return next_++;
+}
+
+void TicketGate::release() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++released_;
+  }
+  cv_.notify_all();
+}
+
+void TicketGate::abort() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    aborted_ = true;
+  }
+  cv_.notify_all();
+}
+
+}  // namespace detail
+}  // namespace gnav::runtime

@@ -1,0 +1,368 @@
+// Pipelined epoch executor — the real (wall-clock) counterpart of the
+// cost model's Eq. 4. The synchronous runtime executes Algo. 1 strictly
+// in sequence; this subsystem runs each epoch as a staged
+// producer/consumer pipeline over bounded StagedQueues:
+//
+//   [sampler worker xN] --> sampled queue --> [transfer/cache stage]
+//        --> prepared queue --> [compute stage, calling thread]
+//
+//   - N sampler workers draw mini-batches concurrently. Batch i always
+//     draws from Rng(task_seed(epoch_seed, i)) (the pool's determinism
+//     contract), so the mini-batch stream is independent of worker count
+//     and scheduling order.
+//   - The transfer stage reorders out-of-order arrivals and applies
+//     device-cache admissions, cost-model accounting, and feature
+//     staging in STRICT batch order — the cache hit/miss sequence is
+//     bit-identical to the synchronous path.
+//   - The compute stage (the caller's thread) trains on batch i while
+//     batches i+1..i+depth are in flight; optimizer steps and the
+//     dropout RNG stream stay serialized by batch index.
+//
+// A TicketGate bounds the total number of claimed-but-unconsumed batch
+// indices to the prefetch depth: workers claim consecutive tickets, and a
+// ticket is released only when the transfer stage consumed that batch in
+// order. Claims are consecutive and consumption is in-order, so the
+// in-flight window is always {next_consumed .. next_consumed+depth-1} —
+// the reorder ring needs exactly `depth` slots and the index the transfer
+// stage waits for is always in flight (no deadlock).
+//
+// Cache-aware biased sampling couples batch i's sampling to batch i-1's
+// cache update through the residency bitmap, so its sample+transfer
+// stages cannot parallelize; `chain_sample_and_prepare` collapses them
+// into one producer thread (sample(i) observes exactly the post-update
+// residency of batch i-1, as in the synchronous path) that still
+// overlaps the compute stage.
+//
+// Determinism contract: only wall-clock observables (stage busy seconds,
+// stall counts, queue occupancy) depend on thread count and prefetch
+// depth. Everything data-bearing — batches, cache state sequence, loss
+// trajectory, profiler phase sums — is bit-identical to the synchronous
+// executor because every side-effecting callback runs in strict batch
+// order on a single stage.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/parallel.hpp"
+#include "support/staged_queue.hpp"
+
+namespace gnav::runtime {
+
+enum class PipelineMode { kSync, kAsync };
+
+std::string to_string(PipelineMode mode);
+/// Throws gnav::Error on anything but "sync" / "async".
+PipelineMode pipeline_mode_from_string(const std::string& s);
+
+struct PipelineConfig {
+  PipelineMode mode = PipelineMode::kSync;
+  /// Bound on in-flight mini-batches (claimed but not yet consumed by the
+  /// transfer stage) and on each inter-stage queue.
+  std::size_t prefetch_depth = 4;
+  /// Sampler worker threads; 0 resolves to default_thread_count(). The
+  /// executor additionally clamps to min(prefetch_depth, num_batches).
+  std::size_t sampler_workers = 0;
+};
+
+/// Resolves the process-wide default from the environment:
+///   GNAV_PIPELINE         sync | async            (default sync)
+///   GNAV_PIPELINE_DEPTH   prefetch depth >= 1     (default 4)
+///   GNAV_PIPELINE_WORKERS sampler workers >= 1    (default auto)
+/// Invalid values log one warning and fall back to the default instead of
+/// silently misconfiguring the executor.
+PipelineConfig default_pipeline_config();
+
+/// Measured (real wall-clock, NOT simulated) execution profile of one
+/// epoch. Busy seconds are summed over the calls each stage made; for
+/// the synchronous executor "sample busy" is the time the caller spent
+/// blocked waiting on mini-batch construction.
+struct PipelineEpochStats {
+  std::uint64_t batches = 0;
+  std::size_t sampler_workers = 0;
+  std::size_t prefetch_depth = 0;
+  /// Queue-full waits across both hand-off queues (backpressure: the
+  /// downstream stage was the bottleneck).
+  std::uint64_t push_stalls = 0;
+  /// Queue-empty waits across both hand-off queues (starvation: the
+  /// upstream stage was the bottleneck).
+  std::uint64_t pop_stalls = 0;
+  /// Mean depth of the compute-facing (prepared) queue, sampled after
+  /// every push — near the prefetch depth means compute-bound, near zero
+  /// means sample/transfer-bound.
+  double mean_prepared_occupancy = 0.0;
+
+  double sample_busy_s = 0.0;
+  double transfer_busy_s = 0.0;
+  double compute_busy_s = 0.0;
+  double wall_s = 0.0;
+
+  /// What a strictly serial execution of the same stage work would cost.
+  double sequential_s() const {
+    return sample_busy_s + transfer_busy_s + compute_busy_s;
+  }
+  /// Measured pipeline speedup: serial stage work over actual wall time.
+  double measured_speedup() const {
+    return wall_s > 0.0 ? sequential_s() / wall_s : 1.0;
+  }
+  /// Fraction of the theoretically hideable time that was actually
+  /// hidden: 1 when wall == bottleneck stage (perfect overlap), 0 when
+  /// wall == sum of stages (fully serial).
+  double overlap_efficiency() const;
+
+  /// Accumulate (epoch totals -> run totals). Counters and busy seconds
+  /// sum; mean occupancy stays a mean over the accumulated epochs.
+  void accumulate(const PipelineEpochStats& e);
+
+ private:
+  std::uint64_t occupancy_epochs_ = 0;
+};
+
+namespace detail {
+
+/// Bounded dispenser of consecutive batch indices: acquire() hands out
+/// 0,1,2,... but blocks while `depth` tickets are claimed-and-unreleased;
+/// release() marks the next in-order batch consumed. abort() wakes every
+/// waiter and makes further acquires fail (error shutdown).
+class TicketGate {
+ public:
+  TicketGate(std::size_t num_tickets, std::size_t depth);
+
+  std::optional<std::size_t> acquire();
+  void release();
+  void abort();
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  const std::size_t num_tickets_;
+  const std::size_t depth_;
+  std::size_t next_ = 0;
+  std::size_t released_ = 0;
+  bool aborted_ = false;
+};
+
+using Clock = std::chrono::steady_clock;
+
+inline double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// First-error-wins collector; fire() also runs the caller's shutdown
+/// hook exactly once so queues close and stages unwind.
+class ErrorLatch {
+ public:
+  template <typename Shutdown>
+  void fire(std::exception_ptr error, Shutdown&& shutdown) {
+    bool run_shutdown = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!error_) {
+        error_ = std::move(error);
+        run_shutdown = true;
+      }
+    }
+    if (run_shutdown) shutdown();
+  }
+
+  void rethrow_if_set() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (error_) std::rethrow_exception(error_);
+  }
+
+ private:
+  std::mutex mutex_;
+  std::exception_ptr error_;
+};
+
+}  // namespace detail
+
+/// Runs one epoch of `num_batches` mini-batches as an asynchronous
+/// pipeline and returns its measured stats.
+///
+///   sample:  (std::size_t i) -> Sampled.   Thread-safe; called from
+///            dedicated worker threads in arbitrary index order (must
+///            seed per index, never from shared state).
+///   prepare: (std::size_t i, Sampled&&) -> Prepared.  Called in strict
+///            batch order from one transfer thread (cache updates,
+///            profiler accounting, feature staging).
+///   consume: (std::size_t i, Prepared&&) -> void.  Called in strict
+///            batch order on the calling thread (train step).
+///
+/// With `chain_sample_and_prepare` the sample and prepare callbacks run
+/// back-to-back on one producer thread (required when sampling batch i
+/// reads state written by prepare(i-1), e.g. cache-aware bias).
+/// Exceptions from any stage shut the pipeline down and rethrow here.
+template <typename Sampled, typename Prepared, typename SampleFn,
+          typename PrepareFn, typename ConsumeFn>
+PipelineEpochStats run_pipelined_epoch(std::size_t num_batches,
+                                       const PipelineConfig& config,
+                                       bool chain_sample_and_prepare,
+                                       SampleFn&& sample, PrepareFn&& prepare,
+                                       ConsumeFn&& consume) {
+  using namespace detail;
+  struct IndexedSampled {
+    std::size_t index;
+    Sampled value;
+  };
+  struct IndexedPrepared {
+    std::size_t index;
+    Prepared value;
+  };
+
+  PipelineEpochStats stats;
+  stats.batches = num_batches;
+  const std::size_t depth = std::max<std::size_t>(1, config.prefetch_depth);
+  stats.prefetch_depth = depth;
+  if (num_batches == 0) return stats;
+
+  support::StagedQueue<IndexedSampled> sampled(depth);
+  support::StagedQueue<IndexedPrepared> prepared(depth);
+  TicketGate gate(num_batches, depth);
+  ErrorLatch latch;
+  auto shutdown = [&] {
+    gate.abort();
+    sampled.close();
+    prepared.close();
+  };
+
+  std::mutex busy_mutex;  // folds per-thread busy timers into `stats`
+  std::vector<std::thread> threads;
+  const auto epoch_start = Clock::now();
+
+  if (chain_sample_and_prepare) {
+    // Two stages: one producer runs the serial sample->prepare chain (so
+    // sampling batch i observes prepare(i-1)'s side effects), compute
+    // overlaps on the caller thread.
+    stats.sampler_workers = 1;
+    threads.emplace_back([&] {
+      // Self-execute nested pool work: the global pool's workers may be
+      // blocked inside nested runs waiting on this very pipeline.
+      const support::InlineExecutionScope inline_scope;
+      try {
+        double sample_busy = 0.0;
+        double transfer_busy = 0.0;
+        for (std::size_t i = 0; i < num_batches; ++i) {
+          auto t0 = Clock::now();
+          Sampled s = sample(i);
+          sample_busy += seconds_since(t0);
+          t0 = Clock::now();
+          Prepared p = prepare(i, std::move(s));
+          transfer_busy += seconds_since(t0);
+          if (!prepared.push({i, std::move(p)})) break;  // shut down
+        }
+        prepared.close();
+        std::lock_guard<std::mutex> lock(busy_mutex);
+        stats.sample_busy_s += sample_busy;
+        stats.transfer_busy_s += transfer_busy;
+      } catch (...) {
+        latch.fire(std::current_exception(), shutdown);
+      }
+    });
+  } else {
+    // Three stages: N sampler workers feed the transfer thread through
+    // the bounded sampled queue; the gate caps total in-flight batches.
+    const std::size_t workers = std::min(
+        {config.sampler_workers == 0 ? support::default_thread_count()
+                                     : config.sampler_workers,
+         depth, num_batches});
+    stats.sampler_workers = std::max<std::size_t>(1, workers);
+    for (std::size_t w = 0; w < stats.sampler_workers; ++w) {
+      threads.emplace_back([&] {
+        const support::InlineExecutionScope inline_scope;
+        try {
+          double sample_busy = 0.0;
+          while (const auto ticket = gate.acquire()) {
+            const auto t0 = Clock::now();
+            Sampled s = sample(*ticket);
+            sample_busy += seconds_since(t0);
+            if (!sampled.push({*ticket, std::move(s)})) break;
+          }
+          std::lock_guard<std::mutex> lock(busy_mutex);
+          stats.sample_busy_s += sample_busy;
+        } catch (...) {
+          latch.fire(std::current_exception(), shutdown);
+        }
+      });
+    }
+    threads.emplace_back([&] {
+      const support::InlineExecutionScope inline_scope;
+      try {
+        // Reorder ring: in-flight indices form a consecutive window of at
+        // most `depth` (TicketGate invariant), so residues mod depth are
+        // unique and `depth` slots suffice.
+        std::vector<std::optional<IndexedSampled>> ring(depth);
+        double transfer_busy = 0.0;
+        std::size_t next = 0;
+        while (next < num_batches) {
+          auto item = sampled.pop();
+          if (!item) break;  // shut down
+          auto& slot = ring[item->index % depth];
+          GNAV_CHECK(!slot.has_value(),
+                     "pipeline reorder ring slot collision");
+          slot = std::move(*item);
+          while (next < num_batches && ring[next % depth].has_value()) {
+            GNAV_CHECK(ring[next % depth]->index == next,
+                       "pipeline reorder ring out of window");
+            const auto t0 = Clock::now();
+            Prepared p = prepare(next, std::move(ring[next % depth]->value));
+            transfer_busy += seconds_since(t0);
+            ring[next % depth].reset();
+            if (!prepared.push({next, std::move(p)})) {
+              next = num_batches;  // shut down
+              break;
+            }
+            gate.release();
+            ++next;
+          }
+        }
+        prepared.close();
+        std::lock_guard<std::mutex> lock(busy_mutex);
+        stats.transfer_busy_s += transfer_busy;
+      } catch (...) {
+        latch.fire(std::current_exception(), shutdown);
+      }
+    });
+  }
+
+  // Compute stage on the calling thread.
+  std::size_t consumed = 0;
+  try {
+    std::size_t expect = 0;
+    while (auto item = prepared.pop()) {
+      GNAV_CHECK(item->index == expect,
+                 "pipeline delivered batches out of order");
+      const auto t0 = Clock::now();
+      consume(item->index, std::move(item->value));
+      stats.compute_busy_s += seconds_since(t0);
+      ++expect;
+      ++consumed;
+    }
+  } catch (...) {
+    latch.fire(std::current_exception(), shutdown);
+  }
+
+  for (auto& t : threads) t.join();
+  latch.rethrow_if_set();
+  GNAV_CHECK(consumed == num_batches,
+             "pipeline finished without consuming every batch");
+
+  const auto sq = sampled.stats();
+  const auto pq = prepared.stats();
+  stats.push_stalls = sq.push_stalls + pq.push_stalls;
+  stats.pop_stalls = sq.pop_stalls + pq.pop_stalls;
+  stats.mean_prepared_occupancy = pq.mean_occupancy();
+  stats.wall_s = seconds_since(epoch_start);
+  return stats;
+}
+
+}  // namespace gnav::runtime

@@ -10,6 +10,8 @@ void Profiler::record_iteration(const hw::IterationTimes& times,
   epoch_phases_.transfer_s += times.t_transfer;
   epoch_phases_.replace_s += times.t_replace;
   epoch_phases_.compute_s += times.t_compute;
+  epoch_modeled_overlapped_s_ += times.overlapped();
+  epoch_modeled_sequential_s_ += times.sequential();
   epoch_wall_s_ += pipelined ? times.overlapped() : times.sequential();
   ++iterations_;
 }
@@ -18,9 +20,16 @@ void Profiler::record_device_memory(double bytes) {
   peak_device_bytes_ = std::max(peak_device_bytes_, bytes);
 }
 
+void Profiler::record_epoch_measured(const PipelineEpochStats& measured) {
+  measured_ = measured;
+}
+
 void Profiler::reset_epoch() {
   epoch_phases_ = PhaseBreakdown{};
   epoch_wall_s_ = 0.0;
+  epoch_modeled_overlapped_s_ = 0.0;
+  epoch_modeled_sequential_s_ = 0.0;
+  measured_ = PipelineEpochStats{};
   iterations_ = 0;
 }
 

@@ -1,12 +1,26 @@
 // Phase-time and memory profiler — the reproduction's analogue of the
-// PyTorch profiler the paper uses to measure T and Γ. Times are simulated
-// seconds from the hardware cost model; memory is analytic bytes tracked
-// against the device budget.
+// PyTorch profiler the paper uses to measure T and Γ. Times come in two
+// kinds and the profiler keeps them strictly apart:
+//
+//   modeled   — simulated seconds from the hardware cost model. Eq. 4's
+//               overlapped() and the no-pipelining sequential() are BOTH
+//               accumulated every iteration, so the predicted overlap
+//               benefit (sequential / overlapped) is always available,
+//               independent of which one counts toward epoch_wall_s().
+//   measured  — real wall-clock seconds reported by the epoch executor
+//               (runtime/pipeline.hpp): per-stage busy time, stall
+//               counts, and the epoch's actual wall time. Comparing the
+//               measured speedup against the modeled ratio is what lets
+//               the estimator's f_overlapping correction be fit from
+//               data instead of assumed.
+//
+// Memory is analytic bytes tracked against the device budget.
 #pragma once
 
 #include <cstdint>
 
 #include "hw/cost_model.hpp"
+#include "runtime/pipeline.hpp"
 
 namespace gnav::runtime {
 
@@ -25,15 +39,29 @@ class Profiler {
  public:
   /// Accumulates one iteration's phase times; wall time uses Eq. 4's
   /// pipeline overlap unless `pipelined` is false (sequential runtime).
+  /// Both the overlapped and the sequential sums are kept regardless.
   void record_iteration(const hw::IterationTimes& times,
                         bool pipelined = true);
 
   /// Tracks the device-memory high-water mark (bytes).
   void record_device_memory(double bytes);
 
+  /// Records the executor's REAL measured profile of the epoch that just
+  /// ran (wall-clock, not simulated).
+  void record_epoch_measured(const PipelineEpochStats& measured);
+
   void reset_epoch();
 
   double epoch_wall_s() const { return epoch_wall_s_; }
+  /// Eq. 4 epoch time with the max() overlap applied every iteration.
+  double epoch_modeled_overlapped_s() const {
+    return epoch_modeled_overlapped_s_;
+  }
+  /// Same iterations executed strictly sequentially (no overlap).
+  double epoch_modeled_sequential_s() const {
+    return epoch_modeled_sequential_s_;
+  }
+  const PipelineEpochStats& epoch_measured() const { return measured_; }
   const PhaseBreakdown& epoch_phases() const { return epoch_phases_; }
   double peak_device_bytes() const { return peak_device_bytes_; }
   std::uint64_t iterations() const { return iterations_; }
@@ -41,6 +69,9 @@ class Profiler {
  private:
   PhaseBreakdown epoch_phases_;
   double epoch_wall_s_ = 0.0;
+  double epoch_modeled_overlapped_s_ = 0.0;
+  double epoch_modeled_sequential_s_ = 0.0;
+  PipelineEpochStats measured_;
   double peak_device_bytes_ = 0.0;
   std::uint64_t iterations_ = 0;
 };

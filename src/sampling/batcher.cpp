@@ -1,5 +1,7 @@
 #include "sampling/batcher.hpp"
 
+#include <chrono>
+
 #include "support/error.hpp"
 #include "support/parallel.hpp"
 
@@ -71,6 +73,11 @@ MiniBatch MiniBatchLoader::next() {
   std::future<MiniBatch> fut = std::move(pending_.front());
   pending_.pop_front();
   top_up();
+  const auto t0 = std::chrono::steady_clock::now();
+  fut.wait();
+  wait_s_ += std::chrono::duration<double>(
+                 std::chrono::steady_clock::now() - t0)
+                 .count();
   return fut.get();
 }
 

@@ -67,6 +67,12 @@ class MiniBatchLoader {
   /// rethrows the build's exception). Tops the prefetch window back up.
   MiniBatch next();
 
+  /// Total real seconds `next()` spent blocked waiting on in-flight
+  /// builds — the consumer-visible cost of the sampling stage (the
+  /// builds themselves run overlapped on the pool). The runtime backend
+  /// reports this as the synchronous executor's sample wall time.
+  double wait_s() const { return wait_s_; }
+
  private:
   void top_up();
 
@@ -77,6 +83,7 @@ class MiniBatchLoader {
   support::ThreadPool* pool_;
   std::size_t window_;
   std::size_t next_index_ = 0;
+  double wait_s_ = 0.0;
   std::deque<std::future<MiniBatch>> pending_;
 };
 

@@ -4,9 +4,11 @@
 #include <cstdlib>
 #include <exception>
 #include <memory>
+#include <set>
 #include <string>
 
 #include "support/error.hpp"
+#include "support/log.hpp"
 
 namespace gnav::support {
 namespace {
@@ -31,6 +33,12 @@ ThreadPool::~ThreadPool() {
 }
 
 bool ThreadPool::in_worker() { return t_in_worker; }
+
+InlineExecutionScope::InlineExecutionScope() : previous_(t_in_worker) {
+  t_in_worker = true;
+}
+
+InlineExecutionScope::~InlineExecutionScope() { t_in_worker = previous_; }
 
 void ThreadPool::enqueue(std::function<void()> job) {
   {
@@ -116,13 +124,38 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   if (state->error) std::rethrow_exception(state->error);
 }
 
-std::size_t default_thread_count() {
-  if (const char* env = std::getenv("GNAV_THREADS")) {
-    const long v = std::strtol(env, nullptr, 10);
-    if (v >= 1) return static_cast<std::size_t>(v);
+std::optional<long> env_long(const char* name, long min_value) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr) return std::nullopt;
+  char* end = nullptr;
+  const long v = std::strtol(raw, &end, 10);
+  if (end == raw || *end != '\0' || v < min_value) {
+    // Reject 0 and garbage loudly — but only once per variable: this is
+    // called from per-run option defaults, and a warning per profiled
+    // run would flood the log.
+    static std::mutex warned_mutex;
+    static std::set<std::string> warned;
+    bool first = false;
+    {
+      std::lock_guard<std::mutex> lock(warned_mutex);
+      first = warned.insert(name).second;
+    }
+    if (first) {
+      log_warn(name, "='", raw, "' is invalid (need an integer >= ",
+               min_value, "); falling back to the default");
+    }
+    return std::nullopt;
   }
+  return v;
+}
+
+std::size_t default_thread_count() {
   const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+  const auto fallback = hw == 0 ? std::size_t{1} : static_cast<std::size_t>(hw);
+  if (const auto v = env_long("GNAV_THREADS", 1)) {
+    return static_cast<std::size_t>(*v);
+  }
+  return fallback;  // unset, or invalid (warned once above)
 }
 
 ThreadPool& global_pool() {

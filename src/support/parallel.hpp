@@ -21,6 +21,7 @@
 #include <functional>
 #include <future>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <type_traits>
 #include <vector>
@@ -60,7 +61,8 @@ class ThreadPool {
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& body);
 
-  /// True on a thread owned by any ThreadPool.
+  /// True on a thread owned by any ThreadPool (or inside an
+  /// InlineExecutionScope).
   static bool in_worker();
 
  private:
@@ -74,8 +76,36 @@ class ThreadPool {
   bool stop_ = false;
 };
 
-/// Worker count from the GNAV_THREADS environment variable if set (>= 1),
-/// otherwise std::thread::hardware_concurrency().
+/// Marks the current thread as self-executing while alive: parallel_for
+/// runs its body inline and submit executes eagerly, exactly as on a pool
+/// worker. Dedicated stage threads (the pipelined epoch executor,
+/// runtime/pipeline.hpp) hold one so they never wait on pool capacity —
+/// the pool's workers may themselves be blocked inside nested
+/// backend runs that are waiting on those very stage threads. Inline
+/// execution is bit-identical by the pool's determinism contract.
+class InlineExecutionScope {
+ public:
+  InlineExecutionScope();
+  ~InlineExecutionScope();
+
+  InlineExecutionScope(const InlineExecutionScope&) = delete;
+  InlineExecutionScope& operator=(const InlineExecutionScope&) = delete;
+
+ private:
+  bool previous_;
+};
+
+/// Strict environment-integer parse shared by every GNAV_* count knob:
+/// the whole string must be a base-10 integer >= `min_value`. Returns
+/// nullopt when the variable is unset OR invalid; an invalid value (0
+/// where a count is needed, trailing junk, garbage) logs one warning per
+/// variable per process instead of silently misconfiguring anything.
+std::optional<long> env_long(const char* name, long min_value);
+
+/// Worker count from the GNAV_THREADS environment variable if set,
+/// otherwise std::thread::hardware_concurrency(). GNAV_THREADS must be a
+/// whole base-10 integer >= 1; anything else (0, trailing junk, garbage)
+/// logs a warning and falls back to the hardware concurrency.
 std::size_t default_thread_count();
 
 /// Process-wide pool, constructed lazily with `default_thread_count()`

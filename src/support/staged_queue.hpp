@@ -1,0 +1,126 @@
+// Bounded MPMC hand-off queue for staged pipelines (the prefetch buffers
+// between the epoch executor's sampler / transfer / compute stages, see
+// runtime/pipeline.hpp). Push blocks while the queue is full — that is
+// the backpressure that keeps at most `capacity` items in flight — and
+// pop blocks while it is empty. `close()` ends the stream: pending and
+// future pushes fail, pops drain whatever is buffered and then return
+// nullopt.
+//
+// The queue additionally counts its own contention so the executor can
+// report where an epoch's time went: a push that had to wait is a
+// *backpressure stall* (downstream too slow), a pop that had to wait is a
+// *starvation stall* (upstream too slow), and the occupancy sampled after
+// every push integrates into a mean queue depth.
+#pragma once
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace gnav::support {
+
+struct StagedQueueStats {
+  std::uint64_t pushes = 0;
+  std::uint64_t pops = 0;
+  /// Push calls that found the queue full and had to wait (backpressure).
+  std::uint64_t push_stalls = 0;
+  /// Pop calls that found the queue empty and had to wait (starvation).
+  std::uint64_t pop_stalls = 0;
+  /// Sum of the queue size sampled right after every push.
+  double occupancy_sum = 0.0;
+
+  double mean_occupancy() const {
+    return pushes == 0 ? 0.0
+                       : occupancy_sum / static_cast<double>(pushes);
+  }
+};
+
+template <typename T>
+class StagedQueue {
+ public:
+  /// `capacity` is clamped to >= 1 (a zero-capacity queue could never
+  /// transfer an item).
+  explicit StagedQueue(std::size_t capacity)
+      : capacity_(std::max<std::size_t>(1, capacity)) {}
+
+  StagedQueue(const StagedQueue&) = delete;
+  StagedQueue& operator=(const StagedQueue&) = delete;
+
+  std::size_t capacity() const { return capacity_; }
+
+  /// Blocks while the queue is full. Returns false iff the queue was
+  /// closed before the item could be enqueued (the item is dropped).
+  bool push(T&& item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (items_.size() >= capacity_ && !closed_) {
+      ++stats_.push_stalls;
+      not_full_.wait(lock, [this] {
+        return items_.size() < capacity_ || closed_;
+      });
+    }
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    ++stats_.pushes;
+    stats_.occupancy_sum += static_cast<double>(items_.size());
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks while the queue is empty. Returns nullopt iff the queue is
+  /// closed and fully drained.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (items_.empty() && !closed_) {
+      ++stats_.pop_stalls;
+      not_empty_.wait(lock, [this] { return !items_.empty() || closed_; });
+    }
+    if (items_.empty()) return std::nullopt;  // closed && drained
+    std::optional<T> out(std::move(items_.front()));
+    items_.pop_front();
+    ++stats_.pops;
+    lock.unlock();
+    not_full_.notify_one();
+    return out;
+  }
+
+  /// Ends the stream: wakes every waiter; subsequent pushes fail, pops
+  /// drain the buffered items. Idempotent.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  StagedQueueStats stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  StagedQueueStats stats_;
+  bool closed_ = false;
+};
+
+}  // namespace gnav::support

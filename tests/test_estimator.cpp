@@ -198,6 +198,11 @@ TEST_F(EstimatorFixture, CorpusRoundTripsThroughCsv) {
     EXPECT_EQ(loaded[i].stats.name, (*corpus_)[i].stats.name);
     EXPECT_DOUBLE_EQ(loaded[i].stats.real_volume_scale,
                      (*corpus_)[i].stats.real_volume_scale);
+    // Executor overlap columns (f_overlapping fitting data) round-trip.
+    EXPECT_DOUBLE_EQ(loaded[i].report.pipeline.modeled_sequential_s,
+                     (*corpus_)[i].report.pipeline.modeled_sequential_s);
+    EXPECT_DOUBLE_EQ(loaded[i].report.pipeline.measured_wall_s,
+                     (*corpus_)[i].report.pipeline.measured_wall_s);
   }
   // A loaded corpus must be usable for fitting.
   PerfEstimator est(*hw_);
