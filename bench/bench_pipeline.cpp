@@ -20,11 +20,14 @@
 // Emits a JSON document (stdout by default) so CI archives the executor
 // perf trajectory next to bench_micro_kernels / bench_sampling.
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "estimator/dataset_stats.hpp"
+#include "estimator/overlap_model.hpp"
 #include "graph/dataset.hpp"
 #include "hw/platform.hpp"
 #include "runtime/backend.hpp"
@@ -52,6 +55,11 @@ struct Cell {
   unsigned long long pop_stalls = 0;
   double queue_occupancy = 0.0;
   bool bit_identical = false;
+  // Gray-box overlap arm (async cells only): measured wall/serial ratio
+  // next to the fitted and the bare-Eq.4 predictions of it.
+  double measured_ratio = 0.0;
+  double analytic_ratio = 0.0;
+  double fitted_ratio = 0.0;
 };
 
 runtime::TrainConfig config_for(sampling::SamplerKind kind) {
@@ -72,7 +80,15 @@ runtime::TrainConfig config_for(sampling::SamplerKind kind) {
   return c;
 }
 
-void emit_json(std::FILE* out, const std::vector<Cell>& cells) {
+struct GrayboxSummary {
+  std::size_t fit_rows = 0;
+  std::size_t eval_rows = 0;
+  double mae_fitted = 0.0;
+  double mae_analytic = 0.0;
+};
+
+void emit_json(std::FILE* out, const std::vector<Cell>& cells,
+               const GrayboxSummary& graybox) {
   std::fprintf(out, "{\n  \"benchmark\": \"bench_pipeline\",\n");
   std::fprintf(out, "  \"results\": [\n");
   for (std::size_t i = 0; i < cells.size(); ++i) {
@@ -85,15 +101,24 @@ void emit_json(std::FILE* out, const std::vector<Cell>& cells) {
         "\"speedup_vs_sync\": %.3f, \"measured_speedup\": %.3f, "
         "\"overlap_efficiency\": %.3f, \"predicted_speedup\": %.3f, "
         "\"push_stalls\": %llu, \"pop_stalls\": %llu, "
-        "\"queue_occupancy\": %.3f, \"bit_identical\": %s}%s\n",
+        "\"queue_occupancy\": %.3f, \"bit_identical\": %s, "
+        "\"measured_ratio\": %.4f, \"analytic_ratio\": %.4f, "
+        "\"fitted_ratio\": %.4f}%s\n",
         c.sampler.c_str(), c.executor.c_str(), c.workers, c.depth, c.wall_s,
         c.sample_wall_s, c.transfer_wall_s, c.compute_wall_s,
         c.speedup_vs_sync, c.measured_speedup, c.overlap_efficiency,
         c.predicted_speedup, c.push_stalls, c.pop_stalls, c.queue_occupancy,
-        c.bit_identical ? "true" : "false",
+        c.bit_identical ? "true" : "false", c.measured_ratio,
+        c.analytic_ratio, c.fitted_ratio,
         i + 1 < cells.size() ? "," : "");
   }
-  std::fprintf(out, "  ]\n}\n");
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out,
+               "  \"graybox_overlap\": {\"fit_rows\": %zu, \"eval_rows\": "
+               "%zu, \"mae_fitted\": %.4f, \"mae_analytic\": %.4f}\n",
+               graybox.fit_rows, graybox.eval_rows, graybox.mae_fitted,
+               graybox.mae_analytic);
+  std::fprintf(out, "}\n");
 }
 
 Cell cell_from_report(const runtime::TrainReport& r,
@@ -154,7 +179,9 @@ int main(int argc, char** argv) {
   spec.min_degree = 4;
   spec.max_degree = 120;
   const graph::Dataset ds = graph::make_synthetic_dataset(spec, 17);
-  runtime::RuntimeBackend backend(ds, hw::make_profile("rtx4090"));
+  const auto hw = hw::make_profile("rtx4090");
+  runtime::RuntimeBackend backend(ds, hw);
+  const estimator::DatasetStats stats = estimator::compute_dataset_stats(ds);
 
   const std::vector<sampling::SamplerKind> kinds = {
       sampling::SamplerKind::kNodeWise,
@@ -166,6 +193,11 @@ int main(int argc, char** argv) {
   const std::vector<std::size_t> workers = {1, 2, 4};
 
   std::vector<Cell> cells;
+  // Async runs double as overlap-model data: depth != 4 rows train the
+  // fit, depth == 4 rows are the held-out evaluation sweep.
+  std::vector<estimator::ProfiledRun> fit_rows;
+  std::vector<std::size_t> eval_cells;          // indices into `cells`
+  std::vector<estimator::ProfiledRun> eval_rows;  // parallel to eval_cells
   for (sampling::SamplerKind kind : kinds) {
     const runtime::TrainConfig config = config_for(kind);
     const std::string sampler = to_string(kind);
@@ -202,19 +234,61 @@ int main(int argc, char** argv) {
                      cell.speedup_vs_sync, cell.measured_speedup,
                      cell.push_stalls, cell.pop_stalls);
         cells.push_back(cell);
+        estimator::ProfiledRun run{stats, config, r};
+        if (estimator::OverlapModel::row_eligible(run)) {
+          if (d == 4) {
+            eval_cells.push_back(cells.size() - 1);
+            eval_rows.push_back(std::move(run));
+          } else {
+            fit_rows.push_back(std::move(run));
+          }
+        }
       }
     }
   }
 
+  // Gray-box overlap arm: fit on the depth != 4 rows, score the fitted
+  // ratio against the bare Eq. 4 max() on the held-out depth == 4 rows.
+  estimator::OverlapModel model(hw);
+  model.fit(fit_rows);
+  GrayboxSummary graybox;
+  graybox.fit_rows = model.training_rows();
+  for (std::size_t e = 0; e < eval_rows.size(); ++e) {
+    const auto& run = eval_rows[e];
+    Cell& cell = cells[eval_cells[e]];
+    const auto& p = run.report.pipeline;
+    cell.measured_ratio = estimator::OverlapModel::measured_ratio(run.report);
+    cell.analytic_ratio = estimator::OverlapModel::analytic_ratio(run.report);
+    cell.fitted_ratio = model.predict_ratio(
+        run.config, stats, {p.prefetch_depth, p.sampler_workers},
+        cell.analytic_ratio);
+    graybox.mae_fitted += std::abs(cell.fitted_ratio - cell.measured_ratio);
+    graybox.mae_analytic +=
+        std::abs(cell.analytic_ratio - cell.measured_ratio);
+    ++graybox.eval_rows;
+  }
+  if (graybox.eval_rows > 0) {
+    graybox.mae_fitted /= static_cast<double>(graybox.eval_rows);
+    graybox.mae_analytic /= static_cast<double>(graybox.eval_rows);
+    std::fprintf(stderr,
+                 "graybox overlap: %zu fit rows, %zu eval rows, ratio MAE "
+                 "fitted=%.4f vs Eq.4=%.4f (%s)\n",
+                 graybox.fit_rows, graybox.eval_rows, graybox.mae_fitted,
+                 graybox.mae_analytic,
+                 graybox.mae_fitted <= graybox.mae_analytic
+                     ? "fitted wins"
+                     : "analytic wins");
+  }
+
   if (json_path.empty()) {
-    emit_json(stdout, cells);
+    emit_json(stdout, cells, graybox);
   } else {
     std::FILE* out = std::fopen(json_path.c_str(), "w");
     if (out == nullptr) {
       std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
       return 1;
     }
-    emit_json(out, cells);
+    emit_json(out, cells, graybox);
     std::fclose(out);
     std::fprintf(stderr, "wrote %s\n", json_path.c_str());
   }

@@ -62,10 +62,17 @@ void print_report(const char* tag, const runtime::TrainReport& r) {
               static_cast<unsigned long long>(p.push_stalls),
               static_cast<unsigned long long>(p.pop_stalls),
               p.mean_queue_occupancy);
-  std::printf("  overlap: measured %.2fx (efficiency %.0f%%) vs Eq.4 "
-              "predicted %.2fx\n",
-              p.measured_speedup(), 100.0 * p.overlap_efficiency(),
-              p.predicted_speedup());
+  // Speedup ratios divide by the measured walls; a run that never
+  // recorded them (e.g. a corpus row replayed from CSV, or a zero-batch
+  // epoch) must not print a fake 1.00x.
+  if (p.measured_wall_s > 0.0 && p.measured_sequential_s() > 0.0) {
+    std::printf("  overlap: measured %.2fx (efficiency %.0f%%) vs Eq.4 "
+                "predicted %.2fx\n",
+                p.measured_speedup(), 100.0 * p.overlap_efficiency(),
+                p.predicted_speedup());
+  } else {
+    std::printf("  overlap: n/a (no measured stage walls for this run)\n");
+  }
 }
 
 }  // namespace
@@ -137,9 +144,19 @@ int main(int argc, char** argv) {
         nav.generate_guideline(priority_by_name(priority_name), constraints);
     std::printf("\ngenerated guideline (%s):\n%s\n", priority_name.c_str(),
                 guideline.text.c_str());
-    std::printf("explored %zu candidates, pruned %zu subtrees\n\n",
+    std::printf("explored %zu candidates, pruned %zu subtrees\n",
                 guideline.exploration_stats.leaves_evaluated,
                 guideline.exploration_stats.subtrees_pruned);
+    const estimator::OverlapModel& om = nav.estimator().overlap_model();
+    if (om.is_fitted()) {
+      std::printf("gray-box overlap: fitted on %zu async corpus rows — "
+                  "guideline wall ratio %.2f (Eq.4 analytic %.2f)\n\n",
+                  om.training_rows(), guideline.predicted.overlap_ratio,
+                  guideline.predicted.overlap_ratio_analytic);
+    } else {
+      std::printf("gray-box overlap: analytic Eq.4 fallback (corpus has "
+                  "no async-executor rows)\n\n");
+    }
 
     print_report("pyg:", nav.reproduce("pyg", epochs));
     print_report("guideline:", nav.train(guideline.config, epochs));

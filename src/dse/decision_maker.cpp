@@ -54,6 +54,9 @@ Decision DecisionMaker::decide(const ExplorationResult& result) const {
       first = false;
     }
   }
+  best.overlap_ratio = best.chosen.predicted.overlap_ratio;
+  best.overlap_ratio_analytic = best.chosen.predicted.overlap_ratio_analytic;
+  best.overlap_fitted = best.chosen.predicted.overlap_fitted;
   return best;
 }
 

@@ -18,6 +18,14 @@ struct Decision {
   double score = 0.0;
   /// Index of the winner within the exploration result's feasible list.
   std::size_t feasible_index = 0;
+  /// Gray-box overlap arm of the winner: the predicted async-executor
+  /// wall/serial ratio (fitted from measured walls when the estimator's
+  /// corpus carried async rows) next to Eq. 4's analytic ratio, so the
+  /// guideline can report how far the fitted correction moved from the
+  /// bare max(). Both 1.0 for sync (pipeline_overlap=false) winners.
+  double overlap_ratio = 1.0;
+  double overlap_ratio_analytic = 1.0;
+  bool overlap_fitted = false;
 };
 
 class DecisionMaker {

@@ -1,17 +1,25 @@
 #include "estimator/corpus_io.hpp"
 
+#include <cmath>
 #include <fstream>
 #include <sstream>
 
 #include "support/error.hpp"
+#include "support/log.hpp"
 #include "support/string_utils.hpp"
 
 namespace gnav::estimator {
 namespace {
 
+// Explicit schema version token: the first line of every corpus written
+// since the executor-config columns landed. Older files carry no token
+// and are recognized by their exact legacy header instead (see
+// load_corpus's migration path).
+constexpr const char* kVersionLine = "# gnav-corpus-version 2";
+
 // Config is embedded as its guideline text with ';' separators (already
 // its native single-statement form), so the CSV stays one row per run.
-constexpr const char* kHeader =
+constexpr const char* kHeaderV2 =
     "dataset,num_nodes,num_edges,avg_degree,max_degree,degree_stddev,"
     "degree_gini,power_law_alpha,top10_coverage,num_train_nodes,"
     "feature_dim,num_classes,real_scale,real_feature_scale,"
@@ -23,7 +31,29 @@ constexpr const char* kHeader =
     // plus the measured per-stage and wall seconds — the raw material
     // for fitting an f_overlapping correction from profiled runs.
     "modeled_overlap_s,modeled_sequential_s,sample_wall_s,"
+    "transfer_wall_s,compute_wall_s,measured_wall_s,"
+    // v2: which executor produced the measured walls (the overlap model
+    // trains only on async rows) plus its shape and stall/occupancy
+    // counters — regression features for the f_overlapping fit.
+    "executor,prefetch_depth,sampler_workers,push_stalls,pop_stalls,"
+    "mean_queue_occupancy,config";
+
+// The PR 4-era schema: identical up to measured_wall_s but without the
+// executor-config columns. Still loadable — executor fields default to
+// a sync row, which the overlap-model fit ignores by design.
+constexpr const char* kHeaderV1 =
+    "dataset,num_nodes,num_edges,avg_degree,max_degree,degree_stddev,"
+    "degree_gini,power_law_alpha,top10_coverage,num_train_nodes,"
+    "feature_dim,num_classes,real_scale,real_feature_scale,"
+    "real_volume_scale,coverage10,coverage25,coverage50,"
+    "epoch_time_s,peak_memory_gb,test_accuracy,avg_batch_nodes,"
+    "avg_batch_edges,cache_hit_rate,iterations_per_epoch,"
+    "sample_s,transfer_s,replace_s,compute_s,"
+    "modeled_overlap_s,modeled_sequential_s,sample_wall_s,"
     "transfer_wall_s,compute_wall_s,measured_wall_s,config";
+
+constexpr std::size_t kScalarCellsV1 = 35;
+constexpr std::size_t kScalarCellsV2 = 41;
 
 std::string config_cell(const runtime::TrainConfig& config) {
   // One line: "key = value; key = value; ..."
@@ -34,13 +64,23 @@ std::string config_cell(const runtime::TrainConfig& config) {
   return trim(text);
 }
 
+/// Measured wall-clock fields pass through this guard so a pathological
+/// report (NaN/inf from clock trouble) can never strand the file —
+/// loaders and the overlap-model fit both require finite cells.
+double finite_or_zero(double v) { return std::isfinite(v) ? v : 0.0; }
+
+std::string truncate_for_error(const std::string& s) {
+  constexpr std::size_t kMax = 96;
+  return s.size() <= kMax ? s : s.substr(0, kMax) + "...";
+}
+
 }  // namespace
 
 void save_corpus(const std::vector<ProfiledRun>& corpus,
                  const std::string& path) {
   std::ofstream f(path);
   GNAV_CHECK(f.good(), "cannot open '" + path + "' for writing");
-  f << kHeader << '\n';
+  f << kVersionLine << '\n' << kHeaderV2 << '\n';
   f.precision(17);  // exact double round-trip
   for (const ProfiledRun& run : corpus) {
     const DatasetStats& s = run.stats;
@@ -61,9 +101,14 @@ void save_corpus(const std::vector<ProfiledRun>& corpus,
       << r.epoch_phases.replace_s << ',' << r.epoch_phases.compute_s << ','
       << r.pipeline.modeled_overlapped_s << ','
       << r.pipeline.modeled_sequential_s << ','
-      << r.pipeline.sample_wall_s << ',' << r.pipeline.transfer_wall_s
-      << ',' << r.pipeline.compute_wall_s << ','
-      << r.pipeline.measured_wall_s << ','
+      << finite_or_zero(r.pipeline.sample_wall_s) << ','
+      << finite_or_zero(r.pipeline.transfer_wall_s) << ','
+      << finite_or_zero(r.pipeline.compute_wall_s) << ','
+      << finite_or_zero(r.pipeline.measured_wall_s) << ','
+      << r.pipeline.executor << ',' << r.pipeline.prefetch_depth << ','
+      << r.pipeline.sampler_workers << ',' << r.pipeline.push_stalls << ','
+      << r.pipeline.pop_stalls << ','
+      << finite_or_zero(r.pipeline.mean_queue_occupancy) << ','
       << '"' << config_cell(run.config) << '"' << '\n';
   }
   GNAV_CHECK(f.good(), "write to '" + path + "' failed");
@@ -74,9 +119,37 @@ std::vector<ProfiledRun> load_corpus(const std::string& path) {
   GNAV_CHECK(f.good(), "cannot open '" + path + "'");
   std::string line;
   GNAV_CHECK(static_cast<bool>(std::getline(f, line)),
-             "empty corpus file");
-  GNAV_CHECK(trim(line) == kHeader,
-             "corpus header mismatch — file written by another version?");
+             "corpus file '" + path + "' is empty");
+
+  // Version detection. v2 files lead with an explicit token; v1 (PR 4
+  // era, before the executor-config columns) files lead directly with
+  // their header and migrate in place: the missing executor cells
+  // default to a sync row, which downstream fits ignore by design.
+  int version = 0;
+  if (trim(line) == kVersionLine) {
+    version = 2;
+    GNAV_CHECK(static_cast<bool>(std::getline(f, line)),
+               "corpus file '" + path + "' ends after the version line");
+    GNAV_CHECK(trim(line) == kHeaderV2,
+               "corpus header mismatch in '" + path + "'\n  expected: " +
+                   truncate_for_error(kHeaderV2) + "\n  found:    " +
+                   truncate_for_error(trim(line)));
+  } else if (trim(line) == kHeaderV1) {
+    version = 1;
+    log_info("corpus '", path,
+             "' uses the v1 schema (no executor columns); loading with "
+             "executor fields defaulted to sync rows");
+  } else {
+    throw Error(
+        "corpus header mismatch in '" + path + "'\n  expected: '" +
+        std::string(kVersionLine) + "' followed by the v2 header, or the "
+        "legacy v1 header\n  found:    '" +
+        truncate_for_error(trim(line)) +
+        "'\n  (file written by an incompatible gnavigator version?)");
+  }
+  const std::size_t scalar_cells =
+      version == 2 ? kScalarCellsV2 : kScalarCellsV1;
+
   std::vector<ProfiledRun> corpus;
   while (std::getline(f, line)) {
     if (trim(line).empty()) continue;
@@ -84,13 +157,17 @@ std::vector<ProfiledRun> load_corpus(const std::string& path) {
     // tail first, then comma-split the scalar prefix.
     const auto quote = line.find('"');
     GNAV_CHECK(quote != std::string::npos && line.back() == '"',
-               "malformed corpus row (missing quoted config)");
+               "malformed corpus row in '" + path +
+                   "' (missing quoted config)");
     const std::string scalars = line.substr(0, quote);
     const std::string config_text =
         line.substr(quote + 1, line.size() - quote - 2);
     auto cells = split(scalars, ',');
-    GNAV_CHECK(cells.size() == 36 && cells.back().empty(),
-               "malformed corpus row (expected 35 scalar cells)");
+    GNAV_CHECK(cells.size() == scalar_cells + 1 && cells.back().empty(),
+               "malformed corpus row in '" + path + "' (expected " +
+                   std::to_string(scalar_cells) + " scalar cells, found " +
+                   std::to_string(cells.empty() ? 0 : cells.size() - 1) +
+                   ")");
     cells.pop_back();
 
     ProfiledRun run;
@@ -134,6 +211,22 @@ std::vector<ProfiledRun> load_corpus(const std::string& path) {
     r.pipeline.transfer_wall_s = parse_double(cells[i++]);
     r.pipeline.compute_wall_s = parse_double(cells[i++]);
     r.pipeline.measured_wall_s = parse_double(cells[i++]);
+    if (version >= 2) {
+      r.pipeline.executor = cells[i++];
+      GNAV_CHECK(r.pipeline.executor == "sync" ||
+                     r.pipeline.executor == "async",
+                 "corpus row in '" + path + "' has unknown executor '" +
+                     r.pipeline.executor + "' (sync | async)");
+      r.pipeline.prefetch_depth =
+          static_cast<std::size_t>(parse_int(cells[i++]));
+      r.pipeline.sampler_workers =
+          static_cast<std::size_t>(parse_int(cells[i++]));
+      r.pipeline.push_stalls =
+          static_cast<std::uint64_t>(parse_int(cells[i++]));
+      r.pipeline.pop_stalls =
+          static_cast<std::uint64_t>(parse_int(cells[i++]));
+      r.pipeline.mean_queue_occupancy = parse_double(cells[i++]);
+    }
     // The cell stores statements separated by ';' on one line; ConfigMap
     // parses one statement per line.
     std::string statements = config_text;

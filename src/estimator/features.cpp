@@ -10,6 +10,12 @@ namespace {
 // Damping exponent of the Eq. 12 expansion product, fit once against
 // profiled runs on the augmentation graphs (see DESIGN.md).
 constexpr double kTau = 0.82;
+
+bool dynamic_cache(const runtime::TrainConfig& c) {
+  return c.cache_policy == cache::CachePolicy::kLru ||
+         c.cache_policy == cache::CachePolicy::kFifo ||
+         c.cache_policy == cache::CachePolicy::kWeightedDegree;
+}
 }  // namespace
 
 const std::vector<std::string>& feature_names() {
@@ -116,6 +122,48 @@ double analytic_model_flops(const runtime::TrainConfig& config,
     }
   }
   return 3.0 * flops;  // forward + ~2x backward
+}
+
+hw::IterationVolumes analytic_iteration_volumes(
+    const runtime::TrainConfig& config, const DatasetStats& stats,
+    double batch_nodes, double batch_edges, double hit_rate,
+    double work_per_node) {
+  const double feat_bytes = static_cast<double>(stats.feature_dim) * 4.0;
+  const double vol_scale = stats.real_feature_scale * stats.real_volume_scale;
+  const double struct_scale = stats.real_volume_scale;
+
+  hw::IterationVolumes v;
+  // Eq. 7: sampling cost grows with the expansion |V_i| - |B_0|. The
+  // per-node work multiplier is learned (work_model_); the pure white-box
+  // arm falls back to a neutral fanout-scan estimate.
+  if (work_per_node > 0.0) {
+    v.sampling_work = batch_nodes * work_per_node * struct_scale;
+  } else {
+    v.sampling_work =
+        (std::max(batch_nodes - static_cast<double>(config.batch_size),
+                  0.0) *
+             4.0 +
+         batch_nodes) *
+        struct_scale;
+    if (config.reorder) v.sampling_work *= 0.85;
+  }
+  // Eq. 6: transfer = n_attr * |V_i| * (1 - hit) + structure; INT8
+  // compression divides the feature payload by 4.
+  const double wire_feat_bytes =
+      config.compress_features ? feat_bytes / 4.0 : feat_bytes;
+  v.transfer_bytes =
+      batch_nodes * (1.0 - hit_rate) * wire_feat_bytes * vol_scale +
+      (8.0 * batch_edges + 8.0 * batch_nodes) * struct_scale;
+  // Eq. 5: replace only when a dynamic policy rewrites stale lines.
+  v.replace_bytes = dynamic_cache(config)
+                        ? batch_nodes * (1.0 - hit_rate) *
+                              wire_feat_bytes * vol_scale
+                        : 0.0;
+  // Eq. 8: compute from the model's FLOP formula.
+  v.compute_flops =
+      analytic_model_flops(config, stats, batch_nodes, batch_edges) *
+      vol_scale;
+  return v;
 }
 
 std::vector<double> extract_features(const runtime::TrainConfig& config,

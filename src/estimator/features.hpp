@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "estimator/dataset_stats.hpp"
+#include "hw/cost_model.hpp"
 #include "hw/platform.hpp"
 #include "runtime/train_config.hpp"
 
@@ -30,5 +31,15 @@ double analytic_cache_hit_prior(const runtime::TrainConfig& config,
 double analytic_model_flops(const runtime::TrainConfig& config,
                             const DatasetStats& stats, double batch_nodes,
                             double batch_edges);
+
+/// Eq. 5-8 white-box per-iteration phase volumes at the given batch
+/// shape. `work_per_node` < 0 selects the neutral analytic sampling-work
+/// multiplier; the full gray-box path passes the learned value. Shared
+/// by the estimator's time skeleton and the overlap model's
+/// stage-balance features, so both sides see the same phase split.
+hw::IterationVolumes analytic_iteration_volumes(
+    const runtime::TrainConfig& config, const DatasetStats& stats,
+    double batch_nodes, double batch_edges, double hit_rate,
+    double work_per_node = -1.0);
 
 }  // namespace gnav::estimator

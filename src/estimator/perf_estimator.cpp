@@ -14,12 +14,6 @@ constexpr double kBytesPerGb = 1e9;
 constexpr double kFrameworkOverheadGb = 0.55;  // matches runtime backend
 constexpr double kOptimizerStateMultiplier = 4.0;
 
-bool dynamic_cache(const runtime::TrainConfig& c) {
-  return c.cache_policy == cache::CachePolicy::kLru ||
-         c.cache_policy == cache::CachePolicy::kFifo ||
-         c.cache_policy == cache::CachePolicy::kWeightedDegree;
-}
-
 double iterations_per_epoch(const runtime::TrainConfig& c,
                             const DatasetStats& s) {
   return std::ceil(static_cast<double>(s.num_train_nodes) /
@@ -53,8 +47,18 @@ double analytic_runtime_gb(const runtime::TrainConfig& config,
 
 }  // namespace
 
+namespace {
+/// Executor shape `predict` consults the overlap model with: the
+/// executor's default prefetch depth and a matching worker fan-out. A
+/// compile-time constant (never the environment or the machine's core
+/// count) so predictions are bit-identical across hosts and thread
+/// counts.
+constexpr OverlapExecutorShape kCanonicalShape{/*prefetch_depth=*/4,
+                                               /*sampler_workers=*/4};
+}  // namespace
+
 PerfEstimator::PerfEstimator(hw::HardwareProfile hw)
-    : hw_(hw), cost_(std::move(hw)) {}
+    : hw_(hw), cost_(hw_), overlap_model_(hw_) {}
 
 double PerfEstimator::analytic_model_memory_gb(
     const runtime::TrainConfig& config, const DatasetStats& stats) const {
@@ -97,47 +101,40 @@ double PerfEstimator::predict_time_analytic(
     const runtime::TrainConfig& config, const DatasetStats& stats,
     double batch_nodes, double batch_edges, double hit_rate,
     double work_per_node) const {
-  const double feat_bytes = static_cast<double>(stats.feature_dim) * 4.0;
-  const double vol_scale = stats.real_feature_scale * stats.real_volume_scale;
-  const double struct_scale = stats.real_volume_scale;
-
-  hw::IterationVolumes v;
-  // Eq. 7: sampling cost grows with the expansion |V_i| - |B_0|. The
-  // per-node work multiplier is learned (work_model_); the pure white-box
-  // arm falls back to a neutral fanout-scan estimate.
-  if (work_per_node > 0.0) {
-    v.sampling_work = batch_nodes * work_per_node * struct_scale;
-  } else {
-    v.sampling_work =
-        (std::max(batch_nodes - static_cast<double>(config.batch_size),
-                  0.0) *
-             4.0 +
-         batch_nodes) *
-        struct_scale;
-    if (config.reorder) v.sampling_work *= 0.85;
-  }
-  // Eq. 6: transfer = n_attr * |V_i| * (1 - hit) + structure; INT8
-  // compression divides the feature payload by 4.
-  const double wire_feat_bytes =
-      config.compress_features ? feat_bytes / 4.0 : feat_bytes;
-  v.transfer_bytes =
-      batch_nodes * (1.0 - hit_rate) * wire_feat_bytes * vol_scale +
-      (8.0 * batch_edges + 8.0 * batch_nodes) * struct_scale;
-  // Eq. 5: replace only when a dynamic policy rewrites stale lines.
-  v.replace_bytes = dynamic_cache(config)
-                        ? batch_nodes * (1.0 - hit_rate) *
-                              wire_feat_bytes * vol_scale
-                        : 0.0;
-  // Eq. 8: compute from the model's FLOP formula.
-  v.compute_flops =
-      analytic_model_flops(config, stats, batch_nodes, batch_edges) *
-      vol_scale;
-
-  const hw::IterationTimes t = cost_.iteration_times(v);
+  // Eq. 5-8 volumes through the shared white-box helper (the overlap
+  // model derives its stage-balance features from the same split).
+  const hw::IterationTimes t =
+      cost_.iteration_times(analytic_iteration_volumes(
+          config, stats, batch_nodes, batch_edges, hit_rate, work_per_node));
+  // Eq. 4's analytic max() stays the simulated-T skeleton by design: the
+  // runtime's ground-truth epoch_time_s is simulated *with* Eq. 4, so
+  // the analytic ratio is exact in that domain. The fitted overlap
+  // correction targets the *measured executor wall* instead (see
+  // predict_overlap_ratio / OverlapModel).
   const double per_iter =
       config.pipeline_overlap ? t.overlapped() : t.sequential();
   return iterations_per_epoch(config, stats) * per_iter *
          stats.real_scale_factor;
+}
+
+double PerfEstimator::analytic_overlap_ratio(
+    const runtime::TrainConfig& config, const DatasetStats& stats) const {
+  if (!config.pipeline_overlap) return 1.0;
+  const double b_nodes = std::max(analytic_batch_nodes(config, stats), 1.0);
+  const double b_edges = b_nodes * std::max(stats.profile.avg_degree, 1.0);
+  const double hit = analytic_cache_hit_prior(config, stats);
+  const hw::IterationTimes t = cost_.iteration_times(
+      analytic_iteration_volumes(config, stats, b_nodes, b_edges, hit));
+  const double seq = t.sequential();
+  return seq > 0.0 ? t.overlapped() / seq : 1.0;
+}
+
+double PerfEstimator::predict_overlap_ratio(
+    const runtime::TrainConfig& config, const DatasetStats& stats,
+    const OverlapExecutorShape& shape) const {
+  const double analytic = analytic_overlap_ratio(config, stats);
+  if (!config.pipeline_overlap) return 1.0;
+  return overlap_model_.predict_ratio(config, stats, shape, analytic);
 }
 
 void PerfEstimator::fit(const std::vector<ProfiledRun>& runs) {
@@ -166,8 +163,12 @@ void PerfEstimator::fit(const std::vector<ProfiledRun>& runs) {
     acc_model_ = ml::GradientBoostingRegressor(params);
   }
 
-  // Stage 1: intermediate quantity models.
+  // Stage 1: intermediate quantity models. The overlap correction trains
+  // only on rows that genuinely ran the async executor (OverlapModel
+  // rejects sync rows, whose measured walls describe a serial loop); it
+  // simply stays unfitted — analytic Eq. 4 fallback — when none exist.
   batch_model_.fit(runs);
+  overlap_model_.fit(runs);
   {
     ml::Matrix x;
     std::vector<double> y_hit;
@@ -260,6 +261,22 @@ PerfPrediction PerfEstimator::predict(const runtime::TrainConfig& config,
   p.memory_gb = mem_white * m_ratio;
 
   p.accuracy = std::clamp(acc_model_.predict_one(f), 0.0, 1.0);
+
+  // Executor-overlap consultation: for pipelined configs the fitted
+  // correction replaces the bare Eq. 4 max() as the predicted
+  // wall/serial ratio of the async executor (analytic fallback when no
+  // measured rows trained it; exactly 1.0 for sync configs).
+  p.overlap_ratio_analytic = analytic_overlap_ratio(config, stats);
+  p.overlap_fitted =
+      config.pipeline_overlap && overlap_model_.is_fitted();
+  // predict() is the explorer's inner-loop scorer: reuse the analytic
+  // ratio just computed instead of re-deriving it via
+  // predict_overlap_ratio's convenience path.
+  p.overlap_ratio =
+      config.pipeline_overlap
+          ? overlap_model_.predict_ratio(config, stats, kCanonicalShape,
+                                         p.overlap_ratio_analytic)
+          : 1.0;
   return p;
 }
 

@@ -6,7 +6,10 @@
 // quantities theory cannot pin down (batch overlap penalty, cache hit
 // rate, subgraph density, sampling work per node, residual corrections,
 // and the Eq. 11 accuracy delta, which the paper concedes "is still more
-// like a black box").
+// like a black box"). The f_overlapping correction is likewise learned:
+// an OverlapModel fitted from the async executor's measured stage walls
+// replaces Eq. 4's bare max() for executor-wall predictions, with a
+// graceful analytic fallback when the corpus holds no measured rows.
 //
 // The estimator is hardware-profile-specific, like the paper's (it is
 // trained from profiles gathered on the platform it predicts for).
@@ -15,6 +18,7 @@
 #include <vector>
 
 #include "estimator/batch_size_estimator.hpp"
+#include "estimator/overlap_model.hpp"
 #include "estimator/profile_collector.hpp"
 #include "hw/cost_model.hpp"
 #include "ml/gradient_boosting.hpp"
@@ -29,6 +33,15 @@ struct PerfPrediction {
   double batch_nodes = 0.0;
   double batch_edges = 0.0;
   double cache_hit_rate = 0.0;
+  /// Executor-overlap correction for pipelined configs: the predicted
+  /// measured-wall / serial-stage-work ratio of the async epoch
+  /// executor. Fitted from measured executor walls when the corpus
+  /// carried async rows (`overlap_fitted`), Eq. 4's analytic ratio
+  /// otherwise; exactly 1.0 for sync (pipeline_overlap=false) configs.
+  double overlap_ratio = 1.0;
+  /// Eq. 4's analytic ratio for the same config (the ablation arm).
+  double overlap_ratio_analytic = 1.0;
+  bool overlap_fitted = false;
 };
 
 class PerfEstimator {
@@ -46,6 +59,27 @@ class PerfEstimator {
   const GrayBoxBatchSizeEstimator& batch_size_model() const {
     return batch_model_;
   }
+  /// The learned f_overlapping correction (unfitted when the corpus had
+  /// no async-executor rows — consumers then see the Eq. 4 fallback).
+  const OverlapModel& overlap_model() const { return overlap_model_; }
+
+  /// Predicted wall/serial ratio of the async executor for `config`
+  /// under the given executor shape — the fitted replacement for Eq. 4's
+  /// bare max(), falling back to the analytic ratio when unfitted or
+  /// when the config disables pipelining. Pure and serial: bit-identical
+  /// at any thread count.
+  double predict_overlap_ratio(const runtime::TrainConfig& config,
+                               const DatasetStats& stats,
+                               const OverlapExecutorShape& shape) const;
+
+  /// Predicted wall-clock seconds of the async executor given the serial
+  /// stage seconds measured by a cheap sync run of the same config.
+  double predict_pipelined_wall_s(const runtime::TrainConfig& config,
+                                  const DatasetStats& stats,
+                                  const OverlapExecutorShape& shape,
+                                  double serial_stage_s) const {
+    return serial_stage_s * predict_overlap_ratio(config, stats, shape);
+  }
 
   /// Analytic Eq. 9/10 components (no learning involved).
   double analytic_model_memory_gb(const runtime::TrainConfig& config,
@@ -62,9 +96,16 @@ class PerfEstimator {
                                double work_per_node = -1.0) const;
 
  private:
+  /// Analytic Eq. 4 wall ratio (overlapped/sequential per-iteration) for
+  /// a config, evaluated over the white-box batch shape; the fallback
+  /// and ablation arm of the overlap correction.
+  double analytic_overlap_ratio(const runtime::TrainConfig& config,
+                                const DatasetStats& stats) const;
+
   hw::HardwareProfile hw_;
   hw::CostModel cost_;
   GrayBoxBatchSizeEstimator batch_model_;
+  OverlapModel overlap_model_;
   ml::GradientBoostingRegressor hit_model_;
   ml::GradientBoostingRegressor density_model_;   // log(edges per node)
   ml::GradientBoostingRegressor work_model_;      // log(sampling work per node)

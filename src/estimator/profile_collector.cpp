@@ -102,6 +102,22 @@ std::vector<ProfiledRun> collect_profiles(const graph::Dataset& dataset,
     ro.record_batch_sizes = true;
     ro.seed = options.seed + static_cast<std::uint64_t>(i) * 7919ULL;
     ro.pool = &pool;
+    // A controlled fraction of the corpus runs under the async executor
+    // so its measured stage walls exist for the overlap-model fit. Depth
+    // and workers cycle deterministically by index (never by schedule),
+    // keeping the corpus bit-identical at any pool size; the executor's
+    // own contract keeps the data-bearing report fields identical too.
+    if (options.async_every > 0 &&
+        i % static_cast<std::size_t>(options.async_every) == 0) {
+      static constexpr std::size_t kDepths[] = {2, 4, 1, 8};
+      static constexpr std::size_t kWorkers[] = {2, 1, 4};
+      const std::size_t k = i / static_cast<std::size_t>(options.async_every);
+      ro.pipeline.mode = runtime::PipelineMode::kAsync;
+      ro.pipeline.prefetch_depth = kDepths[k % 4];
+      ro.pipeline.sampler_workers = kWorkers[k % 3];
+    } else {
+      ro.pipeline.mode = runtime::PipelineMode::kSync;
+    }
     out[i].report = backend.run(out[i].config, ro);
   });
   log_info("profiled ", out.size(), " runs on ", dataset.name);

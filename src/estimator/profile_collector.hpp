@@ -38,6 +38,15 @@ struct CollectorOptions {
   /// are drawn serially from one RNG and every run is seeded by its
   /// index, so the corpus is bit-identical at any pool size.
   support::ThreadPool* pool = nullptr;
+  /// Every `async_every`-th profiled run (by draw index, per dataset)
+  /// executes under the asynchronous pipelined epoch executor, with the
+  /// prefetch depth and sampler worker count varied deterministically by
+  /// index — so the corpus carries measured executor walls for the
+  /// overlap-model fit. The executor's bit-identity contract keeps every
+  /// data-bearing report field unchanged; only the wall-clock pipeline
+  /// observables (and the executor metadata columns) differ. <= 0
+  /// disables async profiling runs entirely.
+  int async_every = 4;
 };
 
 /// Draws a random-but-valid configuration from the full design space.

@@ -44,7 +44,9 @@ struct PipelineReport {
   std::uint64_t push_stalls = 0;
   /// Starvation: pops that waited on an empty inter-stage queue.
   std::uint64_t pop_stalls = 0;
-  /// Mean depth of the compute-facing prefetch queue (0..prefetch_depth).
+  /// Mean pre-push backlog of the compute-facing prefetch queue
+  /// (0..prefetch_depth-1; 0 = compute always kept up, the ROADMAP's
+  /// shrink-the-depth signal).
   double mean_queue_occupancy = 0.0;
 
   /// Measured per-stage busy seconds (sync: serial section timings).

@@ -96,9 +96,10 @@ struct PipelineEpochStats {
   /// Queue-empty waits across both hand-off queues (starvation: the
   /// upstream stage was the bottleneck).
   std::uint64_t pop_stalls = 0;
-  /// Mean depth of the compute-facing (prepared) queue, sampled after
-  /// every push — near the prefetch depth means compute-bound, near zero
-  /// means sample/transfer-bound.
+  /// Mean backlog of the compute-facing (prepared) queue, sampled before
+  /// every push (the just-pushed item never counts) — near depth-1 means
+  /// compute-bound (always full), 0 means compute drained every batch
+  /// immediately (sample/transfer-bound).
   double mean_prepared_occupancy = 0.0;
 
   double sample_busy_s = 0.0;

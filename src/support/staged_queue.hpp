@@ -9,8 +9,12 @@
 // The queue additionally counts its own contention so the executor can
 // report where an epoch's time went: a push that had to wait is a
 // *backpressure stall* (downstream too slow), a pop that had to wait is a
-// *starvation stall* (upstream too slow), and the occupancy sampled after
-// every push integrates into a mean queue depth.
+// *starvation stall* (upstream too slow), and the backlog each push
+// observed *before* its item lands integrates into a mean queue depth.
+// Sampling pre-push matters: the just-pushed item must not count, or a
+// never-backlogged queue would report a useless constant occupancy of 1
+// and the auto-depth signal (ROADMAP) could not tell "always drained"
+// from "always one deep".
 #pragma once
 
 #include <algorithm>
@@ -29,7 +33,11 @@ struct StagedQueueStats {
   std::uint64_t push_stalls = 0;
   /// Pop calls that found the queue empty and had to wait (starvation).
   std::uint64_t pop_stalls = 0;
-  /// Sum of the queue size sampled right after every push.
+  /// Sum of the backlog each push observed immediately *before* its item
+  /// landed (after any full-queue wait). Range per sample is
+  /// [0, capacity-1]: 0 means the consumer had drained everything, so
+  /// mean_occupancy() is 0 for a queue that was never backlogged and
+  /// capacity-1 for one that was always full.
   double occupancy_sum = 0.0;
 
   double mean_occupancy() const {
@@ -62,9 +70,11 @@ class StagedQueue {
       });
     }
     if (closed_) return false;
+    // Pre-push occupancy sample: the backlog this producer found, not
+    // counting the item it is about to add.
+    stats_.occupancy_sum += static_cast<double>(items_.size());
     items_.push_back(std::move(item));
     ++stats_.pushes;
-    stats_.occupancy_sum += static_cast<double>(items_.size());
     lock.unlock();
     not_empty_.notify_one();
     return true;

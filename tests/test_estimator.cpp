@@ -6,18 +6,23 @@
 // train real models, so this is the slowest test file).
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <fstream>
 #include <memory>
+#include <sstream>
 
 #include <cstdio>
 
 #include "estimator/batch_size_estimator.hpp"
 #include "estimator/corpus_io.hpp"
 #include "estimator/features.hpp"
+#include "estimator/overlap_model.hpp"
 #include "estimator/perf_estimator.hpp"
 #include "estimator/profile_collector.hpp"
 #include "ml/metrics.hpp"
 #include "runtime/templates.hpp"
 #include "support/error.hpp"
+#include "support/string_utils.hpp"
 
 namespace gnav::estimator {
 namespace {
@@ -198,17 +203,119 @@ TEST_F(EstimatorFixture, CorpusRoundTripsThroughCsv) {
     EXPECT_EQ(loaded[i].stats.name, (*corpus_)[i].stats.name);
     EXPECT_DOUBLE_EQ(loaded[i].stats.real_volume_scale,
                      (*corpus_)[i].stats.real_volume_scale);
-    // Executor overlap columns (f_overlapping fitting data) round-trip.
-    EXPECT_DOUBLE_EQ(loaded[i].report.pipeline.modeled_sequential_s,
-                     (*corpus_)[i].report.pipeline.modeled_sequential_s);
-    EXPECT_DOUBLE_EQ(loaded[i].report.pipeline.measured_wall_s,
-                     (*corpus_)[i].report.pipeline.measured_wall_s);
+    // Executor overlap columns (f_overlapping fitting data) round-trip,
+    // including the v2 executor-config and stall columns — and the
+    // sync/async split survives, so OverlapModel eligibility is
+    // identical before and after the round-trip.
+    const auto& pl = loaded[i].report.pipeline;
+    const auto& po = (*corpus_)[i].report.pipeline;
+    EXPECT_DOUBLE_EQ(pl.modeled_sequential_s, po.modeled_sequential_s);
+    EXPECT_DOUBLE_EQ(pl.measured_wall_s, po.measured_wall_s);
+    EXPECT_EQ(pl.executor, po.executor);
+    EXPECT_EQ(pl.prefetch_depth, po.prefetch_depth);
+    EXPECT_EQ(pl.sampler_workers, po.sampler_workers);
+    EXPECT_EQ(pl.push_stalls, po.push_stalls);
+    EXPECT_EQ(pl.pop_stalls, po.pop_stalls);
+    EXPECT_DOUBLE_EQ(pl.mean_queue_occupancy, po.mean_queue_occupancy);
+    EXPECT_EQ(OverlapModel::row_eligible(loaded[i]),
+              OverlapModel::row_eligible((*corpus_)[i]));
+    // NaN-free contract: every wall/stall cell parses to a finite value
+    // (sync rows included — their zeros are legitimate data).
+    EXPECT_TRUE(std::isfinite(pl.sample_wall_s));
+    EXPECT_TRUE(std::isfinite(pl.transfer_wall_s));
+    EXPECT_TRUE(std::isfinite(pl.compute_wall_s));
+    EXPECT_TRUE(std::isfinite(pl.measured_wall_s));
+    EXPECT_TRUE(std::isfinite(pl.mean_queue_occupancy));
   }
+  // The profiled corpus genuinely contains both executors (the async
+  // fraction the collector schedules), so the overlap model can fit
+  // from a reloaded file alone.
+  bool saw_async = false;
+  bool saw_sync = false;
+  for (const auto& run : loaded) {
+    saw_async |= run.report.pipeline.executor == "async";
+    saw_sync |= run.report.pipeline.executor == "sync";
+  }
+  EXPECT_TRUE(saw_async);
+  EXPECT_TRUE(saw_sync);
   // A loaded corpus must be usable for fitting.
   PerfEstimator est(*hw_);
   EXPECT_NO_THROW(est.fit(loaded));
+  EXPECT_TRUE(est.overlap_model().is_fitted());
   std::remove(path.c_str());
   EXPECT_THROW(load_corpus("no-such-file.csv"), Error);
+}
+
+TEST_F(EstimatorFixture, LegacyV1CorpusMigratesWithSyncDefaults) {
+  // Rewrite a v2 file into the PR 4-era v1 layout: no version line, the
+  // legacy header, and no executor cells in the rows. Loading must
+  // succeed with the executor fields defaulted to sync rows.
+  const std::string v2_path = "test_corpus_v2.csv";
+  const std::string v1_path = "test_corpus_v1.csv";
+  save_corpus(*corpus_, v2_path);
+  {
+    std::ifstream in(v2_path);
+    std::ofstream out(v1_path);
+    std::string line;
+    ASSERT_TRUE(static_cast<bool>(std::getline(in, line)));  // version
+    ASSERT_TRUE(starts_with(line, "#"));
+    ASSERT_TRUE(static_cast<bool>(std::getline(in, line)));  // v2 header
+    std::string header = line;
+    const std::string v2_cols =
+        "executor,prefetch_depth,sampler_workers,push_stalls,pop_stalls,"
+        "mean_queue_occupancy,";
+    const auto at = header.find(v2_cols);
+    ASSERT_NE(at, std::string::npos);
+    out << header.erase(at, v2_cols.size()) << '\n';
+    while (std::getline(in, line)) {
+      const auto quote = line.find('"');
+      ASSERT_NE(quote, std::string::npos);
+      std::string scalars = line.substr(0, quote);
+      auto cells = split(scalars, ',');
+      ASSERT_EQ(cells.size(), 42u);  // 41 scalars + empty tail
+      cells.erase(cells.begin() + 35, cells.begin() + 41);
+      out << join(cells, ",") << line.substr(quote) << '\n';
+    }
+  }
+  const auto migrated = load_corpus(v1_path);
+  ASSERT_EQ(migrated.size(), corpus_->size());
+  for (std::size_t i = 0; i < migrated.size(); ++i) {
+    const auto& p = migrated[i].report.pipeline;
+    EXPECT_EQ(p.executor, "sync");  // defaulted: v1 had no executor column
+    EXPECT_EQ(p.push_stalls, 0u);
+    EXPECT_FALSE(OverlapModel::row_eligible(migrated[i]));
+    EXPECT_DOUBLE_EQ(migrated[i].report.epoch_time_s,
+                     (*corpus_)[i].report.epoch_time_s);
+    EXPECT_DOUBLE_EQ(migrated[i].report.pipeline.measured_wall_s,
+                     (*corpus_)[i].report.pipeline.measured_wall_s);
+  }
+  // Migrated corpora still fit the estimator; the overlap model simply
+  // stays on the analytic fallback (no async rows survived migration).
+  PerfEstimator est(*hw_);
+  EXPECT_NO_THROW(est.fit(migrated));
+  EXPECT_FALSE(est.overlap_model().is_fitted());
+  std::remove(v2_path.c_str());
+  std::remove(v1_path.c_str());
+}
+
+TEST_F(EstimatorFixture, HeaderMismatchNamesFileAndExpectation) {
+  const std::string path = "test_corpus_badheader.csv";
+  {
+    std::ofstream out(path);
+    out << "totally,unrelated,header\n1,2,3\n";
+  }
+  try {
+    load_corpus(path);
+    FAIL() << "expected a header-mismatch error";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find(path), std::string::npos)
+        << "error must name the offending file: " << msg;
+    EXPECT_NE(msg.find("expected"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("totally,unrelated,header"), std::string::npos)
+        << "error must echo the found header: " << msg;
+  }
+  std::remove(path.c_str());
 }
 
 TEST_F(EstimatorFixture, PerfEstimatorInSampleQuality) {

@@ -53,6 +53,26 @@ TEST(StagedQueue, CapacityClampedToOne) {
   EXPECT_EQ(q.capacity(), 1u);
 }
 
+// Occupancy is sampled BEFORE each push lands: the just-pushed item never
+// counts itself. A queue whose consumer always keeps up therefore reports
+// mean occupancy 0 — the signal the auto-depth tuning needs — instead of
+// the constant 1.0 a post-push sample would produce.
+TEST(StagedQueue, OccupancySampledBeforePushExcludesOwnItem) {
+  StagedQueue<int> never_backlogged(1);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_TRUE(never_backlogged.push(int(i)));
+    EXPECT_EQ(never_backlogged.pop().value(), i);
+  }
+  EXPECT_EQ(never_backlogged.stats().pushes, 6u);
+  EXPECT_DOUBLE_EQ(never_backlogged.stats().mean_occupancy(), 0.0);
+
+  // Backlog builds without pops: pushes observe 0, 1, 2 items already
+  // buffered -> mean 1.0 (and never the capacity itself).
+  StagedQueue<int> backlogged(4);
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE(backlogged.push(int(i)));
+  EXPECT_DOUBLE_EQ(backlogged.stats().mean_occupancy(), 1.0);
+}
+
 TEST(StagedQueue, PushBlocksWhenFullAndCountsStall) {
   StagedQueue<int> q(2);
   EXPECT_TRUE(q.push(1));
