@@ -4,6 +4,7 @@
 //                  --priority ex-tm --max-memory-gb 8 --epochs 4
 //                  [--corpus corpus.csv] [--save-corpus corpus.csv]
 //                  [--pipeline sync|async] [--pipeline-depth N]
+//                  [--serve-jobs N] [--serve-tenants N]
 //
 // Runs Step 1 (input analysis), Step 2 (guideline generation — reusing a
 // cached profiling corpus when --corpus is given), trains the baseline
@@ -11,12 +12,20 @@
 // including the epoch executor's measured stage/backpressure profile.
 // --pipeline/--pipeline-depth select the epoch executor (equivalent to
 // GNAV_PIPELINE / GNAV_PIPELINE_DEPTH).
+//
+// --serve-jobs N switches Step 3 into multi-tenant serving: N jobs
+// alternating the guideline and the PyG baseline are priced with
+// predict_pipelined_wall_s, admitted, and drained through
+// serve::JobScheduler under fair-share scheduling with --serve-tenants
+// (default 2) concurrently active jobs; per-job price/state and the
+// aggregate jobs/min are printed.
 #include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <string>
 
 #include "estimator/corpus_io.hpp"
+#include "serve/job_scheduler.hpp"
 #include "support/error.hpp"
 #include "navigator/navigator.hpp"
 #include "support/string_utils.hpp"
@@ -156,6 +165,62 @@ int main(int argc, char** argv) {
     } else {
       std::printf("gray-box overlap: analytic Eq.4 fallback (corpus has "
                   "no async-executor rows)\n\n");
+    }
+
+    if (args.contains("serve-jobs")) {
+      const auto n_jobs =
+          static_cast<std::size_t>(parse_int(args.at("serve-jobs")));
+      const auto tenants =
+          args.contains("serve-tenants")
+              ? static_cast<std::size_t>(parse_int(args.at("serve-tenants")))
+              : 2;
+      GNAV_CHECK(n_jobs >= 1, "--serve-jobs must be >= 1");
+      GNAV_CHECK(tenants >= 1, "--serve-tenants must be >= 1");
+
+      runtime::TrainConfig pyg = runtime::template_by_name("pyg");
+      pyg.model = base.model;
+      pyg.num_layers = base.num_layers;
+      pyg.dropout = base.dropout;
+      pyg.learning_rate = base.learning_rate;
+      pyg.validate();
+
+      serve::SchedulerOptions options;
+      options.max_active = tenants;
+      serve::JobScheduler sched(nav.backend(), nav.estimator_mut(),
+                                nav.dataset_stats(), options);
+      for (std::size_t i = 0; i < n_jobs; ++i) {
+        serve::JobRequest req;
+        req.tenant = "tenant-" + std::to_string(i % tenants);
+        req.epochs = epochs;
+        if (i % 2 == 0) {
+          req.config = guideline.config;
+          req.pipeline.mode = runtime::PipelineMode::kAsync;
+          req.pipeline.prefetch_depth = 2;
+          req.pipeline.sampler_workers = 2;
+        } else {
+          req.config = pyg;
+        }
+        sched.submit(req);
+      }
+      const serve::DrainStats stats = sched.drain();
+      std::printf("serving %zu job(s) across %zu tenant(s):\n", n_jobs,
+                  tenants);
+      for (std::size_t i = 0; i < sched.size(); ++i) {
+        const serve::JobOutcome& job = sched.outcome(i);
+        std::printf("  job %zu [%s] %-16s price=%.3fs (%s) -> %s "
+                    "T=%.2fs acc=%.2f%%\n",
+                    job.id, job.request.tenant.c_str(),
+                    job.request.config.name.c_str(),
+                    job.price.predicted_wall_s,
+                    job.price.overlap_fitted ? "fitted" : "Eq.4",
+                    serve::to_string(job.state).c_str(),
+                    job.report.epoch_time_s, 100.0 * job.report.test_accuracy);
+      }
+      std::printf("drain: %zu started, %zu completed, %zu failed | "
+                  "wall=%.2fs throughput=%.1f jobs/min\n",
+                  stats.started, stats.completed, stats.failed, stats.wall_s,
+                  stats.jobs_per_min());
+      return 0;
     }
 
     print_report("pyg:", nav.reproduce("pyg", epochs));

@@ -28,16 +28,33 @@ double DecisionMaker::score(const PerfPoint& p,
          targets_.accuracy_weight * (p.accuracy / a_ref);
 }
 
+double effective_time_s(const estimator::PerfPrediction& p) {
+  // `time_s` carries Eq. 4's analytic overlap for pipelined configs.
+  // When the overlap model was fitted from measured executor walls,
+  // re-scale to the fitted prediction of the real async-executor wall:
+  //   serial = time_s / analytic_ratio;  wall = serial * fitted_ratio.
+  // Sync configs and unfitted corpora leave time_s untouched (both
+  // ratios are equal there, so the expression is exactly time_s anyway).
+  if (p.overlap_fitted && p.overlap_ratio_analytic > 0.0) {
+    return p.time_s * (p.overlap_ratio / p.overlap_ratio_analytic);
+  }
+  return p.time_s;
+}
+
 Decision DecisionMaker::decide(const ExplorationResult& result) const {
   GNAV_CHECK(!result.feasible.empty(),
              "no feasible candidate — relax the runtime constraints");
   GNAV_CHECK(!result.pareto.empty(), "empty Pareto front");
 
+  // Rank by the wall the chosen executor will actually deliver: the
+  // fitted pipelined wall for async-eligible candidates, the analytic T
+  // otherwise. Medians use the same effective times so the normalization
+  // stays unit-consistent with the scored points.
   std::vector<double> times;
   std::vector<double> mems;
   std::vector<double> accs;
   for (const Candidate& c : result.feasible) {
-    times.push_back(c.predicted.time_s);
+    times.push_back(effective_time_s(c.predicted));
     mems.push_back(c.predicted.memory_gb);
     accs.push_back(c.predicted.accuracy);
   }
@@ -46,11 +63,15 @@ Decision DecisionMaker::decide(const ExplorationResult& result) const {
   Decision best;
   bool first = true;
   for (std::size_t idx : result.pareto) {
-    const double s = score(result.feasible[idx].point(), reference);
+    const Candidate& c = result.feasible[idx];
+    PerfPoint p = c.point();
+    p.time_s = effective_time_s(c.predicted);
+    const double s = score(p, reference);
     if (first || s < best.score) {
-      best.chosen = result.feasible[idx];
+      best.chosen = c;
       best.score = s;
       best.feasible_index = idx;
+      best.ranked_time_s = p.time_s;
       first = false;
     }
   }

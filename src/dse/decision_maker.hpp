@@ -5,7 +5,11 @@
 // Scalarization: each metric is normalized by the median over the
 // feasible set (so weights are unit-free), then
 //   score = w_t * T/T_med + w_m * Γ/Γ_med - w_a * Acc/Acc_med
-// and the minimizing Pareto-front member wins.
+// and the minimizing Pareto-front member wins. T here is the *effective*
+// time (see effective_time_s): when the estimator's overlap model was
+// fitted from measured async-executor walls, pipelined candidates are
+// ranked by their predicted real executor wall instead of Eq. 4's
+// analytic optimum — so a config with better measured overlap can win.
 #pragma once
 
 #include "dse/explorer.hpp"
@@ -13,11 +17,21 @@
 
 namespace gnav::dse {
 
+/// The wall-clock objective candidates are ranked by: the fitted
+/// pipelined-executor wall (`predict_pipelined_wall_s` rescaling of
+/// `time_s`) when the overlap model was fitted and the candidate
+/// pipelines, the analytic `time_s` otherwise. Exposed so tests and the
+/// serve layer can reproduce the ranking exactly.
+double effective_time_s(const estimator::PerfPrediction& p);
+
 struct Decision {
   Candidate chosen;
   double score = 0.0;
   /// Index of the winner within the exploration result's feasible list.
   std::size_t feasible_index = 0;
+  /// The effective (ranked-by) time of the winner — equals
+  /// `effective_time_s(chosen.predicted)`.
+  double ranked_time_s = 0.0;
   /// Gray-box overlap arm of the winner: the predicted async-executor
   /// wall/serial ratio (fitted from measured walls when the estimator's
   /// corpus carried async rows) next to Eq. 4's analytic ratio, so the

@@ -81,8 +81,9 @@ std::vector<ProfiledRun> collect_profiles(const graph::Dataset& dataset,
   GNAV_CHECK(options.configs_per_dataset >= 1, "need at least one config");
   runtime::RuntimeBackend backend(dataset, hw);
   const DatasetStats stats = compute_dataset_stats(dataset);
-  Rng rng(options.seed ^
-          std::hash<std::string>{}(dataset.name));
+  const std::uint64_t collection_seed =
+      options.seed ^ std::hash<std::string>{}(dataset.name);
+  Rng rng(collection_seed);
   const auto n = static_cast<std::size_t>(options.configs_per_dataset);
   std::vector<ProfiledRun> out(n);
   // Configs come from one serial RNG stream (order-sensitive); the runs
@@ -103,18 +104,24 @@ std::vector<ProfiledRun> collect_profiles(const graph::Dataset& dataset,
     ro.seed = options.seed + static_cast<std::uint64_t>(i) * 7919ULL;
     ro.pool = &pool;
     // A controlled fraction of the corpus runs under the async executor
-    // so its measured stage walls exist for the overlap-model fit. Depth
-    // and workers cycle deterministically by index (never by schedule),
-    // keeping the corpus bit-identical at any pool size; the executor's
-    // own contract keeps the data-bearing report fields identical too.
+    // so its measured stage walls exist for the overlap-model fit. WHICH
+    // rows are async is fixed by index (i % async_every == 0, pinned by
+    // test_overlap_model.cpp); the executor shape each async row gets is
+    // drawn from this collection's own seed material — never from a
+    // process counter or call order — so two interleaved collections
+    // (concurrent serve tenants profiling different datasets) still emit
+    // exactly the rows a solo collection would, at any pool size. The
+    // executor's own contract keeps the data-bearing fields identical.
     if (options.async_every > 0 &&
         i % static_cast<std::size_t>(options.async_every) == 0) {
-      static constexpr std::size_t kDepths[] = {2, 4, 1, 8};
-      static constexpr std::size_t kWorkers[] = {2, 1, 4};
+      static constexpr std::size_t kDepths[] = {1, 2, 4, 8};
+      static constexpr std::size_t kWorkers[] = {1, 2, 4};
       const std::size_t k = i / static_cast<std::size_t>(options.async_every);
+      const std::uint64_t mix = support::task_seed(
+          collection_seed ^ 0xA51CULL, static_cast<std::uint64_t>(k));
       ro.pipeline.mode = runtime::PipelineMode::kAsync;
-      ro.pipeline.prefetch_depth = kDepths[k % 4];
-      ro.pipeline.sampler_workers = kWorkers[k % 3];
+      ro.pipeline.prefetch_depth = kDepths[mix % 4];
+      ro.pipeline.sampler_workers = kWorkers[(mix >> 8) % 3];
     } else {
       ro.pipeline.mode = runtime::PipelineMode::kSync;
     }

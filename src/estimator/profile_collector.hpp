@@ -40,9 +40,11 @@ struct CollectorOptions {
   support::ThreadPool* pool = nullptr;
   /// Every `async_every`-th profiled run (by draw index, per dataset)
   /// executes under the asynchronous pipelined epoch executor, with the
-  /// prefetch depth and sampler worker count varied deterministically by
-  /// index — so the corpus carries measured executor walls for the
-  /// overlap-model fit. The executor's bit-identity contract keeps every
+  /// prefetch depth and sampler worker count drawn deterministically from
+  /// the collection's own seed material (seed ^ dataset name, mixed per
+  /// async row — never a process counter or call order, so interleaved
+  /// collections reproduce their solo rows exactly) — so the corpus
+  /// carries measured executor walls for the overlap-model fit. The executor's bit-identity contract keeps every
   /// data-bearing report field unchanged; only the wall-clock pipeline
   /// observables (and the executor metadata columns) differ. <= 0
   /// disables async profiling runs entirely.

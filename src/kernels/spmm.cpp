@@ -32,6 +32,11 @@ constexpr std::size_t kChunkWork = 8192;
 thread_local bool t_override_active = false;
 thread_local SpmmImpl t_override = SpmmImpl::kBlocked;
 
+// Process-wide default. Atomic so a stray concurrent set is never a data
+// race, but semantically it is process-setup state: every concurrent-job
+// path pins its impl with a thread-local SpmmImplScope instead (see the
+// multi-tenant contract in spmm.hpp), so this slot is only ever read when
+// no scope is active on the calling thread.
 std::atomic<SpmmImpl>& default_impl_slot() {
   static std::atomic<SpmmImpl> slot = [] {
     SpmmImpl impl = SpmmImpl::kBlocked;

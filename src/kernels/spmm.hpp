@@ -57,6 +57,15 @@ SpmmImpl spmm_impl_from_string(const std::string& name);
 /// Process-wide default implementation. Initialized once from the
 /// GNAV_SPMM_IMPL environment variable ("scalar" or "blocked") and
 /// kBlocked otherwise; settable for A/B experiments.
+///
+/// Multi-tenant contract: this is a PROCESS-SETUP knob only. The slot is
+/// a single atomic — concurrent jobs flipping it would nondeterministically
+/// reselect each other's kernels. Once any concurrent work is in flight
+/// (serve::JobScheduler lanes, profile collection, DSE scoring), kernel
+/// selection must flow through RunOptions::spmm_impl, which the backend
+/// pins per run — and per stage thread — with SpmmImplScope. The serve
+/// layer never reads or writes this default (test_serve.cpp pins the
+/// isolation with concurrent scalar-vs-blocked jobs under TSan).
 SpmmImpl default_spmm_impl();
 void set_default_spmm_impl(SpmmImpl impl);
 

@@ -42,6 +42,12 @@ const estimator::PerfEstimator& GNNavigator::estimator() const {
   return *estimator_;
 }
 
+estimator::PerfEstimator& GNNavigator::estimator_mut() {
+  GNAV_CHECK(estimator_ != nullptr,
+             "estimator not prepared — call prepare() first");
+  return *estimator_;
+}
+
 Guideline GNNavigator::generate_guideline(
     const dse::ExploreTargets& targets,
     const dse::RuntimeConstraints& constraints) const {

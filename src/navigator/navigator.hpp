@@ -83,6 +83,10 @@ class GNNavigator {
   const estimator::DatasetStats& dataset_stats() const { return stats_; }
   const hw::HardwareProfile& hardware() const { return hardware_; }
   const estimator::PerfEstimator& estimator() const;
+  /// Mutable estimator access for the serve layer's online refit
+  /// (serve::SchedulerOptions::refit_after_drain). Throws like
+  /// estimator() when prepare() has not run.
+  estimator::PerfEstimator& estimator_mut();
   const runtime::RuntimeBackend& backend() const { return *backend_; }
 
  private:

@@ -110,9 +110,15 @@ TrainReport RuntimeBackend::run(const TrainConfig& config,
 
   // Every aggregation in this run (training steps and full-graph
   // evaluations alike) resolves to the requested SpMM kernel. The scope
-  // is thread-local, so concurrent profiling runs on pool workers cannot
-  // interfere with each other's selection.
+  // is thread-local, so concurrent jobs on pool workers cannot interfere
+  // with each other's selection. Stage closures below re-establish the
+  // scope because the async executor runs them on fresh stage threads
+  // that inherit NO thread-local state — without it they would fall
+  // through to the process-global default, which another concurrent
+  // job's setup could be flipping (the multi-tenant isolation contract,
+  // see serve/job_scheduler.hpp and kernels/spmm.hpp).
   const kernels::SpmmImplScope spmm_scope(options.spmm_impl);
+  const kernels::SpmmImpl run_spmm_impl = options.spmm_impl;
 
   const graph::Dataset& ds = *dataset_;
   Rng rng(options.seed);
@@ -213,6 +219,10 @@ TrainReport RuntimeBackend::run(const TrainConfig& config,
     // Component 1: sampling. Thread-safe at any worker count — batch i
     // always draws from its own task_seed-derived stream.
     auto sample_batch = [&](std::size_t i) {
+      // Pin this job's kernel selection on whatever thread executes the
+      // stage (async sampler workers are fresh threads with no ambient
+      // scope; pool workers may carry another job's scope).
+      const kernels::SpmmImplScope stage_scope(run_spmm_impl);
       Rng batch_rng(support::task_seed(epoch_seed, i));
       return sampler->sample(ds.graph, seed_batches[i], batch_rng);
     };
@@ -223,6 +233,9 @@ TrainReport RuntimeBackend::run(const TrainConfig& config,
     // sequence and every profiler accumulation are order-identical to
     // the synchronous path (the passed sequence number enforces it).
     auto prepare_batch = [&](std::size_t i, sampling::MiniBatch&& mb) {
+      // Same per-stage pin as sample_batch: the transfer stage runs on
+      // its own thread under the async executor.
+      const kernels::SpmmImplScope stage_scope(run_spmm_impl);
       const cache::LookupResult lookup = device_cache.lookup_and_update(
           mb.nodes, static_cast<std::int64_t>(
                         static_cast<std::uint64_t>(epoch) * num_batches +

@@ -1,0 +1,224 @@
+// gnav::serve — the multi-tenant navigator service layer.
+//
+// One process no longer means one training run: a JobScheduler accepts
+// many queued navigate+train jobs (the millions-of-users stand-in) and
+// runs them over ONE shared thread pool with a bounded number of
+// concurrently active jobs. Three ideas make it a *navigator* service
+// rather than a plain work queue:
+//
+//   Admission pricing — every job is priced BEFORE it is admitted with
+//   `PerfEstimator::predict_pipelined_wall_s`: the estimator's simulated
+//   serial stage seconds for the job's config, multiplied by the
+//   predicted wall/serial ratio of the async epoch executor (the fitted
+//   overlap correction when the corpus carried measured async rows,
+//   Eq. 4's analytic max() otherwise). Jobs whose price exceeds the
+//   configured ceiling are rejected at submit time, never queued.
+//
+//   Fair-share scheduling — each tenant accumulates virtual time
+//   (admission price / tenant priority) as its jobs start; the next job
+//   to run is always one from the tenant with the least virtual time
+//   (ties break toward the lowest job id). The pick sequence is a pure
+//   function of the submitted queue — picks are serialized under the
+//   scheduler mutex and charged at pick time — so the start order is
+//   deterministic no matter which worker becomes free first.
+//
+//   Online corpus feedback — every completed job's TrainReport becomes a
+//   ProfiledRun appended to the feedback corpus (assembled in job-id
+//   order, never completion order). With `refit_after_drain` the
+//   scheduler refits the caller's estimator on base ∪ feedback at the
+//   end of each drain — a deterministic point — so admission pricing
+//   improves online without ever racing in-flight price queries.
+//
+// Isolation contract: a job NEVER reads or mutates process-global
+// defaults. Each job carries its own RunOptions — explicit SpMM impl
+// (resolved per stage thread via SpmmImplScope inside the backend),
+// explicit pipeline config, explicit pool — and a deterministic per-job
+// seed (`task_seed(scheduler seed, job id)` unless the request pins one),
+// so every job's TrainReport is bit-identical to running that job alone
+// (pinned by test_serve.cpp at pool sizes 1/2/8).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "dse/decision_maker.hpp"
+#include "dse/design_space.hpp"
+#include "dse/objectives.hpp"
+#include "estimator/perf_estimator.hpp"
+#include "estimator/profile_collector.hpp"
+#include "kernels/spmm.hpp"
+#include "runtime/backend.hpp"
+
+namespace gnav::serve {
+
+enum class JobKind {
+  /// Train the request's config as-is.
+  kTrain,
+  /// Run DSE first (explorer + decision maker over the scheduler's
+  /// design space, seeded with the request's config as a template), then
+  /// train the decided guideline. Requires a scheduler built with a
+  /// DesignSpace.
+  kNavigateTrain,
+};
+
+struct JobRequest {
+  /// Fair-share accounting bucket; jobs of one tenant share virtual time.
+  std::string tenant = "default";
+  /// Fair-share weight (> 0); a priority-2 tenant is charged half as much
+  /// virtual time per admitted second and so starts ~2x as many jobs.
+  double priority = 1.0;
+  JobKind kind = JobKind::kTrain;
+  /// What to train (kTrain) or the template seeding navigation
+  /// (kNavigateTrain) — also what admission pricing evaluates.
+  runtime::TrainConfig config;
+  int epochs = 2;
+  /// 0 derives task_seed(scheduler seed, job id) — deterministic and
+  /// decorrelated across jobs; nonzero pins the run seed exactly.
+  std::uint64_t seed = 0;
+  /// Per-job kernel selection. Explicit — never the process default —
+  /// so concurrent jobs with different impls cannot interfere.
+  kernels::SpmmImpl spmm_impl = kernels::SpmmImpl::kBlocked;
+  /// Per-job epoch executor selection (sync | async, depth, workers).
+  runtime::PipelineConfig pipeline;
+  bool evaluate_every_epoch = false;
+  /// kNavigateTrain only: priorities and constraints of the DSE step.
+  dse::ExploreTargets targets = dse::targets_balance();
+  dse::RuntimeConstraints constraints;
+};
+
+/// What admission pricing computed for a job (see test_serve.cpp: this is
+/// pinned to equal PerfEstimator::predict_pipelined_wall_s exactly).
+struct AdmissionPrice {
+  /// Predicted wall seconds of the whole run (simulated dataset-scale
+  /// seconds, the estimator's T domain): serial_stage_s x overlap ratio
+  /// for async jobs, serial_stage_s itself for sync jobs.
+  double predicted_wall_s = 0.0;
+  /// Serial stage seconds over all epochs implied by the estimator's T
+  /// (the analytic Eq. 4 overlap divided back out of time_s).
+  double serial_stage_s = 0.0;
+  /// Predicted wall/serial ratio used (1.0 for sync-executor jobs).
+  double overlap_ratio = 1.0;
+  /// True when the fitted overlap model (not the Eq. 4 fallback) set the
+  /// ratio.
+  bool overlap_fitted = false;
+};
+
+enum class JobState { kQueued, kRejected, kRunning, kDone, kFailed };
+std::string to_string(JobState state);
+
+struct JobOutcome {
+  std::size_t id = 0;
+  JobRequest request;
+  AdmissionPrice price;
+  JobState state = JobState::kQueued;
+  /// Seed the job actually ran with (request.seed or the derived one).
+  std::uint64_t seed = 0;
+  /// Position in the deterministic fair-share start sequence.
+  std::size_t start_order = 0;
+  /// Config that actually trained: request.config for kTrain, the DSE
+  /// winner for kNavigateTrain.
+  runtime::TrainConfig decided_config;
+  runtime::TrainReport report;  // valid when state == kDone
+  std::string error;            // set when state == kFailed
+};
+
+struct SchedulerOptions {
+  /// Bound on concurrently running jobs (effective concurrency is
+  /// additionally capped by the pool's worker count).
+  std::size_t max_active = 2;
+  /// Shared pool jobs run on (nullptr → support::global_pool()). Every
+  /// job's RunOptions::pool is set to this pool explicitly.
+  support::ThreadPool* pool = nullptr;
+  /// Base of the deterministic per-job seeds.
+  std::uint64_t seed = 1;
+  /// Admission ceiling on predicted_wall_s; 0 disables rejection.
+  double max_price_s = 0.0;
+  /// Executor shape pricing assumes when a request leaves
+  /// sampler_workers at 0 (auto).
+  estimator::OverlapExecutorShape default_shape{4, 4};
+  /// Refit the caller's estimator on base_corpus ∪ feedback at the end
+  /// of every drain (requires base_corpus; feedback rows alone are
+  /// usually too few for PerfEstimator::fit).
+  bool refit_after_drain = false;
+  const std::vector<estimator::ProfiledRun>* base_corpus = nullptr;
+};
+
+/// Totals of one drain() call.
+struct DrainStats {
+  std::size_t started = 0;
+  std::size_t completed = 0;
+  std::size_t failed = 0;
+  double wall_s = 0.0;
+  double jobs_per_min() const {
+    return wall_s > 0.0 ? static_cast<double>(completed) * 60.0 / wall_s
+                        : 0.0;
+  }
+};
+
+class JobScheduler {
+ public:
+  /// `backend`, `est`, and (when given) `space` must outlive the
+  /// scheduler; `est` is mutated only by the refit-after-drain path.
+  /// `space == nullptr` disables kNavigateTrain jobs.
+  JobScheduler(const runtime::RuntimeBackend& backend,
+               estimator::PerfEstimator& est, estimator::DatasetStats stats,
+               SchedulerOptions options,
+               const dse::DesignSpace* space = nullptr);
+
+  /// Pure admission pricing of a request (what submit() consults).
+  /// Thread-safe against concurrent submits and against drain's refit.
+  AdmissionPrice price(const JobRequest& request) const;
+
+  /// Prices and enqueues (or rejects) the job; returns its id.
+  /// Thread-safe.
+  std::size_t submit(JobRequest request);
+
+  /// Runs every queued job under fair-share order with at most
+  /// max_active concurrently active jobs on the shared pool; blocks
+  /// until the queue drains, then assembles the feedback corpus (job-id
+  /// order) and, when configured, refits the estimator.
+  DrainStats drain();
+
+  std::size_t size() const;
+  /// Outcomes are stable once drain() returned (do not call mid-drain
+  /// for running jobs).
+  const JobOutcome& outcome(std::size_t id) const;
+
+  /// Completed jobs as estimator corpus rows, job-id order. Rebuilt at
+  /// the end of every drain.
+  const std::vector<estimator::ProfiledRun>& feedback() const {
+    return feedback_;
+  }
+
+ private:
+  struct Tenant {
+    double virtual_s = 0.0;
+    double priority = 1.0;
+  };
+
+  AdmissionPrice price_locked(const JobRequest& request) const;
+  /// Fair-share pick: dequeues the job of the least-virtual-time tenant,
+  /// charges the tenant, marks it running. Returns nullptr when empty.
+  JobOutcome* pick_next_locked();
+  void worker_loop();
+  void run_job(JobOutcome& job);
+
+  const runtime::RuntimeBackend* backend_;
+  estimator::PerfEstimator* estimator_;
+  estimator::DatasetStats stats_;
+  SchedulerOptions options_;
+  const dse::DesignSpace* space_;
+
+  mutable std::mutex mutex_;  // jobs_/queue_/tenants_/starts_ + estimator refit
+  std::vector<std::unique_ptr<JobOutcome>> jobs_;  // stable addresses
+  std::vector<std::size_t> queue_;                 // queued ids, id order
+  std::map<std::string, Tenant> tenants_;
+  std::size_t starts_ = 0;
+  std::vector<estimator::ProfiledRun> feedback_;
+};
+
+}  // namespace gnav::serve

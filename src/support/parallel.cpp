@@ -32,6 +32,11 @@ ThreadPool::~ThreadPool() {
   for (std::thread& w : workers_) w.join();
 }
 
+std::size_t ThreadPool::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
 bool ThreadPool::in_worker() { return t_in_worker; }
 
 InlineExecutionScope::InlineExecutionScope() : previous_(t_in_worker) {

@@ -61,6 +61,12 @@ class ThreadPool {
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& body);
 
+  /// Jobs enqueued but not yet claimed by a worker — a backlog snapshot
+  /// for load diagnostics (bench_serve reports it while tenants contend
+  /// for the shared pool). Instantaneous and racy by nature: by the time
+  /// the caller looks, workers may already have drained it.
+  std::size_t pending() const;
+
   /// True on a thread owned by any ThreadPool (or inside an
   /// InlineExecutionScope).
   static bool in_worker();
@@ -71,7 +77,7 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
   bool stop_ = false;
 };

@@ -162,6 +162,52 @@ TEST(DecisionMaker, PresetsEmphasizeTheirMetrics) {
   EXPECT_FALSE(tm == ma && ma == ta);
 }
 
+TEST(DecisionMaker, FittedOverlapFlipsWinnerVsAnalytic) {
+  // Two Pareto-incomparable candidates. A looks faster under Eq. 4's
+  // analytic overlap (time_s already folds a 0.5 ratio in), but the
+  // fitted overlap model says the async executor only reaches a 1.4
+  // wall/serial ratio — its REAL wall is 0.9 / 0.5 * 1.4 = 2.52 s,
+  // slower than B. Ranking must follow predict_pipelined_wall_s's
+  // rescaling (effective_time_s), not the analytic optimum.
+  const auto make_result = [](bool fitted) {
+    ExplorationResult result;
+    Candidate a;
+    a.config = runtime::template_pagraph_full();
+    a.config.pipeline_overlap = true;
+    a.predicted.time_s = 0.9;
+    a.predicted.memory_gb = 2.0;
+    a.predicted.accuracy = 0.7;
+    a.predicted.overlap_ratio_analytic = 0.5;
+    a.predicted.overlap_ratio = fitted ? 1.4 : 0.5;
+    a.predicted.overlap_fitted = fitted;
+    Candidate b;
+    b.config = runtime::template_pyg();
+    b.predicted.time_s = 1.0;
+    b.predicted.memory_gb = 1.0;
+    b.predicted.accuracy = 0.7;
+    result.feasible = {a, b};
+    result.pareto = {0, 1};
+    return result;
+  };
+
+  ExploreTargets targets{1.0, 0.1, 0.0, "time-first"};
+  const DecisionMaker maker(targets);
+
+  // Analytic-only arm (overlap model unfitted): A's optimistic 0.9 s wins.
+  const Decision analytic = maker.decide(make_result(false));
+  EXPECT_EQ(analytic.feasible_index, 0u);
+  EXPECT_DOUBLE_EQ(analytic.ranked_time_s, 0.9);
+
+  // Fitted arm: the measured-overlap correction flips the winner to B.
+  const Decision fitted = maker.decide(make_result(true));
+  EXPECT_EQ(fitted.feasible_index, 1u);
+  EXPECT_DOUBLE_EQ(fitted.ranked_time_s, 1.0);
+  // The losing candidate's effective time is exactly the pipelined-wall
+  // rescaling serve admission uses.
+  EXPECT_DOUBLE_EQ(effective_time_s(make_result(true).feasible[0].predicted),
+                   0.9 * (1.4 / 0.5));
+}
+
 TEST(DecisionMaker, ThrowsOnEmptyAndValidatesWeights) {
   ExplorationResult empty;
   EXPECT_THROW(DecisionMaker(targets_balance()).decide(empty), Error);
