@@ -27,6 +27,7 @@
 #include <thread>
 #include <vector>
 
+#include "compute/backend.hpp"
 #include "estimator/dataset_stats.hpp"
 #include "estimator/profile_collector.hpp"
 #include "graph/dataset.hpp"
@@ -52,7 +53,7 @@ struct TenantResult {
 struct AdmissionRow {
   std::size_t id = 0;
   std::string executor;
-  std::string impl;
+  std::string backend;
   double price_wall_s = 0.0;
   double serial_stage_s = 0.0;
   double overlap_ratio = 1.0;
@@ -98,7 +99,7 @@ std::vector<serve::JobRequest> make_jobs(int jobs, int epochs,
         break;
       case 2:
         req.config = runtime::template_fastgcn();
-        req.spmm_impl = kernels::SpmmImpl::kScalar;
+        req.backend_id = compute::kScalarBackendId;
         break;
       default:
         req.config = runtime::template_pyg();
@@ -126,10 +127,10 @@ void emit_json(std::FILE* out, int jobs, int epochs,
   for (std::size_t i = 0; i < admission.size(); ++i) {
     const AdmissionRow& a = admission[i];
     std::fprintf(out,
-                 "    {\"id\": %zu, \"executor\": \"%s\", \"impl\": \"%s\", "
+                 "    {\"id\": %zu, \"executor\": \"%s\", \"backend\": \"%s\", "
                  "\"price_wall_s\": %.9f, \"serial_stage_s\": %.9f, "
                  "\"overlap_ratio\": %.4f, \"fitted\": %s}%s\n",
-                 a.id, a.executor.c_str(), a.impl.c_str(), a.price_wall_s,
+                 a.id, a.executor.c_str(), a.backend.c_str(), a.price_wall_s,
                  a.serial_stage_s, a.overlap_ratio,
                  a.fitted ? "true" : "false",
                  i + 1 < admission.size() ? "," : "");
@@ -221,7 +222,7 @@ int main(int argc, char** argv) {
       AdmissionRow row;
       row.id = id;
       row.executor = runtime::to_string(job.request.pipeline.mode);
-      row.impl = kernels::to_string(job.request.spmm_impl);
+      row.backend = job.request.backend_id;
       row.price_wall_s = job.price.predicted_wall_s;
       row.serial_stage_s = job.price.serial_stage_s;
       row.overlap_ratio = job.price.overlap_ratio;
@@ -230,7 +231,8 @@ int main(int argc, char** argv) {
 
       // Hard guarantee #2: the scheduler's price IS the estimator's
       // pipelined-wall prediction (or the serial wall for sync jobs).
-      const auto p = est.predict(job.request.config, stats);
+      const auto p =
+          est.predict(job.request.config, stats, job.request.backend_id);
       const double serial = (p.overlap_ratio_analytic > 0.0
                                  ? p.time_s / p.overlap_ratio_analytic
                                  : p.time_s) *
@@ -255,14 +257,14 @@ int main(int argc, char** argv) {
       }
 
       std::fprintf(stderr, "solo job %zu (%s, %s)...\n", id,
-                   row.executor.c_str(), row.impl.c_str());
+                   row.executor.c_str(), row.backend.c_str());
       runtime::RunOptions ro;
       ro.epochs = job.request.epochs;
       ro.seed = job.seed;
       ro.evaluate_every_epoch = false;
       ro.record_batch_sizes = true;
       ro.pool = &pool;
-      ro.spmm_impl = job.request.spmm_impl;
+      ro.backend_id = job.request.backend_id;
       ro.pipeline = job.request.pipeline;
       solo.push_back(backend.run(job.request.config, ro));
     }

@@ -4,6 +4,7 @@
 //                  --priority ex-tm --max-memory-gb 8 --epochs 4
 //                  [--corpus corpus.csv] [--save-corpus corpus.csv]
 //                  [--pipeline sync|async] [--pipeline-depth N]
+//                  [--backend cpu-scalar|cpu-blocked|cpu-arena]
 //                  [--serve-jobs N] [--serve-tenants N]
 //
 // Runs Step 1 (input analysis), Step 2 (guideline generation — reusing a
@@ -24,6 +25,7 @@
 #include <map>
 #include <string>
 
+#include "compute/backend.hpp"
 #include "estimator/corpus_io.hpp"
 #include "serve/job_scheduler.hpp"
 #include "support/error.hpp"
@@ -110,6 +112,13 @@ int main(int argc, char** argv) {
       GNAV_CHECK(parse_int(args.at("pipeline-depth")) >= 1,
                  "--pipeline-depth must be >= 1");
       ::setenv("GNAV_PIPELINE_DEPTH", args.at("pipeline-depth").c_str(), 1);
+    }
+    // --backend picks the compute backend for everything below
+    // (profiling, exploration, training, serving): the factory default
+    // is set before any run starts, equivalent to GNAV_BACKEND but
+    // validated with the factory's error message up front.
+    if (args.contains("backend")) {
+      compute::BackendFactory::set_default_id(args.at("backend"));
     }
 
     dse::BaseSettings base;

@@ -67,6 +67,35 @@ DeviceCache::DeviceCache(CachePolicy policy, std::size_t capacity,
   }
 }
 
+DeviceCache::~DeviceCache() {
+  if (slab_ != nullptr) {
+    allocator_->deallocate_floats(slab_, capacity_ * row_floats_);
+  }
+}
+
+void DeviceCache::attach_storage(compute::DeviceAllocator& allocator,
+                                 std::size_t row_floats) {
+  GNAV_CHECK(slab_ == nullptr, "attach_storage called twice");
+  GNAV_CHECK(row_floats > 0, "attach_storage: row_floats must be > 0");
+  allocator_ = &allocator;
+  row_floats_ = row_floats;
+  if (capacity_ == 0) return;
+  slab_ = allocator.allocate_floats(capacity_ * row_floats_);
+  slot_of_.assign(static_cast<std::size_t>(graph_.num_nodes()), kNoSlot);
+  // Reverse-ordered stack so admissions consume slot 0 first (stable slot
+  // assignment keeps tests and traces readable).
+  free_slots_.reserve(capacity_);
+  for (std::size_t s = capacity_; s-- > 0;) free_slots_.push_back(s);
+  // Statically preloaded vertices (resident before any lookup) get their
+  // slots now; the caller copies their feature rows next.
+  for (std::size_t v = 0; v < resident_.size(); ++v) {
+    if (resident_[v] != 0) {
+      slot_of_[v] = free_slots_.back();
+      free_slots_.pop_back();
+    }
+  }
+}
+
 void DeviceCache::list_push_back(graph::NodeId v) {
   list_prev_[static_cast<std::size_t>(v)] = list_tail_;
   list_next_[static_cast<std::size_t>(v)] = kNil;
@@ -145,6 +174,11 @@ void DeviceCache::evict_one(LookupResult& result) {
   ++version_;
   ++stats_.evictions;
   ++result.replaced;
+  if (slab_ != nullptr) {
+    const auto vi = static_cast<std::size_t>(victim);
+    free_slots_.push_back(slot_of_[vi]);
+    slot_of_[vi] = kNoSlot;
+  }
 }
 
 void DeviceCache::insert(graph::NodeId v, LookupResult& result) {
@@ -165,6 +199,12 @@ void DeviceCache::insert(graph::NodeId v, LookupResult& result) {
   ++resident_count_;
   ++version_;
   ++stats_.insertions;
+  if (slab_ != nullptr) {
+    GNAV_ASSERT(!free_slots_.empty());
+    slot_of_[static_cast<std::size_t>(v)] = free_slots_.back();
+    free_slots_.pop_back();
+    result.admitted.push_back(v);
+  }
   const std::uint64_t seq = ++seq_counter_;
   switch (policy_) {
     case CachePolicy::kLru:

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "compute/backend.hpp"
 #include "graph/csr_graph.hpp"
 
 namespace gnav::cache {
@@ -59,6 +60,12 @@ struct LookupResult {
   /// Vertices newly admitted to the cache (replaced stale entries) —
   /// |replaced| drives t_replace in Eq. 5.
   std::size_t replaced = 0;
+  /// Vertices admitted this batch, in admission order, when device
+  /// storage is attached (empty otherwise). The executor copies these
+  /// rows into their slots after the lookup; admission order matters
+  /// because a slot can be recycled within one batch — the last admit
+  /// per slot is the current owner.
+  std::vector<graph::NodeId> admitted;
 };
 
 class DeviceCache {
@@ -67,6 +74,52 @@ class DeviceCache {
   /// (r * |V| in the paper's notation). Static policy preloads by degree.
   DeviceCache(CachePolicy policy, std::size_t capacity,
               const graph::CsrGraph& graph);
+  ~DeviceCache();
+
+  // Owns a device slab once storage is attached; never copied.
+  DeviceCache(const DeviceCache&) = delete;
+  DeviceCache& operator=(const DeviceCache&) = delete;
+
+  /// Backs the cache with real device memory: a capacity × row_floats
+  /// float slab drawn from `allocator` (the compute backend's device
+  /// memory). Until this is called the cache is bookkeeping-only, which
+  /// is what the estimator's cost model and most tests need. After it,
+  /// every resident vertex owns a slot in the slab: LookupResult.admitted
+  /// reports which rows the executor must stage into their slots, and
+  /// resident_row() serves cached feature reads without touching host
+  /// memory. Call at most once; vertices already resident (static
+  /// preload) get slots assigned immediately — copy their rows next.
+  void attach_storage(compute::DeviceAllocator& allocator,
+                      std::size_t row_floats);
+
+  bool has_storage() const { return slab_ != nullptr; }
+  std::size_t row_floats() const { return row_floats_; }
+  /// Bytes of device memory held by the slab (0 before attach_storage).
+  std::size_t storage_bytes() const {
+    return slab_ != nullptr ? capacity_ * row_floats_ * sizeof(float) : 0;
+  }
+
+  static constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+
+  /// Slot of vertex v, or kNoSlot when v is not resident / no storage.
+  std::size_t slot_of(graph::NodeId v) const {
+    return slot_of_.empty() ? kNoSlot : slot_of_[static_cast<std::size_t>(v)];
+  }
+
+  float* slot_row(std::size_t slot) { return slab_ + slot * row_floats_; }
+  const float* slot_row(std::size_t slot) const {
+    return slab_ + slot * row_floats_;
+  }
+
+  /// Device row of a resident vertex, or nullptr when it has no slot.
+  const float* resident_row(graph::NodeId v) const {
+    const std::size_t slot = slot_of(v);
+    return slot == kNoSlot ? nullptr : slot_row(slot);
+  }
+  float* resident_row(graph::NodeId v) {
+    const std::size_t slot = slot_of(v);
+    return slot == kNoSlot ? nullptr : slot_row(slot);
+  }
 
   /// Processes one mini-batch worth of vertex ids: classifies hits vs
   /// misses and applies the update policy to the misses. O(batch) plus
@@ -86,7 +139,9 @@ class DeviceCache {
   CachePolicy policy() const { return policy_; }
   std::size_t capacity() const { return capacity_; }
   std::size_t resident_count() const { return resident_count_; }
-  const CacheStats& stats() const { return stats_; }
+  /// By value: stats_ mutates on every lookup, and callers snapshot it
+  /// (same hazard class as residency_version below).
+  CacheStats stats() const { return stats_; }
 
   bool is_resident(graph::NodeId v) const {
     return resident_[static_cast<std::size_t>(v)] != 0;
@@ -98,8 +153,12 @@ class DeviceCache {
 
   /// Monotone counter bumped on every residency change. Samplers key
   /// cached weighted-draw structures on it to detect bitmap staleness
-  /// without scanning it.
-  const std::uint64_t& residency_version() const { return version_; }
+  /// without scanning it. Returned BY VALUE: this used to return
+  /// `const std::uint64_t&`, and callers took the address to poll it
+  /// later — a live alias into cache internals that silently outlived
+  /// any reasoning about when residency changes. Pollers now receive a
+  /// std::function provider (see sampling::SamplingBias::version).
+  std::uint64_t residency_version() const { return version_; }
 
  private:
   /// Lazy-heap entry for the wdeg policy. Ordered by (degree, seq): the
@@ -148,6 +207,15 @@ class DeviceCache {
   // stale entries (a re-inserted vertex gets a fresh seq).
   std::vector<WdegEntry> wdeg_heap_;
   std::vector<std::uint64_t> insert_seq_;
+
+  // Device storage (attach_storage): slab of capacity_ × row_floats_
+  // floats from the backend's allocator, per-vertex slot index, and the
+  // free-slot stack admissions draw from.
+  compute::DeviceAllocator* allocator_ = nullptr;
+  float* slab_ = nullptr;
+  std::size_t row_floats_ = 0;
+  std::vector<std::size_t> slot_of_;
+  std::vector<std::size_t> free_slots_;
 };
 
 }  // namespace gnav::cache

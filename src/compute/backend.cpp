@@ -1,0 +1,481 @@
+#include "compute/backend.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <new>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#endif
+
+#include "support/error.hpp"
+
+namespace gnav::compute {
+
+// ---------------------------------------------------------------------------
+// DeviceAllocator — byte accounting over the raw allocate/deallocate pair.
+
+float* DeviceAllocator::allocate_floats(std::size_t count) {
+  float* p = do_allocate(count);
+  const std::size_t bytes = count * sizeof(float);
+  const std::size_t now =
+      in_use_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  // Lock-free peak update; relaxed is fine, the counters are diagnostics.
+  std::size_t peak = peak_.load(std::memory_order_relaxed);
+  while (now > peak &&
+         !peak_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+  }
+  return p;
+}
+
+void DeviceAllocator::deallocate_floats(float* p, std::size_t count) {
+  if (p == nullptr) return;
+  do_deallocate(p, count);
+  in_use_.fetch_sub(count * sizeof(float), std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Scale builders (the definitions nn/aggregate.hpp re-exports).
+
+std::vector<float> inverse_degree_scales(const graph::CsrGraph& g) {
+  std::vector<float> inv(static_cast<std::size_t>(g.num_nodes()));
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto d = g.degree(v);
+    inv[static_cast<std::size_t>(v)] =
+        d > 0 ? 1.0f / static_cast<float>(d) : 0.0f;
+  }
+  return inv;
+}
+
+std::vector<float> gcn_norm_scales(const graph::CsrGraph& g) {
+  std::vector<float> norm(static_cast<std::size_t>(g.num_nodes()));
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    norm[static_cast<std::size_t>(v)] =
+        1.0f / std::sqrt(static_cast<float>(g.degree(v) + 1));
+  }
+  return norm;
+}
+
+// ---------------------------------------------------------------------------
+// ComputeBackend shared behavior.
+
+tensor::Tensor ComputeBackend::spmm(const graph::CsrGraph& g,
+                                    const tensor::Tensor& x,
+                                    const kernels::SpmmScales& scales,
+                                    support::ThreadPool* pool) const {
+  tensor::Tensor y(x.rows(), x.cols());
+  spmm(g, x, y, scales, pool);
+  return y;
+}
+
+tensor::Tensor ComputeBackend::aggregate(AggregateKind kind,
+                                         const graph::CsrGraph& g,
+                                         const tensor::Tensor& x) const {
+  GNAV_CHECK(x.rows() == static_cast<std::size_t>(g.num_nodes()),
+             "aggregate: feature rows (" + std::to_string(x.rows()) +
+                 ") != num_nodes (" + std::to_string(g.num_nodes()) + ")");
+  switch (kind) {
+    case AggregateKind::kSum:
+      return spmm(g, x, kernels::SpmmScales{});
+    case AggregateKind::kMean: {
+      const auto inv = inverse_degree_scales(g);
+      return spmm(g, x, mean_spmm_scales(inv.data()));
+    }
+    case AggregateKind::kMeanTranspose: {
+      const auto inv = inverse_degree_scales(g);
+      return spmm(g, x, mean_transpose_spmm_scales(inv.data()));
+    }
+    case AggregateKind::kGcn: {
+      const auto norm = gcn_norm_scales(g);
+      return spmm(g, x, gcn_spmm_scales(norm.data()));
+    }
+  }
+  throw Error("aggregate: unknown AggregateKind");
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Built-in allocators.
+
+/// Cache-line-aligned heap allocator for the plain CPU backends.
+class AlignedHeapAllocator final : public DeviceAllocator {
+ protected:
+  float* do_allocate(std::size_t count) override {
+    return static_cast<float*>(::operator new(
+        count * sizeof(float), std::align_val_t{64}));
+  }
+  void do_deallocate(float* p, std::size_t count) override {
+    ::operator delete(p, count * sizeof(float), std::align_val_t{64});
+  }
+};
+
+/// Hugepage-backed arena allocator: rounds every allocation up to 2 MiB
+/// and asks the kernel to back it with transparent hugepages, cutting TLB
+/// pressure on the multi-hundred-MB cache feature slabs. Off Linux — or
+/// when mmap fails — it degrades to the aligned heap path; a pointer set
+/// remembers which deallocation path each block takes.
+class HugepageArenaAllocator final : public DeviceAllocator {
+ public:
+  static constexpr std::size_t kHugepageBytes = 2u << 20;
+
+ protected:
+  float* do_allocate(std::size_t count) override {
+#if defined(__linux__)
+    const std::size_t bytes = round_up(count * sizeof(float));
+    void* p = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (p != MAP_FAILED) {
+#if defined(MADV_HUGEPAGE)
+      // Best-effort: THP may be disabled system-wide; the mapping still
+      // works on 4 KiB pages.
+      (void)::madvise(p, bytes, MADV_HUGEPAGE);
+#endif
+      const std::lock_guard<std::mutex> lock(mu_);
+      mapped_.insert(p);
+      return static_cast<float*>(p);
+    }
+#endif
+    return static_cast<float*>(::operator new(
+        count * sizeof(float), std::align_val_t{64}));
+  }
+
+  void do_deallocate(float* p, std::size_t count) override {
+#if defined(__linux__)
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      const auto it = mapped_.find(p);
+      if (it != mapped_.end()) {
+        mapped_.erase(it);
+        ::munmap(p, round_up(count * sizeof(float)));
+        return;
+      }
+    }
+#endif
+    ::operator delete(p, count * sizeof(float), std::align_val_t{64});
+  }
+
+ private:
+  static std::size_t round_up(std::size_t bytes) {
+    return (std::max<std::size_t>(bytes, 1) + kHugepageBytes - 1) /
+           kHugepageBytes * kHugepageBytes;
+  }
+
+  std::mutex mu_;
+  std::unordered_set<void*> mapped_;
+};
+
+// ---------------------------------------------------------------------------
+// Built-in backends.
+
+/// Plain CPU backend delegating to one kernels::SpmmImpl ("cpu-scalar" /
+/// "cpu-blocked").
+class CpuKernelBackend : public ComputeBackend {
+ public:
+  CpuKernelBackend(std::string id, kernels::SpmmImpl impl,
+                   BackendCapabilities declared)
+      : id_(std::move(id)), impl_(impl), declared_(std::move(declared)) {}
+
+  const std::string& id() const override { return id_; }
+
+  BackendCapabilities capabilities() const override {
+    BackendCapabilities caps = declared_;
+    if (impl_ != kernels::SpmmImpl::kScalar) {
+      caps.simd_tier = kernels::active_spmm_isa();
+    }
+    return caps;
+  }
+
+  DeviceAllocator& allocator() const override { return allocator_; }
+
+  using ComputeBackend::spmm;
+  void spmm(const graph::CsrGraph& g, const tensor::Tensor& x,
+            tensor::Tensor& y, const kernels::SpmmScales& scales,
+            support::ThreadPool* pool) const override {
+    kernels::spmm(g, x, y, scales, impl_, pool);
+  }
+
+ private:
+  std::string id_;
+  kernels::SpmmImpl impl_;
+  BackendCapabilities declared_;
+  mutable AlignedHeapAllocator allocator_;
+};
+
+/// "cpu-arena": the blocked SIMD kernel plus (a) a per-graph SpmmPlan
+/// cache keyed by CsrGraph::uid() — repeated SpMMs on the same graph
+/// (every layer × every epoch on a full-graph run, and the forward +
+/// backward pair per layer on any run) skip the O(V) edge-balanced
+/// partition build — and (b) hugepage-backed device memory. Cached plans
+/// are bit-transparent: kernels::spmm with a plan produces exactly the
+/// bits it produces without one.
+class CpuArenaBackend final : public ComputeBackend {
+ public:
+  explicit CpuArenaBackend(BackendCapabilities declared)
+      : declared_(std::move(declared)) {}
+
+  const std::string& id() const override {
+    static const std::string kId = kArenaBackendId;
+    return kId;
+  }
+
+  BackendCapabilities capabilities() const override {
+    BackendCapabilities caps = declared_;
+    caps.simd_tier = kernels::active_spmm_isa();
+    return caps;
+  }
+
+  DeviceAllocator& allocator() const override { return allocator_; }
+
+  using ComputeBackend::spmm;
+  void spmm(const graph::CsrGraph& g, const tensor::Tensor& x,
+            tensor::Tensor& y, const kernels::SpmmScales& scales,
+            support::ThreadPool* pool) const override {
+    const std::shared_ptr<const kernels::SpmmPlan> plan = plan_for(g);
+    kernels::spmm(g, x, y, scales, kernels::SpmmImpl::kBlocked, pool,
+                  plan.get());
+  }
+
+ private:
+  /// Bounded FIFO plan cache. Shared_ptr handles keep a plan valid for
+  /// the duration of a call even if eviction races it away mid-SpMM.
+  std::shared_ptr<const kernels::SpmmPlan> plan_for(
+      const graph::CsrGraph& g) const {
+    static constexpr std::size_t kMaxPlans = 16;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      const auto it = plans_.find(g.uid());
+      if (it != plans_.end()) return it->second;
+    }
+    // Build outside the lock; concurrent builders for the same uid
+    // produce identical plans, so last-writer-wins is harmless.
+    auto plan =
+        std::make_shared<const kernels::SpmmPlan>(kernels::make_spmm_plan(g));
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (plans_.find(g.uid()) == plans_.end()) {
+      if (order_.size() >= kMaxPlans) {
+        plans_.erase(order_.front());
+        order_.pop_front();
+      }
+      order_.push_back(g.uid());
+    }
+    plans_[g.uid()] = plan;
+    return plan;
+  }
+
+  BackendCapabilities declared_;
+  mutable HugepageArenaAllocator allocator_;
+  mutable std::mutex mu_;
+  mutable std::unordered_map<std::uint64_t,
+                             std::shared_ptr<const kernels::SpmmPlan>>
+      plans_;
+  mutable std::deque<std::uint64_t> order_;
+};
+
+// ---------------------------------------------------------------------------
+// Registry.
+
+BackendCapabilities scalar_declared() {
+  BackendCapabilities caps;
+  caps.simd_tier = "portable";
+  caps.relative_throughput = 1.0;
+  caps.max_feature_dim = 0;
+  caps.supports_async_transfer = false;
+  caps.hugepage_arena = false;
+  return caps;
+}
+
+BackendCapabilities blocked_declared() {
+  BackendCapabilities caps;
+  caps.simd_tier = "auto";
+  caps.relative_throughput = 1.8;
+  caps.max_feature_dim = 0;
+  caps.supports_async_transfer = true;
+  caps.hugepage_arena = false;
+  return caps;
+}
+
+BackendCapabilities arena_declared() {
+  BackendCapabilities caps;
+  caps.simd_tier = "auto";
+  caps.relative_throughput = 2.0;
+  // The arena sizes slabs in whole hugepages; cap rows at 4096 floats so
+  // one row never spans more than 8 KiB (a deliberate, testable limit the
+  // DSE can constrain against).
+  caps.max_feature_dim = 4096;
+  caps.supports_async_transfer = true;
+  caps.hugepage_arena = true;
+  return caps;
+}
+
+std::shared_ptr<ComputeBackend> make_scalar_backend() {
+  return std::make_shared<CpuKernelBackend>(
+      kScalarBackendId, kernels::SpmmImpl::kScalar, scalar_declared());
+}
+
+std::shared_ptr<ComputeBackend> make_blocked_backend() {
+  return std::make_shared<CpuKernelBackend>(
+      kBlockedBackendId, kernels::SpmmImpl::kBlocked, blocked_declared());
+}
+
+std::shared_ptr<ComputeBackend> make_arena_backend() {
+  return std::make_shared<CpuArenaBackend>(arena_declared());
+}
+
+struct RegistryEntry {
+  BackendCapabilities declared;
+  BackendFactory::Creator creator = nullptr;
+  std::shared_ptr<const ComputeBackend> instance;  // lazily created
+};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<std::string> order;
+  std::unordered_map<std::string, RegistryEntry> entries;
+  std::string default_override;  // empty = unset, fall back to env/built-in
+  bool warned_bad_env = false;
+
+  Registry() {
+    add(kScalarBackendId, scalar_declared(), &make_scalar_backend);
+    add(kBlockedBackendId, blocked_declared(), &make_blocked_backend);
+    add(kArenaBackendId, arena_declared(), &make_arena_backend);
+  }
+
+  void add(const std::string& id, BackendCapabilities declared,
+           BackendFactory::Creator creator) {
+    order.push_back(id);
+    entries.emplace(id, RegistryEntry{std::move(declared), creator, nullptr});
+  }
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+std::string joined_ids_locked(const Registry& r) {
+  std::string out;
+  for (const auto& id : r.order) {
+    if (!out.empty()) out += ", ";
+    out += id;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::shared_ptr<const ComputeBackend> BackendFactory::create(
+    const std::string& id) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  const auto it = r.entries.find(id);
+  if (it == r.entries.end()) {
+    throw Error("unknown compute backend \"" + id +
+                "\" (registered: " + joined_ids_locked(r) + ")");
+  }
+  if (!it->second.instance) {
+    it->second.instance = it->second.creator();
+    GNAV_CHECK(it->second.instance != nullptr,
+               "backend creator for \"" + id + "\" returned null");
+    GNAV_CHECK(it->second.instance->id() == id,
+               "backend creator for \"" + id + "\" built a backend named \"" +
+                   it->second.instance->id() + "\"");
+  }
+  return it->second.instance;
+}
+
+bool BackendFactory::is_registered(const std::string& id) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  return r.entries.find(id) != r.entries.end();
+}
+
+std::vector<std::string> BackendFactory::registered_ids() {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  return r.order;
+}
+
+void BackendFactory::register_backend(const std::string& id,
+                                      BackendCapabilities declared,
+                                      Creator creator) {
+  GNAV_CHECK(!id.empty(), "backend id must be non-empty");
+  GNAV_CHECK(creator != nullptr, "backend creator must be non-null");
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  GNAV_CHECK(r.entries.find(id) == r.entries.end(),
+             "compute backend \"" + id + "\" is already registered");
+  r.add(id, std::move(declared), creator);
+}
+
+BackendCapabilities BackendFactory::declared_capabilities(
+    const std::string& id) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  const auto it = r.entries.find(id);
+  if (it == r.entries.end()) return BackendCapabilities{};
+  return it->second.declared;
+}
+
+std::string BackendFactory::default_id() {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  if (!r.default_override.empty()) return r.default_override;
+  if (const char* env = std::getenv("GNAV_BACKEND");
+      env != nullptr && *env != '\0') {
+    if (r.entries.find(env) != r.entries.end()) return env;
+    if (!r.warned_bad_env) {
+      r.warned_bad_env = true;
+      std::fprintf(stderr,
+                   "gnav: GNAV_BACKEND=%s is not a registered compute "
+                   "backend (registered: %s); using %s\n",
+                   env, joined_ids_locked(r).c_str(), kBlockedBackendId);
+    }
+  }
+  return kBlockedBackendId;
+}
+
+void BackendFactory::set_default_id(const std::string& id) {
+  // Validate outside the registry lock (create() takes it too).
+  (void)create(id);
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  r.default_override = id;
+}
+
+// ---------------------------------------------------------------------------
+// Thread-local backend resolution.
+
+namespace {
+thread_local const ComputeBackend* t_current_backend = nullptr;
+}  // namespace
+
+const ComputeBackend& current_backend() {
+  if (t_current_backend != nullptr) return *t_current_backend;
+  // Registry singletons are never destroyed while in use, so handing out
+  // a reference to the shared instance is safe.
+  return *BackendFactory::create(BackendFactory::default_id());
+}
+
+std::string current_backend_id() { return current_backend().id(); }
+
+BackendScope::BackendScope(std::shared_ptr<const ComputeBackend> backend)
+    : backend_(std::move(backend)), prev_(t_current_backend) {
+  GNAV_CHECK(backend_ != nullptr, "BackendScope: backend must be non-null");
+  t_current_backend = backend_.get();
+}
+
+BackendScope::BackendScope(const std::string& id)
+    : BackendScope(BackendFactory::create(id)) {}
+
+BackendScope::~BackendScope() { t_current_backend = prev_; }
+
+}  // namespace gnav::compute

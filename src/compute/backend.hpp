@@ -1,0 +1,250 @@
+// gnav::compute — the pluggable compute-backend layer.
+//
+// Everything above the raw kernels (nn layers, the training runtime, the
+// device cache) talks to an abstract ComputeBackend instead of calling a
+// hard-wired CPU implementation: virtual SpMM/aggregate entry points,
+// per-backend device memory (a DeviceAllocator the backend owns, which
+// turns cache::DeviceCache into an actual device-residency manager), and
+// capability flags the estimator features on and the DSE can constrain
+// against. Backends are created by string id through BackendFactory —
+// the tensorlogic BackendFactory::create / Etaler CPUBackend-OpenCLBackend
+// pattern — so a GPU or out-of-core backend is a registration, not a
+// refactor.
+//
+// Bit-identity contract PER BACKEND ID: a backend must produce the exact
+// same bits for the same inputs at any thread count and on any host (the
+// kernel layer's accumulate-order contract, see kernels/spmm.hpp). The
+// golden-trace suite keys its goldens by backend id; the three built-in
+// CPU backends additionally produce identical bits to EACH OTHER because
+// they share the kernel layer's accumulation order — a future backend
+// with a different order gets its own golden block, not a waiver.
+//
+// Built-in ids:
+//   "cpu-scalar"  — the naive reference loop; semantic ground truth.
+//                   Declares NO async-transfer support (it exists to
+//                   define correctness, not to pipeline), so the DSE
+//                   rejects pipelined configs constrained to it.
+//   "cpu-blocked" — the production register-tiled AVX2-dispatch kernel.
+//   "cpu-arena"   — batched-SIMD + hugepage arena: the blocked kernel
+//                   plus a per-graph SpmmPlan cache (amortizes the O(V)
+//                   partition build across repeated SpMMs on one graph)
+//                   and a DeviceAllocator that backs cache slabs with
+//                   madvise(MADV_HUGEPAGE) mappings.
+//
+// Selection: GNAV_BACKEND=<id> (env, replaces the old GNAV_SPMM_IMPL) or
+// BackendFactory::set_default_id() — both PROCESS-SETUP knobs only. Every
+// concurrent code path pins its backend per run with a thread-local
+// BackendScope (runtime::RunOptions::backend_id → scope in the run and in
+// every async stage closure), so flipping the default mid-flight cannot
+// reselect another job's kernels (pinned by test_serve.cpp).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+#include "kernels/spmm.hpp"
+#include "tensor/tensor.hpp"
+
+namespace gnav::support {
+class ThreadPool;
+}
+
+namespace gnav::compute {
+
+inline constexpr const char* kScalarBackendId = "cpu-scalar";
+inline constexpr const char* kBlockedBackendId = "cpu-blocked";
+inline constexpr const char* kArenaBackendId = "cpu-arena";
+
+/// Capability flags of one backend. The DECLARED capabilities (what
+/// BackendFactory::declared_capabilities returns, and what the estimator
+/// features on) are static per id — identical on every host, so fitted
+/// models and golden traces never depend on the machine they ran on. A
+/// live instance's capabilities() additionally resolves `simd_tier` to
+/// the ISA actually dispatched on this host (diagnostics only).
+struct BackendCapabilities {
+  /// Declared: widest SIMD tier the backend's kernels are written for
+  /// ("portable" | "auto"). Resolved on an instance: the host's actual
+  /// dispatch ("avx2" | "sse2" | "portable").
+  std::string simd_tier = "portable";
+  /// Declared throughput relative to the scalar reference on the bench
+  /// graphs (a static prior the estimator can feature on, NOT a
+  /// measurement of this host).
+  double relative_throughput = 1.0;
+  /// Widest feature row the backend's device memory layout supports;
+  /// 0 = unbounded. The DSE rejects configs whose feature/hidden dims
+  /// exceed it when constrained to this backend.
+  std::size_t max_feature_dim = 0;
+  /// Whether the backend can overlap host->device staging with compute —
+  /// the async pipelined executor requires it.
+  bool supports_async_transfer = false;
+  /// Whether cache slabs come from a hugepage-backed arena.
+  bool hugepage_arena = false;
+};
+
+/// Device-memory interface a backend owns. Allocation sizes are float
+/// counts (every device payload in this system is float rows). The base
+/// class tracks in-use and peak bytes so tests and diagnostics can audit
+/// residency for real; implementations only provide the raw allocate /
+/// deallocate pair. Thread-safe: backends are process-wide singletons
+/// shared by concurrent jobs.
+class DeviceAllocator {
+ public:
+  virtual ~DeviceAllocator() = default;
+
+  float* allocate_floats(std::size_t count);
+  void deallocate_floats(float* p, std::size_t count);
+
+  std::size_t bytes_in_use() const {
+    return in_use_.load(std::memory_order_relaxed);
+  }
+  std::size_t peak_bytes() const {
+    return peak_.load(std::memory_order_relaxed);
+  }
+
+ protected:
+  virtual float* do_allocate(std::size_t count) = 0;
+  virtual void do_deallocate(float* p, std::size_t count) = 0;
+
+ private:
+  std::atomic<std::size_t> in_use_{0};
+  std::atomic<std::size_t> peak_{0};
+};
+
+/// Aggregation operators a backend must provide (the Aggregate of Eq. 1;
+/// semantics documented in nn/aggregate.hpp, which delegates here).
+enum class AggregateKind { kSum, kMean, kMeanTranspose, kGcn };
+
+/// Scale-vector builders shared by the default aggregate implementation
+/// and the nn layers (which cache them across forward/backward):
+/// 1/deg(v), with 0 for isolated vertices.
+std::vector<float> inverse_degree_scales(const graph::CsrGraph& g);
+/// 1/sqrt(deg(v) + 1) — the GCN symmetric normalization.
+std::vector<float> gcn_norm_scales(const graph::CsrGraph& g);
+
+/// SpmmScales of the GCN-normalized operator for a gcn_norm_scales
+/// vector: src = dst = self = 1/sqrt(d+1), i.e.
+/// Y[v] = s_v * (s_v X[v] + sum_u s_u X[u]). One definition shared by
+/// every backend's aggregate and the nn layers so the convention cannot
+/// drift.
+inline kernels::SpmmScales gcn_spmm_scales(const float* norm) {
+  kernels::SpmmScales scales;
+  scales.src_scale = norm;
+  scales.dst_scale = norm;
+  scales.self_scale = norm;
+  return scales;
+}
+
+/// Mean aggregation for an inverse_degree_scales vector: post-sum
+/// dst scale of 1/deg(v).
+inline kernels::SpmmScales mean_spmm_scales(const float* inv_deg) {
+  kernels::SpmmScales scales;
+  scales.dst_scale = inv_deg;
+  return scales;
+}
+
+/// Transpose-mean (backprop scatter as a pull on the symmetric CSR):
+/// per-source weight 1/deg(u).
+inline kernels::SpmmScales mean_transpose_spmm_scales(const float* inv_deg) {
+  kernels::SpmmScales scales;
+  scales.src_scale = inv_deg;
+  return scales;
+}
+
+class ComputeBackend {
+ public:
+  virtual ~ComputeBackend() = default;
+
+  virtual const std::string& id() const = 0;
+
+  /// Resolved capabilities of this instance: the declared flags with
+  /// `simd_tier` replaced by the host's actual kernel dispatch.
+  virtual BackendCapabilities capabilities() const = 0;
+
+  /// The backend's device memory. cache::DeviceCache::attach_storage
+  /// draws its feature slab from here, making residency real instead of
+  /// simulated.
+  virtual DeviceAllocator& allocator() const = 0;
+
+  /// Y = weighted-SpMM(g, X); same contract as kernels::spmm (y must
+  /// match x's shape, must not alias it, `pool` null = global pool).
+  virtual void spmm(const graph::CsrGraph& g, const tensor::Tensor& x,
+                    tensor::Tensor& y, const kernels::SpmmScales& scales,
+                    support::ThreadPool* pool = nullptr) const = 0;
+
+  /// One of the four aggregation operators via this backend's SpMM. The
+  /// default builds the scale vectors per call; backends with cached
+  /// normalization state may override.
+  virtual tensor::Tensor aggregate(AggregateKind kind,
+                                   const graph::CsrGraph& g,
+                                   const tensor::Tensor& x) const;
+
+  /// Allocating convenience over the virtual spmm.
+  tensor::Tensor spmm(const graph::CsrGraph& g, const tensor::Tensor& x,
+                      const kernels::SpmmScales& scales,
+                      support::ThreadPool* pool = nullptr) const;
+};
+
+/// String-keyed backend factory + registry. Instances are process-wide
+/// singletons (one per id), created on first use — per-backend device
+/// memory has a single owner no matter how many runs share the backend.
+class BackendFactory {
+ public:
+  using Creator = std::shared_ptr<ComputeBackend> (*)();
+
+  /// Returns the singleton for `id`; throws gnav::Error naming the
+  /// registered ids when `id` is unknown.
+  static std::shared_ptr<const ComputeBackend> create(const std::string& id);
+
+  static bool is_registered(const std::string& id);
+  /// Registered ids in registration order (built-ins first).
+  static std::vector<std::string> registered_ids();
+
+  /// Registers a custom backend (extension point; see
+  /// examples/extending_backend.cpp). `declared` must be host-independent.
+  /// Throws if `id` is already registered.
+  static void register_backend(const std::string& id,
+                               BackendCapabilities declared, Creator creator);
+
+  /// DECLARED capabilities for `id` — static per id, never resolved
+  /// against the host, so estimator features and DSE feasibility are
+  /// machine-independent. Unknown ids return neutral defaults (corpus
+  /// files may carry ids this build does not register).
+  static BackendCapabilities declared_capabilities(const std::string& id);
+
+  /// Process-wide default id: set_default_id() if called, else
+  /// GNAV_BACKEND (unknown values warn once and are ignored), else
+  /// "cpu-blocked". PROCESS-SETUP knob only — concurrent code paths must
+  /// pin per run via BackendScope, never flip this (see the isolation
+  /// contract above and in serve/job_scheduler.hpp).
+  static std::string default_id();
+  static void set_default_id(const std::string& id);
+};
+
+/// Backend the calling thread currently resolves to: the innermost
+/// active BackendScope on this thread, else the factory default.
+const ComputeBackend& current_backend();
+std::string current_backend_id();
+
+/// RAII thread-local backend pin, the analog of kernels::SpmmImplScope
+/// one layer up. The runtime pins RunOptions::backend_id with it for the
+/// whole run and re-pins inside every async stage closure (fresh stage
+/// threads inherit no thread-local state), so concurrent jobs on shared
+/// pools can never observe each other's selection.
+class BackendScope {
+ public:
+  explicit BackendScope(std::shared_ptr<const ComputeBackend> backend);
+  explicit BackendScope(const std::string& id);
+  ~BackendScope();
+  BackendScope(const BackendScope&) = delete;
+  BackendScope& operator=(const BackendScope&) = delete;
+
+ private:
+  std::shared_ptr<const ComputeBackend> backend_;  // keeps the pin alive
+  const ComputeBackend* prev_;
+};
+
+}  // namespace gnav::compute

@@ -70,7 +70,13 @@ class Explorer {
   void set_pool(support::ThreadPool* pool) { pool_ = pool; }
 
  private:
-  bool satisfies(const estimator::PerfPrediction& p,
+  /// Prediction limits plus capability feasibility: a config whose shape
+  /// the constraint backend's DECLARED capabilities cannot execute
+  /// (feature/hidden dim beyond max_feature_dim, pipeline_overlap on a
+  /// backend without async transfer) is infeasible regardless of its
+  /// predicted Perf.
+  bool satisfies(const runtime::TrainConfig& config,
+                 const estimator::PerfPrediction& p,
                  const RuntimeConstraints& c) const;
   void dfs(std::vector<std::size_t>& levels, std::size_t axis,
            const RuntimeConstraints& constraints, ExplorationResult& result,

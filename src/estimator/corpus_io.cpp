@@ -11,14 +11,31 @@
 namespace gnav::estimator {
 namespace {
 
-// Explicit schema version token: the first line of every corpus written
-// since the executor-config columns landed. Older files carry no token
+// Explicit schema version tokens. v2 introduced the token itself (plus
+// the executor-config columns); v3 adds the `backend` column carrying
+// the compute-backend id the run executed on. v1 files carry no token
 // and are recognized by their exact legacy header instead (see
 // load_corpus's migration path).
-constexpr const char* kVersionLine = "# gnav-corpus-version 2";
+constexpr const char* kVersionLineV3 = "# gnav-corpus-version 3";
+constexpr const char* kVersionLineV2 = "# gnav-corpus-version 2";
 
 // Config is embedded as its guideline text with ';' separators (already
 // its native single-statement form), so the CSV stays one row per run.
+// v3: the `backend` cell (compute-backend id string) sits right before
+// the quoted config tail.
+constexpr const char* kHeaderV3 =
+    "dataset,num_nodes,num_edges,avg_degree,max_degree,degree_stddev,"
+    "degree_gini,power_law_alpha,top10_coverage,num_train_nodes,"
+    "feature_dim,num_classes,real_scale,real_feature_scale,"
+    "real_volume_scale,coverage10,coverage25,coverage50,"
+    "epoch_time_s,peak_memory_gb,test_accuracy,avg_batch_nodes,"
+    "avg_batch_edges,cache_hit_rate,iterations_per_epoch,"
+    "sample_s,transfer_s,replace_s,compute_s,"
+    "modeled_overlap_s,modeled_sequential_s,sample_wall_s,"
+    "transfer_wall_s,compute_wall_s,measured_wall_s,"
+    "executor,prefetch_depth,sampler_workers,push_stalls,pop_stalls,"
+    "mean_queue_occupancy,backend,config";
+
 constexpr const char* kHeaderV2 =
     "dataset,num_nodes,num_edges,avg_degree,max_degree,degree_stddev,"
     "degree_gini,power_law_alpha,top10_coverage,num_train_nodes,"
@@ -54,6 +71,12 @@ constexpr const char* kHeaderV1 =
 
 constexpr std::size_t kScalarCellsV1 = 35;
 constexpr std::size_t kScalarCellsV2 = 41;
+constexpr std::size_t kScalarCellsV3 = 42;
+
+// Rows written before the backend column (v1/v2) — and defensive blanks
+// in v3 files — fit as the backend every run actually executed on back
+// then: the factory default.
+const char* const kDefaultBackendCell = "cpu-blocked";
 
 std::string config_cell(const runtime::TrainConfig& config) {
   // One line: "key = value; key = value; ..."
@@ -80,7 +103,7 @@ void save_corpus(const std::vector<ProfiledRun>& corpus,
                  const std::string& path) {
   std::ofstream f(path);
   GNAV_CHECK(f.good(), "cannot open '" + path + "' for writing");
-  f << kVersionLine << '\n' << kHeaderV2 << '\n';
+  f << kVersionLineV3 << '\n' << kHeaderV3 << '\n';
   f.precision(17);  // exact double round-trip
   for (const ProfiledRun& run : corpus) {
     const DatasetStats& s = run.stats;
@@ -109,7 +132,8 @@ void save_corpus(const std::vector<ProfiledRun>& corpus,
       << r.pipeline.sampler_workers << ',' << r.pipeline.push_stalls << ','
       << r.pipeline.pop_stalls << ','
       << finite_or_zero(r.pipeline.mean_queue_occupancy) << ','
-      << '"' << config_cell(run.config) << '"' << '\n';
+      << (r.backend_id.empty() ? kDefaultBackendCell : r.backend_id.c_str())
+      << ',' << '"' << config_cell(run.config) << '"' << '\n';
   }
   GNAV_CHECK(f.good(), "write to '" + path + "' failed");
 }
@@ -121,19 +145,27 @@ std::vector<ProfiledRun> load_corpus(const std::string& path) {
   GNAV_CHECK(static_cast<bool>(std::getline(f, line)),
              "corpus file '" + path + "' is empty");
 
-  // Version detection. v2 files lead with an explicit token; v1 (PR 4
+  // Version detection. v3/v2 files lead with an explicit token; v1 (PR 4
   // era, before the executor-config columns) files lead directly with
   // their header and migrate in place: the missing executor cells
-  // default to a sync row, which downstream fits ignore by design.
+  // default to a sync row, which downstream fits ignore by design, and
+  // pre-v3 rows (no backend column) fit as "cpu-blocked" — the backend
+  // every run actually executed on before backends existed.
   int version = 0;
-  if (trim(line) == kVersionLine) {
-    version = 2;
+  if (trim(line) == kVersionLineV3 || trim(line) == kVersionLineV2) {
+    version = trim(line) == kVersionLineV3 ? 3 : 2;
+    const char* expected_header = version == 3 ? kHeaderV3 : kHeaderV2;
     GNAV_CHECK(static_cast<bool>(std::getline(f, line)),
                "corpus file '" + path + "' ends after the version line");
-    GNAV_CHECK(trim(line) == kHeaderV2,
+    GNAV_CHECK(trim(line) == expected_header,
                "corpus header mismatch in '" + path + "'\n  expected: " +
-                   truncate_for_error(kHeaderV2) + "\n  found:    " +
+                   truncate_for_error(expected_header) + "\n  found:    " +
                    truncate_for_error(trim(line)));
+    if (version == 2) {
+      log_info("corpus '", path,
+               "' uses the v2 schema (no backend column); loading with "
+               "backend defaulted to cpu-blocked rows");
+    }
   } else if (trim(line) == kHeaderV1) {
     version = 1;
     log_info("corpus '", path,
@@ -142,13 +174,15 @@ std::vector<ProfiledRun> load_corpus(const std::string& path) {
   } else {
     throw Error(
         "corpus header mismatch in '" + path + "'\n  expected: '" +
-        std::string(kVersionLine) + "' followed by the v2 header, or the "
-        "legacy v1 header\n  found:    '" +
+        std::string(kVersionLineV3) + "' followed by the v3 header, an "
+        "earlier version token with its matching header, or the legacy "
+        "v1 header\n  found:    '" +
         truncate_for_error(trim(line)) +
         "'\n  (file written by an incompatible gnavigator version?)");
   }
-  const std::size_t scalar_cells =
-      version == 2 ? kScalarCellsV2 : kScalarCellsV1;
+  const std::size_t scalar_cells = version == 3   ? kScalarCellsV3
+                                   : version == 2 ? kScalarCellsV2
+                                                  : kScalarCellsV1;
 
   std::vector<ProfiledRun> corpus;
   while (std::getline(f, line)) {
@@ -227,6 +261,10 @@ std::vector<ProfiledRun> load_corpus(const std::string& path) {
           static_cast<std::uint64_t>(parse_int(cells[i++]));
       r.pipeline.mean_queue_occupancy = parse_double(cells[i++]);
     }
+    if (version >= 3) {
+      r.backend_id = trim(cells[i++]);
+    }
+    if (r.backend_id.empty()) r.backend_id = kDefaultBackendCell;
     // The cell stores statements separated by ';' on one line; ConfigMap
     // parses one statement per line.
     std::string statements = config_text;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "compute/backend.hpp"
 #include "sampling/batch_size_model.hpp"
 
 namespace gnav::estimator {
@@ -36,6 +37,10 @@ const std::vector<std::string>& feature_names() {
       "power_law_alpha",      "feature_dim",
       "log_train_nodes",      "link_bandwidth_gbps",
       "device_gflops",        "host_sample_mps",
+      // Declared (host-independent) capabilities of the run's compute
+      // backend; see extract_features' backend_id overload.
+      "backend_rel_throughput", "backend_async_transfer",
+      "backend_hugepage_arena", "backend_log_max_feat_dim",
   };
   return names;
 }
@@ -166,9 +171,10 @@ hw::IterationVolumes analytic_iteration_volumes(
   return v;
 }
 
-std::vector<double> extract_features(const runtime::TrainConfig& config,
-                                     const DatasetStats& stats,
-                                     const hw::HardwareProfile& hw) {
+namespace {
+std::vector<double> base_features(const runtime::TrainConfig& config,
+                                  const DatasetStats& stats,
+                                  const hw::HardwareProfile& hw) {
   double fanout_sum = 0.0;
   for (int k : config.hop_list) {
     fanout_sum += (k == -1) ? stats.profile.avg_degree
@@ -224,6 +230,29 @@ std::vector<double> extract_features(const runtime::TrainConfig& config,
   f.push_back(hw.device.compute_gflops);
   f.push_back(hw.host.sample_throughput_per_s / 1e6);
   return f;
+}
+}  // namespace
+
+std::vector<double> extract_features(const runtime::TrainConfig& config,
+                                     const DatasetStats& stats,
+                                     const hw::HardwareProfile& hw,
+                                     const std::string& backend_id) {
+  std::vector<double> f = base_features(config, stats, hw);
+  const compute::BackendCapabilities caps =
+      compute::BackendFactory::declared_capabilities(backend_id);
+  f.push_back(caps.relative_throughput);
+  f.push_back(caps.supports_async_transfer ? 1.0 : 0.0);
+  f.push_back(caps.hugepage_arena ? 1.0 : 0.0);
+  // log1p keeps "unbounded" (0) and real caps on one monotone scale:
+  // 0 → 0, 4096 → ~8.3.
+  f.push_back(std::log1p(static_cast<double>(caps.max_feature_dim)));
+  return f;
+}
+
+std::vector<double> extract_features(const runtime::TrainConfig& config,
+                                     const DatasetStats& stats,
+                                     const hw::HardwareProfile& hw) {
+  return extract_features(config, stats, hw, compute::kBlockedBackendId);
 }
 
 }  // namespace gnav::estimator

@@ -1,5 +1,6 @@
 #include "estimator/profile_collector.hpp"
 
+#include "compute/backend.hpp"
 #include "support/error.hpp"
 #include "support/log.hpp"
 #include "support/parallel.hpp"
@@ -79,6 +80,15 @@ std::vector<ProfiledRun> collect_profiles(const graph::Dataset& dataset,
                                           const hw::HardwareProfile& hw,
                                           const CollectorOptions& options) {
   GNAV_CHECK(options.configs_per_dataset >= 1, "need at least one config");
+  // Resolve the backend on the CALLING thread: pool workers inherit no
+  // BackendScope, so current_backend_id() inside the run lambdas would
+  // see the factory default, not the collector caller's pin.
+  const std::string backend_id = options.backend_id.empty()
+                                     ? compute::current_backend_id()
+                                     : options.backend_id;
+  GNAV_CHECK(compute::BackendFactory::is_registered(backend_id),
+             "CollectorOptions::backend_id \"" + backend_id +
+                 "\" is not a registered compute backend");
   runtime::RuntimeBackend backend(dataset, hw);
   const DatasetStats stats = compute_dataset_stats(dataset);
   const std::uint64_t collection_seed =
@@ -103,6 +113,7 @@ std::vector<ProfiledRun> collect_profiles(const graph::Dataset& dataset,
     ro.record_batch_sizes = true;
     ro.seed = options.seed + static_cast<std::uint64_t>(i) * 7919ULL;
     ro.pool = &pool;
+    ro.backend_id = backend_id;
     // A controlled fraction of the corpus runs under the async executor
     // so its measured stage walls exist for the overlap-model fit. WHICH
     // rows are async is fixed by index (i % async_every == 0, pinned by

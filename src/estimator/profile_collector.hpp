@@ -49,6 +49,11 @@ struct CollectorOptions {
   /// observables (and the executor metadata columns) differ. <= 0
   /// disables async profiling runs entirely.
   int async_every = 4;
+  /// Compute backend the profiled runs execute on. Empty resolves to the
+  /// CALLER's ambient backend (compute::current_backend_id()) once at
+  /// collect entry — pool workers carry no thread-local scope, so the
+  /// resolution cannot happen inside the per-run lambdas.
+  std::string backend_id;
 };
 
 /// Draws a random-but-valid configuration from the full design space.

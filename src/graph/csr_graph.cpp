@@ -1,10 +1,17 @@
 #include "graph/csr_graph.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 #include "support/error.hpp"
 
 namespace gnav::graph {
+
+std::uint64_t CsrGraph::next_uid() {
+  // 1-based so 0 stays available as an "unset" sentinel for cache keys.
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
 
 CsrGraph::CsrGraph(std::vector<EdgeId> indptr, std::vector<NodeId> indices)
     : indptr_(std::move(indptr)), indices_(std::move(indices)) {

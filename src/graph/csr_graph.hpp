@@ -26,6 +26,38 @@ class CsrGraph {
   /// out-neighbors. Throws gnav::Error on malformed input.
   CsrGraph(std::vector<EdgeId> indptr, std::vector<NodeId> indices);
 
+  // Copies are distinct graphs (fresh uid); moves transfer identity and
+  // re-identify the hollowed-out source, so a uid never names two live
+  // adjacency structures at once.
+  CsrGraph(const CsrGraph& other)
+      : indptr_(other.indptr_), indices_(other.indices_) {}
+  CsrGraph& operator=(const CsrGraph& other) {
+    indptr_ = other.indptr_;
+    indices_ = other.indices_;
+    uid_ = next_uid();
+    return *this;
+  }
+  CsrGraph(CsrGraph&& other) noexcept
+      : indptr_(std::move(other.indptr_)),
+        indices_(std::move(other.indices_)),
+        uid_(other.uid_) {
+    other.uid_ = next_uid();
+  }
+  CsrGraph& operator=(CsrGraph&& other) noexcept {
+    indptr_ = std::move(other.indptr_);
+    indices_ = std::move(other.indices_);
+    uid_ = other.uid_;
+    other.uid_ = next_uid();
+    return *this;
+  }
+
+  /// Process-unique identity of this adjacency structure, assigned at
+  /// construction. Compute backends key cached per-graph execution plans
+  /// on it (see compute::ComputeBackend), which a raw `this` pointer
+  /// could not do safely: allocators recycle addresses across the
+  /// short-lived mini-batch subgraphs.
+  std::uint64_t uid() const { return uid_; }
+
   NodeId num_nodes() const {
     return indptr_.empty() ? 0 : static_cast<NodeId>(indptr_.size()) - 1;
   }
@@ -62,8 +94,11 @@ class CsrGraph {
   }
 
  private:
+  static std::uint64_t next_uid();
+
   std::vector<EdgeId> indptr_;
   std::vector<NodeId> indices_;
+  std::uint64_t uid_ = next_uid();
 };
 
 }  // namespace gnav::graph

@@ -32,22 +32,6 @@ constexpr std::size_t kChunkWork = 8192;
 thread_local bool t_override_active = false;
 thread_local SpmmImpl t_override = SpmmImpl::kBlocked;
 
-// Process-wide default. Atomic so a stray concurrent set is never a data
-// race, but semantically it is process-setup state: every concurrent-job
-// path pins its impl with a thread-local SpmmImplScope instead (see the
-// multi-tenant contract in spmm.hpp), so this slot is only ever read when
-// no scope is active on the calling thread.
-std::atomic<SpmmImpl>& default_impl_slot() {
-  static std::atomic<SpmmImpl> slot = [] {
-    SpmmImpl impl = SpmmImpl::kBlocked;
-    if (const char* env = std::getenv("GNAV_SPMM_IMPL")) {
-      impl = spmm_impl_from_string(env);
-    }
-    return impl;
-  }();
-  return slot;
-}
-
 // ------------------------------------------------------------- scalar ----
 // Reference loop: row by row, full feature width per neighbor. The
 // accumulation order per (v, j) — self term, neighbors in CSR order, dst
@@ -345,15 +329,8 @@ void blocked_row_streaming(const EdgeId* indptr, const NodeId* indices,
   }
 }
 
-/// Edge-balanced fixed row partition plus a heavy-first schedule. Both
-/// depend only on the graph, never on the thread count.
-struct RowPartition {
-  std::vector<NodeId> bounds;      // chunk c covers [bounds[c], bounds[c+1])
-  std::vector<std::size_t> order;  // chunk indices, heaviest work first
-};
-
-RowPartition make_partition(const graph::CsrGraph& g) {
-  RowPartition part;
+SpmmPlan make_partition(const graph::CsrGraph& g) {
+  SpmmPlan part;
   const NodeId n = g.num_nodes();
   const EdgeId* indptr = g.indptr().data();
   part.bounds.push_back(0);
@@ -414,7 +391,7 @@ void blocked_chunk(const EdgeId* indptr, const NodeId* indices,
 
 void spmm_blocked(const graph::CsrGraph& g, const tensor::Tensor& x,
                   tensor::Tensor& y, const SpmmScales& sc,
-                  support::ThreadPool* pool) {
+                  support::ThreadPool* pool, const SpmmPlan* plan) {
   const NodeId n = g.num_nodes();
   if (n == 0) return;
   const EdgeId* indptr = g.indptr().data();
@@ -423,7 +400,15 @@ void spmm_blocked(const graph::CsrGraph& g, const tensor::Tensor& x,
   const float* xd = x.data();
   float* yd = y.data();
 
-  const RowPartition part = make_partition(g);
+  // A caller-supplied plan (backend plan cache) is used as-is; the plan
+  // is a pure function of the graph, so either way the partition — and
+  // therefore every output bit — is identical.
+  SpmmPlan local;
+  if (plan == nullptr) {
+    local = make_partition(g);
+    plan = &local;
+  }
+  const SpmmPlan& part = *plan;
   support::ThreadPool& exec = pool != nullptr ? *pool : support::global_pool();
 
   exec.parallel_for(0, part.order.size(), [&](std::size_t slot) {
@@ -460,10 +445,6 @@ SpmmImpl spmm_impl_from_string(const std::string& name) {
   throw Error("unknown SpMM impl '" + name + "'; expected scalar|blocked");
 }
 
-SpmmImpl default_spmm_impl() { return default_impl_slot().load(); }
-
-void set_default_spmm_impl(SpmmImpl impl) { default_impl_slot().store(impl); }
-
 void set_spmm_simd_tier(SpmmSimdTier tier) {
   g_simd_tier.store(tier, std::memory_order_relaxed);
 }
@@ -472,8 +453,16 @@ SpmmSimdTier spmm_simd_tier() {
   return g_simd_tier.load(std::memory_order_relaxed);
 }
 
+std::string active_spmm_isa() {
+  if (use_avx2_tier()) return "avx2";
+  if (use_sse_tier()) return "sse2";
+  return "portable";
+}
+
+SpmmPlan make_spmm_plan(const graph::CsrGraph& g) { return make_partition(g); }
+
 SpmmImpl current_spmm_impl() {
-  return t_override_active ? t_override : default_spmm_impl();
+  return t_override_active ? t_override : SpmmImpl::kBlocked;
 }
 
 SpmmImplScope::SpmmImplScope(SpmmImpl impl)
@@ -489,7 +478,7 @@ SpmmImplScope::~SpmmImplScope() {
 
 void spmm(const graph::CsrGraph& g, const tensor::Tensor& x,
           tensor::Tensor& y, const SpmmScales& scales, SpmmImpl impl,
-          support::ThreadPool* pool) {
+          support::ThreadPool* pool, const SpmmPlan* plan) {
   GNAV_CHECK(x.rows() == static_cast<std::size_t>(g.num_nodes()),
              "spmm: feature rows (" + std::to_string(x.rows()) +
                  ") != num_nodes (" + std::to_string(g.num_nodes()) + ")");
@@ -503,7 +492,7 @@ void spmm(const graph::CsrGraph& g, const tensor::Tensor& x,
       spmm_scalar(g, x, y, scales);
       return;
     case SpmmImpl::kBlocked:
-      spmm_blocked(g, x, y, scales, pool);
+      spmm_blocked(g, x, y, scales, pool, plan);
       return;
   }
 }

@@ -35,6 +35,7 @@
 
 #include <cstddef>
 #include <string>
+#include <vector>
 
 #include "graph/csr_graph.hpp"
 #include "tensor/tensor.hpp"
@@ -54,23 +55,17 @@ std::string to_string(SpmmImpl impl);
 /// Parses "scalar" / "blocked"; throws gnav::Error on anything else.
 SpmmImpl spmm_impl_from_string(const std::string& name);
 
-/// Process-wide default implementation. Initialized once from the
-/// GNAV_SPMM_IMPL environment variable ("scalar" or "blocked") and
-/// kBlocked otherwise; settable for A/B experiments.
-///
-/// Multi-tenant contract: this is a PROCESS-SETUP knob only. The slot is
-/// a single atomic — concurrent jobs flipping it would nondeterministically
-/// reselect each other's kernels. Once any concurrent work is in flight
-/// (serve::JobScheduler lanes, profile collection, DSE scoring), kernel
-/// selection must flow through RunOptions::spmm_impl, which the backend
-/// pins per run — and per stage thread — with SpmmImplScope. The serve
-/// layer never reads or writes this default (test_serve.cpp pins the
-/// isolation with concurrent scalar-vs-blocked jobs under TSan).
-SpmmImpl default_spmm_impl();
-void set_default_spmm_impl(SpmmImpl impl);
-
 /// Implementation the calling thread currently resolves to: the innermost
-/// active SpmmImplScope on this thread, else the process-wide default.
+/// active SpmmImplScope on this thread, else kBlocked.
+///
+/// There is deliberately NO process-wide default slot behind this (the
+/// old set_default_spmm_impl() is gone): implementation selection flows
+/// through the compute::ComputeBackend layer, which pins the choice per
+/// run — and per stage thread — so no concurrent job can bypass another's
+/// pin by flipping a global. Backend-level selection lives in
+/// compute::BackendFactory; this thread-local remains as the low-level
+/// kernel A/B mechanism used by the backends themselves and the kernel
+/// tests.
 SpmmImpl current_spmm_impl();
 
 /// RAII thread-local override, used by the runtime backend (RunOptions)
@@ -105,6 +100,26 @@ enum class SpmmSimdTier {
 void set_spmm_simd_tier(SpmmSimdTier tier);
 SpmmSimdTier spmm_simd_tier();
 
+/// ISA the blocked kernel actually dispatches to on this host under the
+/// current tier cap: "avx2" | "sse2" | "portable". Diagnostics only —
+/// never feed it into estimator features or golden traces (it varies by
+/// host; all tiers produce identical bits anyway).
+std::string active_spmm_isa();
+
+/// Reusable blocked-execution plan for one graph: the edge-balanced row
+/// partition (chunk c covers rows [bounds[c], bounds[c+1])) plus the
+/// heavy-first chunk schedule. A pure function of the graph — never of
+/// the thread count or feature dim — so a cached plan is bit-identical
+/// to a freshly built one and can be shared across calls and threads.
+/// The batched compute backends cache plans per graph uid to amortize
+/// the O(V) build across repeated SpMMs on the same graph.
+struct SpmmPlan {
+  std::vector<graph::NodeId> bounds;
+  std::vector<std::size_t> order;
+};
+
+SpmmPlan make_spmm_plan(const graph::CsrGraph& g);
+
 /// Optional per-vertex scale vectors (length num_nodes each, or null):
 ///   src_scale  — weight applied to each gathered neighbor row,
 ///   dst_scale  — post-sum scale of the output row,
@@ -118,9 +133,13 @@ struct SpmmScales {
 /// Y = weighted-SpMM(g, X). `y` must have X's shape and is overwritten;
 /// it must not alias `x`. `pool` is used only by kBlocked (null selects
 /// the global pool; inside a pool worker the kernel runs inline).
+/// `plan`, when non-null, must be make_spmm_plan(g) for this exact graph
+/// (kBlocked only; kScalar ignores it) — passing a cached plan skips the
+/// per-call partition build without changing a single output bit.
 void spmm(const graph::CsrGraph& g, const tensor::Tensor& x,
           tensor::Tensor& y, const SpmmScales& scales, SpmmImpl impl,
-          support::ThreadPool* pool = nullptr);
+          support::ThreadPool* pool = nullptr,
+          const SpmmPlan* plan = nullptr);
 
 /// Allocating convenience using current_spmm_impl().
 tensor::Tensor spmm(const graph::CsrGraph& g, const tensor::Tensor& x,

@@ -1,64 +1,29 @@
 #include "nn/aggregate.hpp"
 
-#include <cmath>
-
-#include "kernels/spmm.hpp"
-#include "support/error.hpp"
+#include "compute/backend.hpp"
 
 namespace gnav::nn {
 
+using compute::AggregateKind;
 using tensor::Tensor;
 
-namespace {
-void check_shapes(const graph::CsrGraph& g, const Tensor& x) {
-  GNAV_CHECK(x.rows() == static_cast<std::size_t>(g.num_nodes()),
-             "aggregation: feature rows (" + std::to_string(x.rows()) +
-                 ") != num_nodes (" + std::to_string(g.num_nodes()) + ")");
-}
-}  // namespace
-
-std::vector<float> inverse_degree_scales(const graph::CsrGraph& g) {
-  std::vector<float> inv(static_cast<std::size_t>(g.num_nodes()));
-  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
-    const auto d = g.degree(v);
-    inv[static_cast<std::size_t>(v)] =
-        d > 0 ? 1.0f / static_cast<float>(d) : 0.0f;
-  }
-  return inv;
-}
-
-std::vector<float> gcn_norm_scales(const graph::CsrGraph& g) {
-  std::vector<float> norm(static_cast<std::size_t>(g.num_nodes()));
-  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
-    norm[static_cast<std::size_t>(v)] =
-        1.0f / std::sqrt(static_cast<float>(g.degree(v) + 1));
-  }
-  return norm;
-}
-
 Tensor aggregate_mean(const graph::CsrGraph& g, const Tensor& x) {
-  check_shapes(g, x);
-  const auto inv = inverse_degree_scales(g);
-  return kernels::spmm(g, x, mean_spmm_scales(inv.data()));
+  return compute::current_backend().aggregate(AggregateKind::kMean, g, x);
 }
 
 Tensor aggregate_mean_transpose(const graph::CsrGraph& g, const Tensor& dy) {
-  check_shapes(g, dy);
   // On a symmetric edge set the scatter dX[u] += dY[v]/deg(v) over edges
   // (v,u) is exactly the pull dX[u] = sum_{v in N(u)} dY[v]/deg(v).
-  const auto inv = inverse_degree_scales(g);
-  return kernels::spmm(g, dy, mean_transpose_spmm_scales(inv.data()));
+  return compute::current_backend().aggregate(AggregateKind::kMeanTranspose,
+                                              g, dy);
 }
 
 Tensor aggregate_gcn(const graph::CsrGraph& g, const Tensor& x) {
-  check_shapes(g, x);
-  const auto norm = gcn_norm_scales(g);
-  return kernels::spmm(g, x, gcn_spmm_scales(norm.data()));
+  return compute::current_backend().aggregate(AggregateKind::kGcn, g, x);
 }
 
 Tensor aggregate_sum(const graph::CsrGraph& g, const Tensor& x) {
-  check_shapes(g, x);
-  return kernels::spmm(g, x, kernels::SpmmScales{});
+  return compute::current_backend().aggregate(AggregateKind::kSum, g, x);
 }
 
 double aggregation_flops(const graph::CsrGraph& g, std::size_t cols) {

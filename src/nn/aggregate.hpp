@@ -1,9 +1,10 @@
 // Sparse neighborhood aggregation (the Aggregate of Eq. 1), expressed on
-// top of the gnav::kernels weighted-SpMM layer (kernels/spmm.hpp). Which
-// implementation executes — the scalar reference or the blocked
-// cache-tiled kernel — is resolved per call from
-// kernels::current_spmm_impl(); both produce bit-identical results, so
-// the choice is purely a throughput knob.
+// top of the gnav::compute backend layer (compute/backend.hpp). Which
+// backend executes — the scalar reference, the blocked cache-tiled CPU
+// kernel, or the plan-caching hugepage-arena backend — is resolved per
+// call from compute::current_backend(); every built-in CPU backend
+// produces bit-identical results, so the choice is purely a throughput
+// knob.
 //
 // All kernels assume the mini-batch graph has a *symmetric* edge set —
 // samplers in this library always emit symmetrized subgraphs — which makes
@@ -13,6 +14,7 @@
 
 #include <vector>
 
+#include "compute/backend.hpp"
 #include "graph/csr_graph.hpp"
 #include "kernels/spmm.hpp"
 #include "tensor/tensor.hpp"
@@ -38,41 +40,15 @@ tensor::Tensor aggregate_gcn(const graph::CsrGraph& g,
 tensor::Tensor aggregate_sum(const graph::CsrGraph& g,
                              const tensor::Tensor& x);
 
-/// Scale-vector builders shared with the layers (which cache them across
-/// forward/backward instead of recomputing per pass):
-/// 1/deg(v), with 0 for isolated vertices.
-std::vector<float> inverse_degree_scales(const graph::CsrGraph& g);
-/// 1/sqrt(deg(v) + 1) — the GCN symmetric normalization.
-std::vector<float> gcn_norm_scales(const graph::CsrGraph& g);
-
-/// SpmmScales of the GCN-normalized operator for a gcn_norm_scales
-/// vector: src = dst = self = 1/sqrt(d+1), i.e.
-/// Y[v] = s_v * (s_v X[v] + sum_u s_u X[u]). One definition shared by
-/// aggregate_gcn and GcnConv so the convention cannot drift.
-inline kernels::SpmmScales gcn_spmm_scales(const float* norm) {
-  kernels::SpmmScales scales;
-  scales.src_scale = norm;
-  scales.dst_scale = norm;
-  scales.self_scale = norm;
-  return scales;
-}
-
-/// Mean aggregation for an inverse_degree_scales vector: post-sum
-/// dst scale of 1/deg(v). Shared by aggregate_mean and SageConv.
-inline kernels::SpmmScales mean_spmm_scales(const float* inv_deg) {
-  kernels::SpmmScales scales;
-  scales.dst_scale = inv_deg;
-  return scales;
-}
-
-/// Transpose-mean (backprop scatter as a pull on the symmetric CSR):
-/// per-source weight 1/deg(u). Shared by aggregate_mean_transpose and
-/// SageConv::backward.
-inline kernels::SpmmScales mean_transpose_spmm_scales(const float* inv_deg) {
-  kernels::SpmmScales scales;
-  scales.src_scale = inv_deg;
-  return scales;
-}
+// Scale-vector builders and SpmmScales conventions now live in the
+// compute layer (one definition shared by every backend's aggregate and
+// the layers below); re-exported here because the nn layers cache them
+// across forward/backward and historical call sites spell nn::.
+using compute::gcn_norm_scales;
+using compute::gcn_spmm_scales;
+using compute::inverse_degree_scales;
+using compute::mean_spmm_scales;
+using compute::mean_transpose_spmm_scales;
 
 /// FLOPs of one sparse aggregation pass over g with `cols` channels
 /// (2 flops per edge per channel: multiply + accumulate).

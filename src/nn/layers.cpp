@@ -2,7 +2,7 @@
 
 #include <cmath>
 
-#include "kernels/spmm.hpp"
+#include "compute/backend.hpp"
 #include "nn/aggregate.hpp"
 #include "support/error.hpp"
 #include "tensor/ops.hpp"
@@ -23,7 +23,8 @@ Tensor GcnConv::forward(const graph::CsrGraph& g, const Tensor& x) {
   cached_graph_ = &g;
   cached_x_ = x;
   Tensor z = tensor::matmul(x, weight_.value);
-  Tensor h = kernels::spmm(g, z, gcn_spmm_scales(cached_norm_.data()));
+  Tensor h = compute::current_backend().spmm(
+      g, z, gcn_spmm_scales(cached_norm_.data()));
   tensor::add_row_bias_inplace(h, bias_.value);
   return h;
 }
@@ -33,8 +34,8 @@ Tensor GcnConv::backward(const Tensor& grad_out) {
   // H = P (X W) + b with P self-adjoint => dZ = P dH, reusing the cached
   // normalization vector from the forward pass.
   tensor::add_inplace(bias_.grad, tensor::column_sum(grad_out));
-  Tensor dz = kernels::spmm(*cached_graph_, grad_out,
-                            gcn_spmm_scales(cached_norm_.data()));
+  Tensor dz = compute::current_backend().spmm(
+      *cached_graph_, grad_out, gcn_spmm_scales(cached_norm_.data()));
   tensor::add_inplace(weight_.grad, tensor::matmul_at_b(cached_x_, dz));
   return tensor::matmul_a_bt(dz, weight_.value);
 }
@@ -62,7 +63,8 @@ Tensor SageConv::forward(const graph::CsrGraph& g, const Tensor& x) {
   cached_inv_deg_ = inverse_degree_scales(g);
   cached_graph_ = &g;
   cached_x_ = x;
-  cached_mean_ = kernels::spmm(g, x, mean_spmm_scales(cached_inv_deg_.data()));
+  cached_mean_ = compute::current_backend().spmm(
+      g, x, mean_spmm_scales(cached_inv_deg_.data()));
   Tensor h = tensor::matmul(x, w_self_.value);
   tensor::add_inplace(h, tensor::matmul(cached_mean_, w_neigh_.value));
   tensor::add_row_bias_inplace(h, bias_.value);
@@ -81,8 +83,9 @@ Tensor SageConv::backward(const Tensor& grad_out) {
                       tensor::matmul_at_b(cached_mean_, grad_out));
   Tensor dmean = tensor::matmul_a_bt(grad_out, w_neigh_.value);
   tensor::add_inplace(
-      dx, kernels::spmm(*cached_graph_, dmean,
-                        mean_transpose_spmm_scales(cached_inv_deg_.data())));
+      dx, compute::current_backend().spmm(
+              *cached_graph_, dmean,
+              mean_transpose_spmm_scales(cached_inv_deg_.data())));
   return dx;
 }
 

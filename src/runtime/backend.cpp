@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstring>
 #include <utility>
 
 #include "nn/loss.hpp"
@@ -109,16 +110,17 @@ TrainReport RuntimeBackend::run(const TrainConfig& config,
   const auto wall_start = std::chrono::steady_clock::now();
 
   // Every aggregation in this run (training steps and full-graph
-  // evaluations alike) resolves to the requested SpMM kernel. The scope
-  // is thread-local, so concurrent jobs on pool workers cannot interfere
-  // with each other's selection. Stage closures below re-establish the
-  // scope because the async executor runs them on fresh stage threads
-  // that inherit NO thread-local state — without it they would fall
-  // through to the process-global default, which another concurrent
-  // job's setup could be flipping (the multi-tenant isolation contract,
-  // see serve/job_scheduler.hpp and kernels/spmm.hpp).
-  const kernels::SpmmImplScope spmm_scope(options.spmm_impl);
-  const kernels::SpmmImpl run_spmm_impl = options.spmm_impl;
+  // evaluations alike) resolves to the requested compute backend. The
+  // scope is thread-local, so concurrent jobs on pool workers cannot
+  // interfere with each other's selection. Stage closures below
+  // re-establish the scope because the async executor runs them on fresh
+  // stage threads that inherit NO thread-local state — without it they
+  // would fall through to the factory default, which another concurrent
+  // process-setup call could be flipping (the multi-tenant isolation
+  // contract, see serve/job_scheduler.hpp and compute/backend.hpp).
+  const std::shared_ptr<const compute::ComputeBackend> run_backend =
+      compute::BackendFactory::create(options.backend_id);
+  const compute::BackendScope backend_scope(run_backend);
 
   const graph::Dataset& ds = *dataset_;
   Rng rng(options.seed);
@@ -157,7 +159,10 @@ TrainReport RuntimeBackend::run(const TrainConfig& config,
   // changed — with a static cache policy that is never.
   const auto sampler = sampling::make_sampler(
       ss, preference,
-      preference != nullptr ? &device_cache.residency_version() : nullptr);
+      preference != nullptr
+          ? std::function<std::uint64_t()>(
+                [&device_cache] { return device_cache.residency_version(); })
+          : nullptr);
 
   sampling::SeedBatcher batcher(ds.train_nodes, config.batch_size);
 
@@ -165,6 +170,27 @@ TrainReport RuntimeBackend::run(const TrainConfig& config,
   tensor::Tensor x_full(static_cast<std::size_t>(ds.num_nodes()),
                         static_cast<std::size_t>(ds.feature_dim));
   std::copy(ds.features.begin(), ds.features.end(), x_full.data());
+
+  // Back the cache with real device memory from the run's backend and
+  // seed statically preloaded rows. From here on, cached feature reads
+  // come out of the backend-owned slab, not the host tensor.
+  const std::size_t row_floats = static_cast<std::size_t>(ds.feature_dim);
+  if (row_floats > 0) {
+    const compute::BackendCapabilities caps = run_backend->capabilities();
+    GNAV_CHECK(caps.max_feature_dim == 0 || row_floats <= caps.max_feature_dim,
+               "backend \"" + run_backend->id() + "\" supports at most " +
+                   std::to_string(caps.max_feature_dim) +
+                   " feature floats per row");
+    device_cache.attach_storage(run_backend->allocator(), row_floats);
+    if (device_cache.has_storage()) {
+      for (graph::NodeId v = 0; v < ds.num_nodes(); ++v) {
+        if (float* dst = device_cache.resident_row(v)) {
+          std::memcpy(dst, x_full.row(static_cast<std::size_t>(v)),
+                      row_floats * sizeof(float));
+        }
+      }
+    }
+  }
 
   // --- Static memory components (Eq. 9/10) ------------------------------
   TrainReport report;
@@ -219,10 +245,10 @@ TrainReport RuntimeBackend::run(const TrainConfig& config,
     // Component 1: sampling. Thread-safe at any worker count — batch i
     // always draws from its own task_seed-derived stream.
     auto sample_batch = [&](std::size_t i) {
-      // Pin this job's kernel selection on whatever thread executes the
+      // Pin this job's backend selection on whatever thread executes the
       // stage (async sampler workers are fresh threads with no ambient
       // scope; pool workers may carry another job's scope).
-      const kernels::SpmmImplScope stage_scope(run_spmm_impl);
+      const compute::BackendScope stage_scope(run_backend);
       Rng batch_rng(support::task_seed(epoch_seed, i));
       return sampler->sample(ds.graph, seed_batches[i], batch_rng);
     };
@@ -235,7 +261,7 @@ TrainReport RuntimeBackend::run(const TrainConfig& config,
     auto prepare_batch = [&](std::size_t i, sampling::MiniBatch&& mb) {
       // Same per-stage pin as sample_batch: the transfer stage runs on
       // its own thread under the async executor.
-      const kernels::SpmmImplScope stage_scope(run_spmm_impl);
+      const compute::BackendScope stage_scope(run_backend);
       const cache::LookupResult lookup = device_cache.lookup_and_update(
           mb.nodes, static_cast<std::int64_t>(
                         static_cast<std::uint64_t>(epoch) * num_batches +
@@ -280,9 +306,35 @@ TrainReport RuntimeBackend::run(const TrainConfig& config,
           (report.mem_model_gb + report.mem_cache_gb) * kBytesPerGb +
           runtime_bytes);
 
-      // Feature staging. Compressed transfers quantize the gathered
-      // features to int8 and back, so the accuracy impact is genuine.
-      tensor::Tensor x = tensor::gather_rows(x_full, mb.nodes);
+      // Feature staging. Admitted rows are copied into their device slots
+      // first (admission order — the last admit per slot owns it), then
+      // the batch tensor is assembled reading resident rows from the
+      // backend-owned slab and the rest from the host tensor. Cached rows
+      // are verbatim copies of immutable host rows, so the assembled
+      // tensor is byte-identical to a plain gather — residency changes
+      // where bytes come from, never what they are. (A hit row evicted
+      // later in the same batch's update phase simply falls back to the
+      // host read.)
+      tensor::Tensor x;
+      if (device_cache.has_storage()) {
+        for (graph::NodeId v : lookup.admitted) {
+          // A later admission in the same batch can recycle this row's
+          // slot — it is no longer resident, so there is nothing to fill.
+          if (float* dst = device_cache.resident_row(v)) {
+            std::memcpy(dst, x_full.row(static_cast<std::size_t>(v)),
+                        row_floats * sizeof(float));
+          }
+        }
+        x = tensor::Tensor(mb.nodes.size(), x_full.cols());
+        for (std::size_t r = 0; r < mb.nodes.size(); ++r) {
+          const auto v = static_cast<std::size_t>(mb.nodes[r]);
+          const float* src = device_cache.resident_row(mb.nodes[r]);
+          if (src == nullptr) src = x_full.row(v);
+          std::memcpy(x.row(r), src, row_floats * sizeof(float));
+        }
+      } else {
+        x = tensor::gather_rows(x_full, mb.nodes);
+      }
       if (config.compress_features) {
         for (std::size_t row = 0; row < x.rows(); ++row) {
           float* r = x.row(row);
@@ -441,6 +493,8 @@ TrainReport RuntimeBackend::run(const TrainConfig& config,
                             ? 0.0
                             : report.epoch_val_accuracy.back();
   report.cache_hit_rate = device_cache.stats().hit_rate();
+  report.backend_id = run_backend->id();
+  report.device_peak_bytes = run_backend->allocator().peak_bytes();
 
   // Executor profile: measured wall/stall totals plus the Eq. 4 modeled
   // pair accumulated per iteration above.

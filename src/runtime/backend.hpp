@@ -17,9 +17,9 @@
 
 #include <string>
 
+#include "compute/backend.hpp"
 #include "graph/dataset.hpp"
 #include "hw/cost_model.hpp"
-#include "kernels/spmm.hpp"
 #include "runtime/pipeline.hpp"
 #include "runtime/profiler.hpp"
 #include "runtime/train_config.hpp"
@@ -102,6 +102,13 @@ struct TrainReport {
   std::vector<double> epoch_loss;
 
   /// Diagnostics.
+  /// Compute backend that executed this run (RunOptions::backend_id as
+  /// resolved) — the estimator keys capability features on it.
+  std::string backend_id;
+  /// Peak bytes outstanding in the backend's device allocator when the
+  /// run finished (cache slab included). The allocator is shared by all
+  /// runs on the same backend, so this is a process-level diagnostic.
+  std::size_t device_peak_bytes = 0;
   PhaseBreakdown epoch_phases;  // per-epoch average
   PipelineReport pipeline;      // executor profile (run totals)
   double cache_hit_rate = 0.0;
@@ -125,11 +132,14 @@ struct RunOptions {
   /// Results are bit-identical at any pool size: every batch draws from
   /// its own task_seed-derived RNG.
   support::ThreadPool* pool = nullptr;
-  /// Sparse-aggregation kernel used by every forward/backward in this run
-  /// (A/B knob; both implementations are bit-identical, see
-  /// kernels/spmm.hpp). Defaults to the caller's current selection, so an
-  /// ambient SpmmImplScope composes with it instead of being overridden.
-  kernels::SpmmImpl spmm_impl = kernels::current_spmm_impl();
+  /// Compute backend executing every forward/backward in this run (see
+  /// compute/backend.hpp; all built-in CPU backends are bit-identical, so
+  /// for them this is purely a throughput knob). Defaults to the caller's
+  /// current selection, so an ambient compute::BackendScope composes with
+  /// it instead of being overridden. The run pins this id on its own
+  /// thread AND inside every async stage closure — no global state is
+  /// consulted mid-run.
+  std::string backend_id = compute::current_backend_id();
   /// Epoch executor selection (sync | async) plus prefetch depth and
   /// sampler worker count, defaulted from GNAV_PIPELINE /
   /// GNAV_PIPELINE_DEPTH / GNAV_PIPELINE_WORKERS. The async executor

@@ -36,7 +36,11 @@ PipelineConfig default_pipeline_config() {
   if (const auto depth = support::env_long("GNAV_PIPELINE_DEPTH", 1)) {
     config.prefetch_depth = static_cast<std::size_t>(*depth);
   }
-  if (const auto workers = support::env_long("GNAV_PIPELINE_WORKERS", 1)) {
+  // Minimum 0, not 1: GNAV_PIPELINE_WORKERS=0 is the documented "auto"
+  // spelling (resolves to default_thread_count(), same as unset). The old
+  // min of 1 made env_long reject 0 with a warning and silently fall back
+  // — a doc/parse mismatch pinned by test_pipeline.cpp.
+  if (const auto workers = support::env_long("GNAV_PIPELINE_WORKERS", 0)) {
     config.sampler_workers = static_cast<std::size_t>(*workers);
   }
   return config;

@@ -77,7 +77,8 @@ struct PipelineConfig {
 /// Resolves the process-wide default from the environment:
 ///   GNAV_PIPELINE         sync | async            (default sync)
 ///   GNAV_PIPELINE_DEPTH   prefetch depth >= 1     (default 4)
-///   GNAV_PIPELINE_WORKERS sampler workers >= 1    (default auto)
+///   GNAV_PIPELINE_WORKERS sampler workers >= 0;
+///                         0 = auto (default_thread_count())
 /// Invalid values log one warning and fall back to the default instead of
 /// silently misconfiguring the executor.
 PipelineConfig default_pipeline_config();

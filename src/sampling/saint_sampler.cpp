@@ -40,13 +40,12 @@ std::shared_ptr<const support::AliasTable> SaintSampler::node_alias(
   // Degree-weighted node distribution (GraphSAINT-Node uses p_v ∝ deg^2;
   // a plain degree weighting keeps the same hub preference), cached per
   // (graph, bias version) so repeated batches skip the O(|V|) rebuild.
-  const std::uint64_t version = bias_.version != nullptr ? *bias_.version : 0;
+  const std::uint64_t version = bias_.version ? bias_.version() : 0;
   std::lock_guard<std::mutex> lock(cache_mutex_);
-  // The key includes the graph's shape, not just its address: a rebuilt
+  // Keyed on the graph's process-unique uid, not its address: a rebuilt
   // graph can legitimately reuse a freed graph's address, and a stale
   // table would then draw from the wrong distribution (or out of range).
-  if (cached_graph_ != &g || cached_num_nodes_ != g.num_nodes() ||
-      cached_num_edges_ != g.num_edges() || cached_version_ != version ||
+  if (cached_graph_uid_ != g.uid() || cached_version_ != version ||
       cached_node_alias_ == nullptr) {
     std::vector<double> weights(static_cast<std::size_t>(g.num_nodes()));
     for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
@@ -54,9 +53,7 @@ std::shared_ptr<const support::AliasTable> SaintSampler::node_alias(
           static_cast<double>(g.degree(v) + 1) * bias_.weight(v);
     }
     cached_node_alias_ = std::make_shared<support::AliasTable>(weights);
-    cached_graph_ = &g;
-    cached_num_nodes_ = g.num_nodes();
-    cached_num_edges_ = g.num_edges();
+    cached_graph_uid_ = g.uid();
     cached_version_ = version;
   }
   return cached_node_alias_;

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -42,8 +43,11 @@ struct SamplingBias {
   double bias_rate = 0.0;
   /// Monotone change counter for `preference` (the device cache bumps it
   /// on every residency change). Samplers key their cached weighted-draw
-  /// structures on it; when null the bitmap is treated as immutable.
-  const std::uint64_t* version = nullptr;
+  /// structures on it; when empty the bitmap is treated as immutable.
+  /// A callable rather than a pointer: DeviceCache::residency_version()
+  /// returns by value now, and a `const std::uint64_t*` alias into cache
+  /// internals is exactly the bug that change removed.
+  std::function<std::uint64_t()> version;
 
   bool active() const {
     return preference != nullptr && bias_rate > 0.0;
@@ -140,9 +144,7 @@ class SaintSampler final : public Sampler {
   double budget_multiplier_;
   SamplingBias bias_;
   mutable std::mutex cache_mutex_;
-  mutable const graph::CsrGraph* cached_graph_ = nullptr;
-  mutable graph::NodeId cached_num_nodes_ = -1;
-  mutable graph::EdgeId cached_num_edges_ = -1;
+  mutable std::uint64_t cached_graph_uid_ = 0;  // 0 = nothing cached
   mutable std::uint64_t cached_version_ = 0;
   mutable std::shared_ptr<const support::AliasTable> cached_node_alias_;
 };

@@ -7,13 +7,13 @@ namespace gnav::sampling {
 
 std::unique_ptr<Sampler> make_sampler(
     const SamplerSettings& settings, const std::vector<char>* preference,
-    const std::uint64_t* preference_version) {
+    std::function<std::uint64_t()> preference_version) {
   GNAV_CHECK(settings.bias_rate >= 0.0 && settings.bias_rate <= 1.0,
              "bias rate must be in [0,1]");
   SamplingBias bias;
   bias.preference = preference;
   bias.bias_rate = settings.bias_rate;
-  bias.version = preference_version;
+  bias.version = std::move(preference_version);
   switch (settings.kind) {
     case SamplerKind::kNodeWise:
       return std::make_unique<NodeWiseSampler>(settings.hop_list, bias);

@@ -3,6 +3,7 @@
 // Choices" switch.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -27,11 +28,15 @@ struct SamplerSettings {
 /// `preference` (may be null) marks preferred vertices for biased
 /// sampling; the pointer must outlive the sampler (the runtime backend
 /// hands in its device-cache residency bitmap). `preference_version`
-/// (may be null) is a change counter for that bitmap — samplers key
-/// cached weighted-draw structures on it; when null the bitmap is
-/// treated as immutable for the sampler's lifetime.
+/// (may be empty) is a provider of that bitmap's change counter —
+/// samplers key cached weighted-draw structures on it; when empty the
+/// bitmap is treated as immutable for the sampler's lifetime. A callable
+/// (e.g. `[&cache] { return cache.residency_version(); }`) instead of a
+/// `const std::uint64_t*`: the old pointer form invited aliasing the
+/// address of a by-reference accessor, which kept a live pointer into
+/// cache internals.
 std::unique_ptr<Sampler> make_sampler(
     const SamplerSettings& settings, const std::vector<char>* preference,
-    const std::uint64_t* preference_version = nullptr);
+    std::function<std::uint64_t()> preference_version = nullptr);
 
 }  // namespace gnav::sampling

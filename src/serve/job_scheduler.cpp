@@ -46,7 +46,7 @@ JobScheduler::JobScheduler(const runtime::RuntimeBackend& backend,
 
 AdmissionPrice JobScheduler::price_locked(const JobRequest& request) const {
   const estimator::PerfPrediction p =
-      estimator_->predict(request.config, stats_);
+      estimator_->predict(request.config, stats_, request.backend_id);
   AdmissionPrice out;
   // The estimator's T already folds Eq. 4's analytic overlap into
   // pipelined configs; divide it back out to recover the serial stage
@@ -88,6 +88,9 @@ std::size_t JobScheduler::submit(JobRequest request) {
   GNAV_CHECK(request.epochs >= 1, "JobRequest::epochs must be >= 1");
   GNAV_CHECK(request.kind == JobKind::kTrain || space_ != nullptr,
              "kNavigateTrain requires a scheduler built with a DesignSpace");
+  GNAV_CHECK(compute::BackendFactory::is_registered(request.backend_id),
+             "JobRequest::backend_id \"" + request.backend_id +
+                 "\" is not a registered compute backend");
   request.config.validate();
 
   std::lock_guard<std::mutex> lock(mutex_);
@@ -171,7 +174,7 @@ void JobScheduler::run_job(JobOutcome& job) {
     // Feedback rows feed PerfEstimator::fit like collector rows do.
     ro.record_batch_sizes = true;
     ro.pool = options_.pool;
-    ro.spmm_impl = request.spmm_impl;
+    ro.backend_id = request.backend_id;
     ro.pipeline = request.pipeline;
     job.report = backend_->run(job.decided_config, ro);
     job.state = JobState::kDone;

@@ -30,12 +30,15 @@
 //   improves online without ever racing in-flight price queries.
 //
 // Isolation contract: a job NEVER reads or mutates process-global
-// defaults. Each job carries its own RunOptions — explicit SpMM impl
-// (resolved per stage thread via SpmmImplScope inside the backend),
-// explicit pipeline config, explicit pool — and a deterministic per-job
-// seed (`task_seed(scheduler seed, job id)` unless the request pins one),
-// so every job's TrainReport is bit-identical to running that job alone
-// (pinned by test_serve.cpp at pool sizes 1/2/8).
+// defaults. Each job carries its own RunOptions — explicit compute
+// backend id (resolved per stage thread via compute::BackendScope inside
+// the runtime backend; there is no process-global kernel slot left to
+// bypass it), explicit pipeline config, explicit pool — and a
+// deterministic per-job seed (`task_seed(scheduler seed, job id)` unless
+// the request pins one), so every job's TrainReport is bit-identical to
+// running that job alone even while another tenant flips
+// BackendFactory::set_default_id mid-drain (pinned by test_serve.cpp at
+// pool sizes 1/2/8).
 #pragma once
 
 #include <cstdint>
@@ -45,12 +48,12 @@
 #include <string>
 #include <vector>
 
+#include "compute/backend.hpp"
 #include "dse/decision_maker.hpp"
 #include "dse/design_space.hpp"
 #include "dse/objectives.hpp"
 #include "estimator/perf_estimator.hpp"
 #include "estimator/profile_collector.hpp"
-#include "kernels/spmm.hpp"
 #include "runtime/backend.hpp"
 
 namespace gnav::serve {
@@ -79,9 +82,10 @@ struct JobRequest {
   /// 0 derives task_seed(scheduler seed, job id) — deterministic and
   /// decorrelated across jobs; nonzero pins the run seed exactly.
   std::uint64_t seed = 0;
-  /// Per-job kernel selection. Explicit — never the process default —
-  /// so concurrent jobs with different impls cannot interfere.
-  kernels::SpmmImpl spmm_impl = kernels::SpmmImpl::kBlocked;
+  /// Per-job compute backend. Explicit — never the process default — so
+  /// concurrent jobs with different backends cannot interfere. Validated
+  /// against BackendFactory::is_registered at submit time.
+  std::string backend_id = compute::kBlockedBackendId;
   /// Per-job epoch executor selection (sync | async, depth, workers).
   runtime::PipelineConfig pipeline;
   bool evaluate_every_epoch = false;

@@ -219,6 +219,11 @@ TEST_F(EstimatorFixture, CorpusRoundTripsThroughCsv) {
     EXPECT_DOUBLE_EQ(pl.mean_queue_occupancy, po.mean_queue_occupancy);
     EXPECT_EQ(OverlapModel::row_eligible(loaded[i]),
               OverlapModel::row_eligible((*corpus_)[i]));
+    // v3: the compute-backend id survives the round-trip (blank cells
+    // would fit as the factory default, but the collector always stamps
+    // the resolved id).
+    EXPECT_EQ(loaded[i].report.backend_id, (*corpus_)[i].report.backend_id);
+    EXPECT_FALSE(loaded[i].report.backend_id.empty());
     // NaN-free contract: every wall/stall cell parses to a finite value
     // (sync rows included — their zeros are legitimate data).
     EXPECT_TRUE(std::isfinite(pl.sample_wall_s));
@@ -247,33 +252,34 @@ TEST_F(EstimatorFixture, CorpusRoundTripsThroughCsv) {
 }
 
 TEST_F(EstimatorFixture, LegacyV1CorpusMigratesWithSyncDefaults) {
-  // Rewrite a v2 file into the PR 4-era v1 layout: no version line, the
-  // legacy header, and no executor cells in the rows. Loading must
-  // succeed with the executor fields defaulted to sync rows.
-  const std::string v2_path = "test_corpus_v2.csv";
+  // Rewrite a v3 file into the PR 4-era v1 layout: no version line, the
+  // legacy header, and neither executor nor backend cells in the rows.
+  // Loading must succeed with the executor fields defaulted to sync rows
+  // and the backend defaulted to cpu-blocked.
+  const std::string v3_path = "test_corpus_v3.csv";
   const std::string v1_path = "test_corpus_v1.csv";
-  save_corpus(*corpus_, v2_path);
+  save_corpus(*corpus_, v3_path);
   {
-    std::ifstream in(v2_path);
+    std::ifstream in(v3_path);
     std::ofstream out(v1_path);
     std::string line;
     ASSERT_TRUE(static_cast<bool>(std::getline(in, line)));  // version
     ASSERT_TRUE(starts_with(line, "#"));
-    ASSERT_TRUE(static_cast<bool>(std::getline(in, line)));  // v2 header
+    ASSERT_TRUE(static_cast<bool>(std::getline(in, line)));  // v3 header
     std::string header = line;
-    const std::string v2_cols =
+    const std::string post_v1_cols =
         "executor,prefetch_depth,sampler_workers,push_stalls,pop_stalls,"
-        "mean_queue_occupancy,";
-    const auto at = header.find(v2_cols);
+        "mean_queue_occupancy,backend,";
+    const auto at = header.find(post_v1_cols);
     ASSERT_NE(at, std::string::npos);
-    out << header.erase(at, v2_cols.size()) << '\n';
+    out << header.erase(at, post_v1_cols.size()) << '\n';
     while (std::getline(in, line)) {
       const auto quote = line.find('"');
       ASSERT_NE(quote, std::string::npos);
       std::string scalars = line.substr(0, quote);
       auto cells = split(scalars, ',');
-      ASSERT_EQ(cells.size(), 42u);  // 41 scalars + empty tail
-      cells.erase(cells.begin() + 35, cells.begin() + 41);
+      ASSERT_EQ(cells.size(), 43u);  // 42 scalars + empty tail
+      cells.erase(cells.begin() + 35, cells.begin() + 42);
       out << join(cells, ",") << line.substr(quote) << '\n';
     }
   }
@@ -284,6 +290,7 @@ TEST_F(EstimatorFixture, LegacyV1CorpusMigratesWithSyncDefaults) {
     EXPECT_EQ(p.executor, "sync");  // defaulted: v1 had no executor column
     EXPECT_EQ(p.push_stalls, 0u);
     EXPECT_FALSE(OverlapModel::row_eligible(migrated[i]));
+    EXPECT_EQ(migrated[i].report.backend_id, "cpu-blocked");  // defaulted
     EXPECT_DOUBLE_EQ(migrated[i].report.epoch_time_s,
                      (*corpus_)[i].report.epoch_time_s);
     EXPECT_DOUBLE_EQ(migrated[i].report.pipeline.measured_wall_s,
@@ -294,8 +301,73 @@ TEST_F(EstimatorFixture, LegacyV1CorpusMigratesWithSyncDefaults) {
   PerfEstimator est(*hw_);
   EXPECT_NO_THROW(est.fit(migrated));
   EXPECT_FALSE(est.overlap_model().is_fitted());
-  std::remove(v2_path.c_str());
+  std::remove(v3_path.c_str());
   std::remove(v1_path.c_str());
+}
+
+TEST_F(EstimatorFixture, V2CorpusMigratesWithDefaultBackendAndV3RoundTrips) {
+  // Part 1 — v2 migration: rewrite a v3 file into the v2 layout (v2
+  // version token, no backend column) and load it. Every row must come
+  // back with backend "cpu-blocked" — the factory default all pre-backend
+  // runs executed on — with the executor columns intact.
+  const std::string v3_path = "test_corpus_v3_mig.csv";
+  const std::string v2_path = "test_corpus_v2_mig.csv";
+  save_corpus(*corpus_, v3_path);
+  {
+    std::ifstream in(v3_path);
+    std::ofstream out(v2_path);
+    std::string line;
+    ASSERT_TRUE(static_cast<bool>(std::getline(in, line)));  // version
+    ASSERT_EQ(line, "# gnav-corpus-version 3");
+    out << "# gnav-corpus-version 2\n";
+    ASSERT_TRUE(static_cast<bool>(std::getline(in, line)));  // v3 header
+    std::string header = line;
+    const std::string backend_col = "backend,";
+    const auto at = header.find(backend_col);
+    ASSERT_NE(at, std::string::npos);
+    out << header.erase(at, backend_col.size()) << '\n';
+    while (std::getline(in, line)) {
+      const auto quote = line.find('"');
+      ASSERT_NE(quote, std::string::npos);
+      std::string scalars = line.substr(0, quote);
+      auto cells = split(scalars, ',');
+      ASSERT_EQ(cells.size(), 43u);  // 42 scalars + empty tail
+      cells.erase(cells.begin() + 41);  // the backend cell
+      out << join(cells, ",") << line.substr(quote) << '\n';
+    }
+  }
+  const auto migrated = load_corpus(v2_path);
+  ASSERT_EQ(migrated.size(), corpus_->size());
+  for (std::size_t i = 0; i < migrated.size(); ++i) {
+    EXPECT_EQ(migrated[i].report.backend_id, "cpu-blocked");
+    EXPECT_EQ(migrated[i].report.pipeline.executor,
+              (*corpus_)[i].report.pipeline.executor);
+    EXPECT_EQ(OverlapModel::row_eligible(migrated[i]),
+              OverlapModel::row_eligible((*corpus_)[i]));
+    EXPECT_DOUBLE_EQ(migrated[i].report.epoch_time_s,
+                     (*corpus_)[i].report.epoch_time_s);
+  }
+  // Part 2 — saving a migrated corpus upgrades it to v3, and non-default
+  // backend ids survive the save/load cycle verbatim.
+  std::vector<ProfiledRun> upgraded = migrated;
+  for (std::size_t i = 0; i < upgraded.size(); ++i) {
+    if (i % 2 == 1) upgraded[i].report.backend_id = "cpu-arena";
+  }
+  save_corpus(upgraded, v3_path);
+  {
+    std::ifstream check(v3_path);
+    std::string first;
+    ASSERT_TRUE(static_cast<bool>(std::getline(check, first)));
+    EXPECT_EQ(first, "# gnav-corpus-version 3");
+  }
+  const auto reloaded = load_corpus(v3_path);
+  ASSERT_EQ(reloaded.size(), upgraded.size());
+  for (std::size_t i = 0; i < reloaded.size(); ++i) {
+    EXPECT_EQ(reloaded[i].report.backend_id,
+              i % 2 == 1 ? "cpu-arena" : "cpu-blocked");
+  }
+  std::remove(v3_path.c_str());
+  std::remove(v2_path.c_str());
 }
 
 TEST_F(EstimatorFixture, HeaderMismatchNamesFileAndExpectation) {

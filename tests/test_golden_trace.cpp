@@ -26,7 +26,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
+#include "compute/backend.hpp"
 #include "dse/objectives.hpp"
 #include "estimator/profile_collector.hpp"
 #include "graph/dataset.hpp"
@@ -45,6 +47,13 @@ struct GoldenCase {
   double predicted_memory_gb;
   double predicted_accuracy;
   double final_epoch_loss;    // train(config, 2 epochs, seed 1)
+  /// Compute backend the whole trace executes under (filled by
+  /// golden_cases(), not the table): goldens are keyed by backend id.
+  /// The built-in CPU backends share one golden block because their
+  /// bit-identity contract makes them interchangeable to the last bit —
+  /// a future backend with a different accumulation order gets its own
+  /// rows here, not a tolerance.
+  const char* backend = compute::kBlockedBackendId;
 };
 
 // Checked-in goldens. Regenerate with GNAV_REGEN_GOLDEN=1 (see header).
@@ -68,6 +77,24 @@ const GoldenCase kGolden[] = {
      1.4746742189646083},
 };
 
+/// The golden table × the production CPU backends. Every backend must
+/// hit the SAME numbers — the per-backend bit-identity contract plus the
+/// shared kernel accumulation order make the golden values backend-
+/// invariant for the built-in ids (test_backend.cpp pins the pairwise
+/// equality; this pins the absolute values per id end to end).
+std::vector<GoldenCase> golden_cases() {
+  std::vector<GoldenCase> out;
+  for (const GoldenCase& base : kGolden) {
+    for (const char* id :
+         {compute::kBlockedBackendId, compute::kArenaBackendId}) {
+      GoldenCase c = base;
+      c.backend = id;
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
 struct TraceResult {
   std::string config_text;
   estimator::PerfPrediction predicted;
@@ -75,6 +102,10 @@ struct TraceResult {
 };
 
 TraceResult run_trace(const GoldenCase& c) {
+  // Pin the case's backend for the entire pipeline: corpus collection,
+  // estimator fit, exploration, and the final training run all execute
+  // under it (RunOptions::backend_id defaults to the ambient scope).
+  const compute::BackendScope backend_scope(std::string(c.backend));
   navigator::GNNavigator nav(graph::load_dataset(c.dataset),
                              hw::make_profile("rtx4090"),
                              dse::BaseSettings{});
@@ -129,7 +160,11 @@ TEST_P(GoldenTrace, PipelineMatchesCheckedInGolden) {
   const GoldenCase& c = GetParam();
   const TraceResult r = run_trace(c);
   if (std::getenv("GNAV_REGEN_GOLDEN") != nullptr) {
-    print_regen_block(c, r);
+    // One paste block per dataset: the backend-crossed cases share their
+    // golden values, so only the cpu-blocked instance prints.
+    if (std::string(c.backend) == compute::kBlockedBackendId) {
+      print_regen_block(c, r);
+    }
     GTEST_SKIP() << "GNAV_REGEN_GOLDEN set: printed fresh goldens for "
                  << c.dataset << " instead of asserting";
   }
@@ -152,9 +187,12 @@ TEST_P(GoldenTrace, PipelineMatchesCheckedInGolden) {
       << c.final_epoch_loss;
 }
 
-INSTANTIATE_TEST_SUITE_P(Registry, GoldenTrace, ::testing::ValuesIn(kGolden),
+INSTANTIATE_TEST_SUITE_P(Registry, GoldenTrace,
+                         ::testing::ValuesIn(golden_cases()),
                          [](const auto& info) {
                            std::string name = info.param.dataset;
+                           name += "_";
+                           name += info.param.backend;
                            for (char& ch : name) {
                              if (ch == '-') ch = '_';
                            }

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "compute/backend.hpp"
 #include "graph/generators.hpp"
 #include "graph/graph_builder.hpp"
 #include "kernels/spmm.hpp"
@@ -116,7 +117,7 @@ TEST(SpmmEquivalence, BlockedMatchesScalarBitwiseEverywhere) {
   const std::size_t pool_sizes[] = {1, 2, 8};
   // Every SIMD tier of the blocked kernel must reproduce the scalar
   // reference bitwise — this is what makes the CPU's ISA (and the
-  // GNAV_SPMM_IMPL selection) invisible to golden traces.
+  // GNAV_BACKEND selection) invisible to golden traces.
   const kernels::SpmmSimdTier tiers[] = {kernels::SpmmSimdTier::kPortable,
                                          kernels::SpmmSimdTier::kSse,
                                          kernels::SpmmSimdTier::kAuto};
@@ -150,7 +151,10 @@ TEST(SpmmEquivalence, BlockedMatchesScalarBitwiseEverywhere) {
   }
 }
 
-TEST(SpmmEquivalence, AggregateWrappersHonorTheActiveImpl) {
+TEST(SpmmEquivalence, AggregateWrappersHonorTheActiveBackend) {
+  // The nn wrappers route through compute::current_backend(); every
+  // registered backend must reproduce the cpu-scalar reference bitwise
+  // for each aggregation kind.
   Rng grng(21);
   const auto g = graph::power_law_configuration(300, 2.2, 2, 60, grng);
   Rng rng(22);
@@ -165,18 +169,18 @@ TEST(SpmmEquivalence, AggregateWrappersHonorTheActiveImpl) {
     return out;
   };
   std::vector<Tensor> scalar_out;
-  std::vector<Tensor> blocked_out;
   {
-    kernels::SpmmImplScope scope(SpmmImpl::kScalar);
+    compute::BackendScope scope(compute::kScalarBackendId);
     scalar_out = run_all();
   }
-  {
-    kernels::SpmmImplScope scope(SpmmImpl::kBlocked);
-    blocked_out = run_all();
-  }
-  ASSERT_EQ(scalar_out.size(), blocked_out.size());
-  for (std::size_t i = 0; i < scalar_out.size(); ++i) {
-    EXPECT_TRUE(bit_identical(scalar_out[i], blocked_out[i])) << i;
+  for (const std::string& id : compute::BackendFactory::registered_ids()) {
+    compute::BackendScope scope(id);
+    const std::vector<Tensor> out = run_all();
+    ASSERT_EQ(scalar_out.size(), out.size());
+    for (std::size_t i = 0; i < scalar_out.size(); ++i) {
+      EXPECT_TRUE(bit_identical(scalar_out[i], out[i]))
+          << "backend=" << id << " variant=" << i;
+    }
   }
 }
 

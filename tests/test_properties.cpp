@@ -5,11 +5,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
+#include "compute/backend.hpp"
 #include "graph/dataset.hpp"
 #include "graph/graph_stats.hpp"
 #include "hw/platform.hpp"
-#include "kernels/spmm.hpp"
 #include "nn/aggregate.hpp"
 #include "runtime/backend.hpp"
 #include "runtime/templates.hpp"
@@ -183,24 +184,24 @@ TEST_F(PropertyFixture, HiddenDimGrowsComputeAndModelMemory) {
   }
 }
 
-// --- Aggregation conservation law, for both kernel implementations -----
+// --- Aggregation conservation law, for every registered backend --------
 
 class AggregationConservation
     : public PropertyFixture,
-      public ::testing::WithParamInterface<kernels::SpmmImpl> {};
+      public ::testing::WithParamInterface<std::string> {};
 
 TEST_P(AggregationConservation, SumAggregationConservesDegreeWeightedMass) {
   // On a symmetric graph, sum aggregation only routes feature mass along
   // edges: column j of the output must total sum_u deg(u) * x[u][j]
   // (every row x[u] is counted once per incident edge). This holds for
-  // the scalar reference and the blocked kernel alike — a cheap global
-  // check that tiling/partitioning neither drops nor duplicates edges.
+  // every registered compute backend alike — a cheap global check that
+  // tiling/partitioning neither drops nor duplicates edges.
   const graph::CsrGraph& g = dataset_->graph;
   Rng rng(123);
   const auto n = static_cast<std::size_t>(g.num_nodes());
   const std::size_t dim = 12;
   const auto x = tensor::Tensor::uniform(n, dim, -1, 1, rng);
-  kernels::SpmmImplScope scope(GetParam());
+  compute::BackendScope scope(GetParam());
   const auto y = nn::aggregate_sum(g, x);
   for (std::size_t j = 0; j < dim; ++j) {
     double aggregated = 0.0;
@@ -217,12 +218,16 @@ TEST_P(AggregationConservation, SumAggregationConservesDegreeWeightedMass) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Impls, AggregationConservation,
-                         ::testing::Values(kernels::SpmmImpl::kScalar,
-                                           kernels::SpmmImpl::kBlocked),
-                         [](const auto& info) {
-                           return kernels::to_string(info.param);
-                         });
+INSTANTIATE_TEST_SUITE_P(
+    Backends, AggregationConservation,
+    ::testing::ValuesIn(compute::BackendFactory::registered_ids()),
+    [](const auto& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
 
 // --- Determinism across the whole backend for every sampler kind -------
 

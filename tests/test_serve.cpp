@@ -8,9 +8,9 @@
 //   - contention bit-identity: N jobs submitted together each produce a
 //     TrainReport whose data fields are identical to running the job
 //     alone (timing fields excluded), at pool sizes {1, 2, 8};
-//   - SpMM isolation: concurrent jobs with different spmm_impl never read
-//     each other's (or the process-global) kernel selection — covered by
-//     the TSan CI job together with the rest of this file;
+//   - backend isolation: concurrent jobs with different compute backend
+//     ids never read each other's (or the factory-default) selection —
+//     covered by the TSan CI job together with the rest of this file;
 //   - online feedback: drain() folds completed jobs back into the corpus
 //     and refits, flipping admission pricing from the analytic fallback
 //     to the fitted overlap model;
@@ -20,13 +20,13 @@
 #include <string>
 #include <vector>
 
+#include "compute/backend.hpp"
 #include "dse/design_space.hpp"
 #include "dse/objectives.hpp"
 #include "estimator/dataset_stats.hpp"
 #include "estimator/profile_collector.hpp"
 #include "graph/dataset.hpp"
 #include "hw/platform.hpp"
-#include "kernels/spmm.hpp"
 #include "runtime/templates.hpp"
 #include "serve/job_scheduler.hpp"
 #include "support/error.hpp"
@@ -89,7 +89,7 @@ runtime::RunOptions solo_options(const JobOutcome& job,
   ro.evaluate_every_epoch = job.request.evaluate_every_epoch;
   ro.record_batch_sizes = true;
   ro.pool = pool;
-  ro.spmm_impl = job.request.spmm_impl;
+  ro.backend_id = job.request.backend_id;
   ro.pipeline = job.request.pipeline;
   return ro;
 }
@@ -282,7 +282,7 @@ using ServeContention = ServeFixture;
 
 TEST_F(ServeContention, ReportsMatchSoloAtPoolSizes1_2_8) {
   // A mixed tenant load: sync and async executors, scalar and blocked
-  // kernels, two distinct configs.
+  // compute backends, two distinct configs.
   const auto make_jobs = [] {
     std::vector<JobRequest> jobs;
     JobRequest a = sync_request();
@@ -292,14 +292,14 @@ TEST_F(ServeContention, ReportsMatchSoloAtPoolSizes1_2_8) {
     JobRequest b = sync_request();
     b.tenant = "t1";
     b.epochs = 2;
-    b.spmm_impl = kernels::SpmmImpl::kScalar;
+    b.backend_id = compute::kScalarBackendId;
     jobs.push_back(b);
     JobRequest c = async_request();
     c.tenant = "t0";
     jobs.push_back(c);
     JobRequest d = async_request();
     d.tenant = "t1";
-    d.spmm_impl = kernels::SpmmImpl::kScalar;
+    d.backend_id = compute::kScalarBackendId;
     jobs.push_back(d);
     return jobs;
   };
@@ -340,17 +340,18 @@ TEST_F(ServeContention, ReportsMatchSoloAtPoolSizes1_2_8) {
   }
 }
 
-// ------------------------------------------------ SpMM impl isolation
+// --------------------------------------------- compute backend isolation
 
 using ServeSpmmIsolation = ServeFixture;
 
-TEST_F(ServeSpmmIsolation, ConcurrentImplsIgnoreHostileGlobalDefault) {
-  // Flip the process-wide default BEFORE the jobs run: if any stage
-  // thread consulted it instead of the job's RunOptions, the scalar and
-  // blocked jobs would trample each other (and TSan would see the jobs
-  // racing the flip). Both must still match their solo runs bit-for-bit.
-  const kernels::SpmmImpl previous = kernels::default_spmm_impl();
-  kernels::set_default_spmm_impl(kernels::SpmmImpl::kScalar);
+TEST_F(ServeSpmmIsolation, ConcurrentBackendsIgnoreHostileDefaultFlip) {
+  // Flip the factory-wide default BEFORE the jobs run: if any stage
+  // thread consulted it instead of the job's pinned BackendScope, the
+  // scalar and blocked jobs would trample each other (and TSan would see
+  // the jobs racing the flip). Both must still match their solo runs
+  // bit-for-bit.
+  const std::string previous = compute::BackendFactory::default_id();
+  compute::BackendFactory::set_default_id(compute::kScalarBackendId);
 
   support::ThreadPool pool(4);
   SchedulerOptions options;
@@ -360,16 +361,20 @@ TEST_F(ServeSpmmIsolation, ConcurrentImplsIgnoreHostileGlobalDefault) {
   JobScheduler sched(*backend_, *est_, *stats_, options);
 
   JobRequest blocked = async_request();
-  blocked.spmm_impl = kernels::SpmmImpl::kBlocked;
+  blocked.backend_id = compute::kBlockedBackendId;
   JobRequest scalar = async_request();
-  scalar.spmm_impl = kernels::SpmmImpl::kScalar;
+  scalar.backend_id = compute::kScalarBackendId;
   const std::size_t b_id = sched.submit(blocked);
   const std::size_t s_id = sched.submit(scalar);
   sched.drain();
-  kernels::set_default_spmm_impl(previous);
+  compute::BackendFactory::set_default_id(previous);
 
   ASSERT_EQ(sched.outcome(b_id).state, JobState::kDone);
   ASSERT_EQ(sched.outcome(s_id).state, JobState::kDone);
+  EXPECT_EQ(sched.outcome(b_id).report.backend_id,
+            compute::kBlockedBackendId);
+  EXPECT_EQ(sched.outcome(s_id).report.backend_id,
+            compute::kScalarBackendId);
   support::ThreadPool solo_pool(2);
   const auto solo_blocked = backend_->run(
       blocked.config, solo_options(sched.outcome(b_id), &solo_pool));
@@ -377,6 +382,13 @@ TEST_F(ServeSpmmIsolation, ConcurrentImplsIgnoreHostileGlobalDefault) {
       scalar.config, solo_options(sched.outcome(s_id), &solo_pool));
   expect_reports_bit_identical(solo_blocked, sched.outcome(b_id).report);
   expect_reports_bit_identical(solo_scalar, sched.outcome(s_id).report);
+}
+
+TEST_F(ServeSpmmIsolation, UnknownBackendIdIsRejectedAtSubmit) {
+  JobScheduler sched(*backend_, *est_, *stats_, SchedulerOptions{});
+  JobRequest req = sync_request();
+  req.backend_id = "gpu-imaginary";
+  EXPECT_THROW(sched.submit(req), Error);
 }
 
 // ------------------------------------------------- online corpus feedback
