@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/error.hpp"
+#include "support/thread_safety.hpp"
 
 namespace gnav::cache {
 
@@ -75,6 +76,7 @@ DeviceCache::~DeviceCache() {
 
 void DeviceCache::attach_storage(compute::DeviceAllocator& allocator,
                                  std::size_t row_floats) {
+  const support::MutexLock lock(mu_);
   GNAV_CHECK(slab_ == nullptr, "attach_storage called twice");
   GNAV_CHECK(row_floats > 0, "attach_storage: row_floats must be > 0");
   allocator_ = &allocator;
@@ -96,7 +98,7 @@ void DeviceCache::attach_storage(compute::DeviceAllocator& allocator,
   }
 }
 
-void DeviceCache::list_push_back(graph::NodeId v) {
+void DeviceCache::list_push_back_locked(graph::NodeId v) {
   list_prev_[static_cast<std::size_t>(v)] = list_tail_;
   list_next_[static_cast<std::size_t>(v)] = kNil;
   if (list_tail_ != kNil) {
@@ -107,7 +109,7 @@ void DeviceCache::list_push_back(graph::NodeId v) {
   list_tail_ = v;
 }
 
-void DeviceCache::list_unlink(graph::NodeId v) {
+void DeviceCache::list_unlink_locked(graph::NodeId v) {
   const graph::NodeId p = list_prev_[static_cast<std::size_t>(v)];
   const graph::NodeId n = list_next_[static_cast<std::size_t>(v)];
   if (p != kNil) {
@@ -124,7 +126,7 @@ void DeviceCache::list_unlink(graph::NodeId v) {
   list_next_[static_cast<std::size_t>(v)] = kNil;
 }
 
-graph::NodeId DeviceCache::wdeg_min() {
+graph::NodeId DeviceCache::wdeg_min_locked() {
   for (;;) {
     GNAV_ASSERT(!wdeg_heap_.empty());
     const WdegEntry& top = wdeg_heap_.front();
@@ -139,7 +141,7 @@ graph::NodeId DeviceCache::wdeg_min() {
   }
 }
 
-void DeviceCache::wdeg_compact() {
+void DeviceCache::wdeg_compact_locked() {
   // Bound heap growth from stale entries: drop everything that no longer
   // matches the live resident set, then restore the heap property.
   std::erase_if(wdeg_heap_, [&](const WdegEntry& e) {
@@ -149,7 +151,7 @@ void DeviceCache::wdeg_compact() {
   std::make_heap(wdeg_heap_.begin(), wdeg_heap_.end(), wdeg_greater);
 }
 
-void DeviceCache::evict_one(LookupResult& result) {
+void DeviceCache::evict_one_locked(LookupResult& result) {
   GNAV_ASSERT(resident_count_ > 0);
   graph::NodeId victim = kNil;
   switch (policy_) {
@@ -158,16 +160,16 @@ void DeviceCache::evict_one(LookupResult& result) {
       // Head of the intrusive list: oldest insertion (FIFO) or least
       // recently touched (LRU).
       victim = list_head_;
-      list_unlink(victim);
+      list_unlink_locked(victim);
       break;
     case CachePolicy::kWeightedDegree:
-      victim = wdeg_min();
+      victim = wdeg_min_locked();
       std::pop_heap(wdeg_heap_.begin(), wdeg_heap_.end(), wdeg_greater);
       wdeg_heap_.pop_back();
       break;
     case CachePolicy::kNone:
     case CachePolicy::kStatic:
-      GNAV_ASSERT(false && "evict_one called for non-evicting policy");
+      GNAV_ASSERT(false && "evict_one_locked called for non-evicting policy");
   }
   resident_[static_cast<std::size_t>(victim)] = 0;
   --resident_count_;
@@ -181,7 +183,7 @@ void DeviceCache::evict_one(LookupResult& result) {
   }
 }
 
-void DeviceCache::insert(graph::NodeId v, LookupResult& result) {
+void DeviceCache::insert_locked(graph::NodeId v, LookupResult& result) {
   if (capacity_ == 0) return;
   // A vertex can appear more than once in a batch's miss list; the second
   // occurrence is already resident and must not be double-inserted (the
@@ -191,9 +193,9 @@ void DeviceCache::insert(graph::NodeId v, LookupResult& result) {
     if (policy_ == CachePolicy::kWeightedDegree) {
       // Admission check against the lowest-degree resident: one lazy
       // heap peek instead of a full O(capacity) degree scan.
-      if (graph_.degree(v) <= graph_.degree(wdeg_min())) return;
+      if (graph_.degree(v) <= graph_.degree(wdeg_min_locked())) return;
     }
-    evict_one(result);
+    evict_one_locked(result);
   }
   resident_[static_cast<std::size_t>(v)] = 1;
   ++resident_count_;
@@ -209,13 +211,13 @@ void DeviceCache::insert(graph::NodeId v, LookupResult& result) {
   switch (policy_) {
     case CachePolicy::kLru:
     case CachePolicy::kFifo:
-      list_push_back(v);
+      list_push_back_locked(v);
       break;
     case CachePolicy::kWeightedDegree:
       insert_seq_[static_cast<std::size_t>(v)] = seq;
       wdeg_heap_.push_back({graph_.degree(v), seq, v});
       std::push_heap(wdeg_heap_.begin(), wdeg_heap_.end(), wdeg_greater);
-      if (wdeg_heap_.size() > 4 * capacity_ + 64) wdeg_compact();
+      if (wdeg_heap_.size() > 4 * capacity_ + 64) wdeg_compact_locked();
       break;
     case CachePolicy::kNone:
     case CachePolicy::kStatic:
@@ -225,6 +227,7 @@ void DeviceCache::insert(graph::NodeId v, LookupResult& result) {
 
 LookupResult DeviceCache::lookup_and_update(
     const std::vector<graph::NodeId>& batch, std::int64_t sequence) {
+  const support::MutexLock lock(mu_);
   GNAV_CHECK(sequence < 0 ||
                  static_cast<std::uint64_t>(sequence) == batches_applied_,
              "cache admissions out of order (ordered-admission contract)");
@@ -238,8 +241,8 @@ LookupResult DeviceCache::lookup_and_update(
       ++result.hits;
       if (policy_ == CachePolicy::kLru) {
         // Touch: move to the most-recently-used end in O(1).
-        list_unlink(v);
-        list_push_back(v);
+        list_unlink_locked(v);
+        list_push_back_locked(v);
       }
     } else {
       result.misses.push_back(v);
@@ -249,7 +252,7 @@ LookupResult DeviceCache::lookup_and_update(
   if (policy_ == CachePolicy::kLru || policy_ == CachePolicy::kFifo ||
       policy_ == CachePolicy::kWeightedDegree) {
     for (graph::NodeId v : result.misses) {
-      insert(v, result);
+      insert_locked(v, result);
     }
   }
   GNAV_ASSERT(resident_count_ <= capacity_);

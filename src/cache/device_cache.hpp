@@ -26,6 +26,7 @@
 
 #include "compute/backend.hpp"
 #include "graph/csr_graph.hpp"
+#include "support/thread_safety.hpp"
 
 namespace gnav::cache {
 
@@ -68,6 +69,15 @@ struct LookupResult {
   std::vector<graph::NodeId> admitted;
 };
 
+// Threading model: the pipelined executor funnels every mutation
+// (lookup_and_update, attach_storage, admitted-row fills) through one
+// producer stage at a time, so the cache used to rely purely on that
+// pipeline discipline. The mutex makes the discipline checkable: all
+// bookkeeping is GNAV_GUARDED_BY(mu_), the hot per-row accessors demand
+// the capability (callers take the lock once per batch via mutex(), not
+// once per row), and the ONE deliberate unguarded surface — the
+// residency bitmap that cache-aware samplers live-read — is called out
+// below instead of being an unwritten convention.
 class DeviceCache {
  public:
   /// `capacity` is the number of feature rows the device can hold
@@ -80,6 +90,13 @@ class DeviceCache {
   DeviceCache(const DeviceCache&) = delete;
   DeviceCache& operator=(const DeviceCache&) = delete;
 
+  /// The cache's capability, exposed so batch-granular callers can hold
+  /// it across a run of slot_of/slot_row/resident_row calls instead of
+  /// paying a lock per row (see runtime/backend.cpp's gather loops).
+  // gnav-lint(mutable-ref-accessor): returns the capability itself, not
+  // guarded state — the whole point is handing the lock to the caller.
+  support::Mutex& mutex() const GNAV_RETURN_CAPABILITY(mu_) { return mu_; }
+
   /// Backs the cache with real device memory: a capacity × row_floats
   /// float slab drawn from `allocator` (the compute backend's device
   /// memory). Until this is called the cache is bookkeeping-only, which
@@ -90,33 +107,47 @@ class DeviceCache {
   /// memory. Call at most once; vertices already resident (static
   /// preload) get slots assigned immediately — copy their rows next.
   void attach_storage(compute::DeviceAllocator& allocator,
-                      std::size_t row_floats);
+                      std::size_t row_floats) GNAV_EXCLUDES(mu_);
 
-  bool has_storage() const { return slab_ != nullptr; }
-  std::size_t row_floats() const { return row_floats_; }
+  bool has_storage() const GNAV_EXCLUDES(mu_) {
+    const support::MutexLock lock(mu_);
+    return slab_ != nullptr;
+  }
+  std::size_t row_floats() const GNAV_EXCLUDES(mu_) {
+    const support::MutexLock lock(mu_);
+    return row_floats_;
+  }
   /// Bytes of device memory held by the slab (0 before attach_storage).
-  std::size_t storage_bytes() const {
+  std::size_t storage_bytes() const GNAV_EXCLUDES(mu_) {
+    const support::MutexLock lock(mu_);
     return slab_ != nullptr ? capacity_ * row_floats_ * sizeof(float) : 0;
   }
 
   static constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
 
+  // Per-row accessors: REQUIRES the cache mutex rather than taking it —
+  // they run O(batch) times per iteration and the executor already owns
+  // a batch-scoped lock (MutexLock lock(cache.mutex())) around the
+  // gather/fill loops.
+
   /// Slot of vertex v, or kNoSlot when v is not resident / no storage.
-  std::size_t slot_of(graph::NodeId v) const {
+  std::size_t slot_of(graph::NodeId v) const GNAV_REQUIRES(mu_) {
     return slot_of_.empty() ? kNoSlot : slot_of_[static_cast<std::size_t>(v)];
   }
 
-  float* slot_row(std::size_t slot) { return slab_ + slot * row_floats_; }
-  const float* slot_row(std::size_t slot) const {
+  float* slot_row(std::size_t slot) GNAV_REQUIRES(mu_) {
+    return slab_ + slot * row_floats_;
+  }
+  const float* slot_row(std::size_t slot) const GNAV_REQUIRES(mu_) {
     return slab_ + slot * row_floats_;
   }
 
   /// Device row of a resident vertex, or nullptr when it has no slot.
-  const float* resident_row(graph::NodeId v) const {
+  const float* resident_row(graph::NodeId v) const GNAV_REQUIRES(mu_) {
     const std::size_t slot = slot_of(v);
     return slot == kNoSlot ? nullptr : slot_row(slot);
   }
-  float* resident_row(graph::NodeId v) {
+  float* resident_row(graph::NodeId v) GNAV_REQUIRES(mu_) {
     const std::size_t slot = slot_of(v);
     return slot == kNoSlot ? nullptr : slot_row(slot);
   }
@@ -131,25 +162,45 @@ class DeviceCache {
   /// stage-reordering bug trips a loud error instead of silently skewing
   /// the hit/miss sequence; pass -1 (default) to opt out.
   LookupResult lookup_and_update(const std::vector<graph::NodeId>& batch,
-                                 std::int64_t sequence = -1);
+                                 std::int64_t sequence = -1)
+      GNAV_EXCLUDES(mu_);
 
   /// Batches admitted so far (the expected next `sequence`).
-  std::uint64_t batches_applied() const { return batches_applied_; }
+  std::uint64_t batches_applied() const GNAV_EXCLUDES(mu_) {
+    const support::MutexLock lock(mu_);
+    return batches_applied_;
+  }
 
   CachePolicy policy() const { return policy_; }
   std::size_t capacity() const { return capacity_; }
-  std::size_t resident_count() const { return resident_count_; }
+  std::size_t resident_count() const GNAV_EXCLUDES(mu_) {
+    const support::MutexLock lock(mu_);
+    return resident_count_;
+  }
   /// By value: stats_ mutates on every lookup, and callers snapshot it
   /// (same hazard class as residency_version below).
-  CacheStats stats() const { return stats_; }
+  CacheStats stats() const GNAV_EXCLUDES(mu_) {
+    const support::MutexLock lock(mu_);
+    return stats_;
+  }
 
+  // Deliberately unguarded: `resident_` is the live-read surface of
+  // cache-aware sampling. The sampler reads the bitmap WITHOUT the cache
+  // mutex while choosing the next batch; the pipeline's stage chaining
+  // (sample and prepare share one producer lane) is what orders those
+  // reads against lookup_and_update's writes. Guarding them here would
+  // put a lock acquisition inside the sampler's per-vertex loop for a
+  // race the pipeline already excludes by construction.
   bool is_resident(graph::NodeId v) const {
     return resident_[static_cast<std::size_t>(v)] != 0;
   }
 
   /// Residency bitmap (size |V|) — handed to locality-aware samplers so
-  /// cache-aware sampling (2PGraph) can prefer resident vertices.
-  const std::vector<char>& residency_bitmap() const { return resident_; }
+  /// cache-aware sampling (2PGraph) can prefer resident vertices. The
+  /// reference aliases live cache state on purpose (see the unguarded
+  /// note above); it is allowlisted in tools/determinism_lint.py rather
+  /// than exempted silently.
+  const std::vector<char>& residency_bitmap() const { return resident_; }  // gnav-lint(mutable-ref-accessor): documented live-read surface for cache-aware samplers
 
   /// Monotone counter bumped on every residency change. Samplers key
   /// cached weighted-draw structures on it to detect bitmap staleness
@@ -158,7 +209,10 @@ class DeviceCache {
   /// later — a live alias into cache internals that silently outlived
   /// any reasoning about when residency changes. Pollers now receive a
   /// std::function provider (see sampling::SamplingBias::version).
-  std::uint64_t residency_version() const { return version_; }
+  std::uint64_t residency_version() const GNAV_EXCLUDES(mu_) {
+    const support::MutexLock lock(mu_);
+    return version_;
+  }
 
  private:
   /// Lazy-heap entry for the wdeg policy. Ordered by (degree, seq): the
@@ -176,46 +230,55 @@ class DeviceCache {
     return a.degree != b.degree ? a.degree > b.degree : a.seq > b.seq;
   }
 
-  void insert(graph::NodeId v, LookupResult& result);
-  void evict_one(LookupResult& result);
-  void list_push_back(graph::NodeId v);
-  void list_unlink(graph::NodeId v);
+  void insert_locked(graph::NodeId v, LookupResult& result)
+      GNAV_REQUIRES(mu_);
+  void evict_one_locked(LookupResult& result) GNAV_REQUIRES(mu_);
+  void list_push_back_locked(graph::NodeId v) GNAV_REQUIRES(mu_);
+  void list_unlink_locked(graph::NodeId v) GNAV_REQUIRES(mu_);
   /// Current wdeg victim candidate; pops stale heap entries on the way.
-  graph::NodeId wdeg_min();
-  void wdeg_compact();
+  graph::NodeId wdeg_min_locked() GNAV_REQUIRES(mu_);
+  void wdeg_compact_locked() GNAV_REQUIRES(mu_);
 
   static constexpr graph::NodeId kNil = -1;
 
+  mutable support::Mutex mu_;
+
+  // Immutable after construction — readable lock-free.
   CachePolicy policy_;
   std::size_t capacity_;
   const graph::CsrGraph& graph_;
+
+  /// The deliberate unguarded surface (see is_resident above): written
+  /// under mu_ by the eviction/insertion paths, live-read lock-free by
+  /// cache-aware samplers under the pipeline's stage ordering.
   std::vector<char> resident_;
-  std::size_t resident_count_ = 0;
-  CacheStats stats_;
-  std::uint64_t version_ = 0;
-  std::uint64_t seq_counter_ = 0;
-  std::uint64_t batches_applied_ = 0;
+
+  std::size_t resident_count_ GNAV_GUARDED_BY(mu_) = 0;
+  CacheStats stats_ GNAV_GUARDED_BY(mu_);
+  std::uint64_t version_ GNAV_GUARDED_BY(mu_) = 0;
+  std::uint64_t seq_counter_ GNAV_GUARDED_BY(mu_) = 0;
+  std::uint64_t batches_applied_ GNAV_GUARDED_BY(mu_) = 0;
 
   // Intrusive list over vertex ids (LRU: recency order, FIFO: insertion
   // order; head = next eviction victim).
-  std::vector<graph::NodeId> list_prev_;
-  std::vector<graph::NodeId> list_next_;
-  graph::NodeId list_head_ = kNil;
-  graph::NodeId list_tail_ = kNil;
+  std::vector<graph::NodeId> list_prev_ GNAV_GUARDED_BY(mu_);
+  std::vector<graph::NodeId> list_next_ GNAV_GUARDED_BY(mu_);
+  graph::NodeId list_head_ GNAV_GUARDED_BY(mu_) = kNil;
+  graph::NodeId list_tail_ GNAV_GUARDED_BY(mu_) = kNil;
 
   // wdeg lazy min-heap + per-vertex insertion sequence used to detect
   // stale entries (a re-inserted vertex gets a fresh seq).
-  std::vector<WdegEntry> wdeg_heap_;
-  std::vector<std::uint64_t> insert_seq_;
+  std::vector<WdegEntry> wdeg_heap_ GNAV_GUARDED_BY(mu_);
+  std::vector<std::uint64_t> insert_seq_ GNAV_GUARDED_BY(mu_);
 
   // Device storage (attach_storage): slab of capacity_ × row_floats_
   // floats from the backend's allocator, per-vertex slot index, and the
   // free-slot stack admissions draw from.
-  compute::DeviceAllocator* allocator_ = nullptr;
-  float* slab_ = nullptr;
-  std::size_t row_floats_ = 0;
-  std::vector<std::size_t> slot_of_;
-  std::vector<std::size_t> free_slots_;
+  compute::DeviceAllocator* allocator_ GNAV_GUARDED_BY(mu_) = nullptr;
+  float* slab_ GNAV_GUARDED_BY(mu_) = nullptr;
+  std::size_t row_floats_ GNAV_GUARDED_BY(mu_) = 0;
+  std::vector<std::size_t> slot_of_ GNAV_GUARDED_BY(mu_);
+  std::vector<std::size_t> free_slots_ GNAV_GUARDED_BY(mu_);
 };
 
 }  // namespace gnav::cache

@@ -6,7 +6,6 @@
 #include <cstdlib>
 #include <cstring>
 #include <deque>
-#include <mutex>
 #include <new>
 #include <unordered_map>
 #include <unordered_set>
@@ -17,6 +16,7 @@
 #endif
 
 #include "support/error.hpp"
+#include "support/thread_safety.hpp"
 
 namespace gnav::compute {
 
@@ -139,7 +139,7 @@ class HugepageArenaAllocator final : public DeviceAllocator {
       // works on 4 KiB pages.
       (void)::madvise(p, bytes, MADV_HUGEPAGE);
 #endif
-      const std::lock_guard<std::mutex> lock(mu_);
+      const support::MutexLock lock(mu_);
       mapped_.insert(p);
       return static_cast<float*>(p);
     }
@@ -151,7 +151,7 @@ class HugepageArenaAllocator final : public DeviceAllocator {
   void do_deallocate(float* p, std::size_t count) override {
 #if defined(__linux__)
     {
-      const std::lock_guard<std::mutex> lock(mu_);
+      const support::MutexLock lock(mu_);
       const auto it = mapped_.find(p);
       if (it != mapped_.end()) {
         mapped_.erase(it);
@@ -169,8 +169,10 @@ class HugepageArenaAllocator final : public DeviceAllocator {
            kHugepageBytes * kHugepageBytes;
   }
 
-  std::mutex mu_;
-  std::unordered_set<void*> mapped_;
+  support::Mutex mu_;
+  /// Membership-only (insert/find/erase — never iterated, so mmap's
+  /// address nondeterminism cannot order anything).
+  std::unordered_set<void*> mapped_ GNAV_GUARDED_BY(mu_);
 };
 
 // ---------------------------------------------------------------------------
@@ -248,10 +250,10 @@ class CpuArenaBackend final : public ComputeBackend {
   /// Bounded FIFO plan cache. Shared_ptr handles keep a plan valid for
   /// the duration of a call even if eviction races it away mid-SpMM.
   std::shared_ptr<const kernels::SpmmPlan> plan_for(
-      const graph::CsrGraph& g) const {
+      const graph::CsrGraph& g) const GNAV_EXCLUDES(mu_) {
     static constexpr std::size_t kMaxPlans = 16;
     {
-      const std::lock_guard<std::mutex> lock(mu_);
+      const support::MutexLock lock(mu_);
       const auto it = plans_.find(g.uid());
       if (it != plans_.end()) return it->second;
     }
@@ -259,7 +261,7 @@ class CpuArenaBackend final : public ComputeBackend {
     // produce identical plans, so last-writer-wins is harmless.
     auto plan =
         std::make_shared<const kernels::SpmmPlan>(kernels::make_spmm_plan(g));
-    const std::lock_guard<std::mutex> lock(mu_);
+    const support::MutexLock lock(mu_);
     if (plans_.find(g.uid()) == plans_.end()) {
       if (order_.size() >= kMaxPlans) {
         plans_.erase(order_.front());
@@ -273,11 +275,13 @@ class CpuArenaBackend final : public ComputeBackend {
 
   BackendCapabilities declared_;
   mutable HugepageArenaAllocator allocator_;
-  mutable std::mutex mu_;
+  mutable support::Mutex mu_;
+  /// Keyed lookups only; eviction order comes from order_ (a deque), so
+  /// the map's iteration order never reaches any output.
   mutable std::unordered_map<std::uint64_t,
                              std::shared_ptr<const kernels::SpmmPlan>>
-      plans_;
-  mutable std::deque<std::uint64_t> order_;
+      plans_ GNAV_GUARDED_BY(mu_);
+  mutable std::deque<std::uint64_t> order_ GNAV_GUARDED_BY(mu_);
 };
 
 // ---------------------------------------------------------------------------
@@ -337,20 +341,26 @@ struct RegistryEntry {
 };
 
 struct Registry {
-  std::mutex mu;
-  std::vector<std::string> order;
-  std::unordered_map<std::string, RegistryEntry> entries;
-  std::string default_override;  // empty = unset, fall back to env/built-in
-  bool warned_bad_env = false;
+  mutable support::Mutex mu;
+  std::vector<std::string> order GNAV_GUARDED_BY(mu);
+  /// entries is looked up by key only; diagnostics listing backends walk
+  /// `order` (registration order), never this map.
+  std::unordered_map<std::string, RegistryEntry> entries GNAV_GUARDED_BY(mu);
+  /// empty = unset, fall back to env/built-in
+  std::string default_override GNAV_GUARDED_BY(mu);
+  bool warned_bad_env GNAV_GUARDED_BY(mu) = false;
 
   Registry() {
+    // The lock is uncontended here (nobody else can see the registry
+    // before the constructor returns) but satisfies add()'s REQUIRES.
+    const support::MutexLock lock(mu);
     add(kScalarBackendId, scalar_declared(), &make_scalar_backend);
     add(kBlockedBackendId, blocked_declared(), &make_blocked_backend);
     add(kArenaBackendId, arena_declared(), &make_arena_backend);
   }
 
   void add(const std::string& id, BackendCapabilities declared,
-           BackendFactory::Creator creator) {
+           BackendFactory::Creator creator) GNAV_REQUIRES(mu) {
     order.push_back(id);
     entries.emplace(id, RegistryEntry{std::move(declared), creator, nullptr});
   }
@@ -361,7 +371,7 @@ Registry& registry() {
   return r;
 }
 
-std::string joined_ids_locked(const Registry& r) {
+std::string joined_ids_locked(const Registry& r) GNAV_REQUIRES(r.mu) {
   std::string out;
   for (const auto& id : r.order) {
     if (!out.empty()) out += ", ";
@@ -375,7 +385,7 @@ std::string joined_ids_locked(const Registry& r) {
 std::shared_ptr<const ComputeBackend> BackendFactory::create(
     const std::string& id) {
   Registry& r = registry();
-  const std::lock_guard<std::mutex> lock(r.mu);
+  const support::MutexLock lock(r.mu);
   const auto it = r.entries.find(id);
   if (it == r.entries.end()) {
     throw Error("unknown compute backend \"" + id +
@@ -394,13 +404,13 @@ std::shared_ptr<const ComputeBackend> BackendFactory::create(
 
 bool BackendFactory::is_registered(const std::string& id) {
   Registry& r = registry();
-  const std::lock_guard<std::mutex> lock(r.mu);
+  const support::MutexLock lock(r.mu);
   return r.entries.find(id) != r.entries.end();
 }
 
 std::vector<std::string> BackendFactory::registered_ids() {
   Registry& r = registry();
-  const std::lock_guard<std::mutex> lock(r.mu);
+  const support::MutexLock lock(r.mu);
   return r.order;
 }
 
@@ -410,7 +420,7 @@ void BackendFactory::register_backend(const std::string& id,
   GNAV_CHECK(!id.empty(), "backend id must be non-empty");
   GNAV_CHECK(creator != nullptr, "backend creator must be non-null");
   Registry& r = registry();
-  const std::lock_guard<std::mutex> lock(r.mu);
+  const support::MutexLock lock(r.mu);
   GNAV_CHECK(r.entries.find(id) == r.entries.end(),
              "compute backend \"" + id + "\" is already registered");
   r.add(id, std::move(declared), creator);
@@ -419,7 +429,7 @@ void BackendFactory::register_backend(const std::string& id,
 BackendCapabilities BackendFactory::declared_capabilities(
     const std::string& id) {
   Registry& r = registry();
-  const std::lock_guard<std::mutex> lock(r.mu);
+  const support::MutexLock lock(r.mu);
   const auto it = r.entries.find(id);
   if (it == r.entries.end()) return BackendCapabilities{};
   return it->second.declared;
@@ -427,7 +437,7 @@ BackendCapabilities BackendFactory::declared_capabilities(
 
 std::string BackendFactory::default_id() {
   Registry& r = registry();
-  const std::lock_guard<std::mutex> lock(r.mu);
+  const support::MutexLock lock(r.mu);
   if (!r.default_override.empty()) return r.default_override;
   if (const char* env = std::getenv("GNAV_BACKEND");
       env != nullptr && *env != '\0') {
@@ -447,7 +457,7 @@ void BackendFactory::set_default_id(const std::string& id) {
   // Validate outside the registry lock (create() takes it too).
   (void)create(id);
   Registry& r = registry();
-  const std::lock_guard<std::mutex> lock(r.mu);
+  const support::MutexLock lock(r.mu);
   r.default_override = id;
 }
 

@@ -107,6 +107,7 @@ TrainReport RuntimeBackend::run(const TrainConfig& config,
                                 const RunOptions& options) const {
   config.validate();
   GNAV_CHECK(options.epochs >= 1, "need at least one epoch");
+  // gnav-lint(wall-clock): profiler wall — report.wall_clock_s only.
   const auto wall_start = std::chrono::steady_clock::now();
 
   // Every aggregation in this run (training steps and full-graph
@@ -183,6 +184,9 @@ TrainReport RuntimeBackend::run(const TrainConfig& config,
                    " feature floats per row");
     device_cache.attach_storage(run_backend->allocator(), row_floats);
     if (device_cache.has_storage()) {
+      // One lock for the whole preload sweep: resident_row is a
+      // REQUIRES-annotated per-row accessor (see DeviceCache::mutex()).
+      const support::MutexLock cache_lock(device_cache.mutex());
       for (graph::NodeId v = 0; v < ds.num_nodes(); ++v) {
         if (float* dst = device_cache.resident_row(v)) {
           std::memcpy(dst, x_full.row(static_cast<std::size_t>(v)),
@@ -317,6 +321,12 @@ TrainReport RuntimeBackend::run(const TrainConfig& config,
       // host read.)
       tensor::Tensor x;
       if (device_cache.has_storage()) {
+        // Batch-scoped lock: one acquisition covers the admitted-row
+        // fills AND the per-row gather below, instead of a lock per
+        // resident_row call. The transfer stage is the only mutator in
+        // flight (strict batch order), so this serializes against stats
+        // readers, not against itself.
+        const support::MutexLock cache_lock(device_cache.mutex());
         for (graph::NodeId v : lookup.admitted) {
           // A later admission in the same batch can recycle this row's
           // slot — it is no longer resident, so there is nothing to fill.
@@ -393,17 +403,18 @@ TrainReport RuntimeBackend::run(const TrainConfig& config,
           biased_sampling, sample_batch, prepare_batch, consume_batch);
     } else if (biased_sampling) {
       // Synchronous serial path: sample -> transfer -> compute per batch.
+      // gnav-lint(wall-clock): profiler walls — measured stage seconds.
       const auto epoch_start = detail::Clock::now();
       epoch_measured.batches = seed_batches.size();
       epoch_measured.sampler_workers = 1;
       for (std::size_t i = 0; i < seed_batches.size(); ++i) {
-        auto t0 = detail::Clock::now();
+        auto t0 = detail::Clock::now();  // gnav-lint(wall-clock): profiler wall
         sampling::MiniBatch mb = sample_batch(i);
         epoch_measured.sample_busy_s += detail::seconds_since(t0);
-        t0 = detail::Clock::now();
+        t0 = detail::Clock::now();  // gnav-lint(wall-clock): profiler wall
         PreparedBatch p = prepare_batch(i, std::move(mb));
         epoch_measured.transfer_busy_s += detail::seconds_since(t0);
-        t0 = detail::Clock::now();
+        t0 = detail::Clock::now();  // gnav-lint(wall-clock): profiler wall
         consume_batch(i, std::move(p));
         epoch_measured.compute_busy_s += detail::seconds_since(t0);
       }
@@ -414,6 +425,7 @@ TrainReport RuntimeBackend::run(const TrainConfig& config,
       // num_workers-style prefetching). The window caps live mini-batch
       // memory at ~4 per worker. Only the caller's blocked time counts
       // as the sampling stage — the builds themselves overlap.
+      // gnav-lint(wall-clock): profiler wall — epoch wall seconds.
       const auto epoch_start = detail::Clock::now();
       const std::size_t window = std::max<std::size_t>(8, pool.size() * 4);
       epoch_measured.batches = seed_batches.size();
@@ -423,10 +435,10 @@ TrainReport RuntimeBackend::run(const TrainConfig& config,
                                        epoch_seed, pool, window);
       for (std::size_t i = 0; !loader.done(); ++i) {
         sampling::MiniBatch mb = loader.next();
-        auto t0 = detail::Clock::now();
+        auto t0 = detail::Clock::now();  // gnav-lint(wall-clock): profiler wall
         PreparedBatch p = prepare_batch(i, std::move(mb));
         epoch_measured.transfer_busy_s += detail::seconds_since(t0);
-        t0 = detail::Clock::now();
+        t0 = detail::Clock::now();  // gnav-lint(wall-clock): profiler wall
         consume_batch(i, std::move(p));
         epoch_measured.compute_busy_s += detail::seconds_since(t0);
       }
@@ -522,6 +534,7 @@ TrainReport RuntimeBackend::run(const TrainConfig& config,
   }
 
   report.wall_clock_s =
+      // gnav-lint(wall-clock): profiler wall — closes wall_start above.
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)
           .count();

@@ -82,17 +82,20 @@ TicketGate::TicketGate(std::size_t num_tickets, std::size_t depth)
     : num_tickets_(num_tickets), depth_(std::max<std::size_t>(1, depth)) {}
 
 std::optional<std::size_t> TicketGate::acquire() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  cv_.wait(lock, [this] {
-    return aborted_ || next_ >= num_tickets_ || next_ < released_ + depth_;
-  });
+  // Explicit wait loop instead of the predicate overload: the predicate
+  // lambda cannot carry a REQUIRES annotation, so guarded-field reads
+  // inside it would defeat the thread-safety analysis.
+  support::UniqueLock lock(mutex_);
+  while (!aborted_ && next_ < num_tickets_ && next_ >= released_ + depth_) {
+    lock.wait(cv_);
+  }
   if (aborted_ || next_ >= num_tickets_) return std::nullopt;
   return next_++;
 }
 
 void TicketGate::release() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    const support::MutexLock lock(mutex_);
     ++released_;
   }
   cv_.notify_all();
@@ -100,7 +103,7 @@ void TicketGate::release() {
 
 void TicketGate::abort() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    const support::MutexLock lock(mutex_);
     aborted_ = true;
   }
   cv_.notify_all();

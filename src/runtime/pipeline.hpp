@@ -43,6 +43,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <mutex>
@@ -55,6 +56,7 @@
 #include "support/error.hpp"
 #include "support/parallel.hpp"
 #include "support/staged_queue.hpp"
+#include "support/thread_safety.hpp"
 
 namespace gnav::runtime {
 
@@ -139,22 +141,24 @@ class TicketGate {
  public:
   TicketGate(std::size_t num_tickets, std::size_t depth);
 
-  std::optional<std::size_t> acquire();
-  void release();
-  void abort();
+  std::optional<std::size_t> acquire() GNAV_EXCLUDES(mutex_);
+  void release() GNAV_EXCLUDES(mutex_);
+  void abort() GNAV_EXCLUDES(mutex_);
 
  private:
-  std::mutex mutex_;
+  support::Mutex mutex_;
   std::condition_variable cv_;
   const std::size_t num_tickets_;
   const std::size_t depth_;
-  std::size_t next_ = 0;
-  std::size_t released_ = 0;
-  bool aborted_ = false;
+  std::size_t next_ GNAV_GUARDED_BY(mutex_) = 0;
+  std::size_t released_ GNAV_GUARDED_BY(mutex_) = 0;
+  bool aborted_ GNAV_GUARDED_BY(mutex_) = false;
 };
 
 using Clock = std::chrono::steady_clock;
 
+// gnav-lint(wall-clock): profiler wall — measured stage seconds are
+// wall-clock observables by definition, never data-bearing state.
 inline double seconds_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
 }
@@ -164,10 +168,11 @@ inline double seconds_since(Clock::time_point t0) {
 class ErrorLatch {
  public:
   template <typename Shutdown>
-  void fire(std::exception_ptr error, Shutdown&& shutdown) {
+  void fire(std::exception_ptr error, Shutdown&& shutdown)
+      GNAV_EXCLUDES(mutex_) {
     bool run_shutdown = false;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      const support::MutexLock lock(mutex_);
       if (!error_) {
         error_ = std::move(error);
         run_shutdown = true;
@@ -176,14 +181,14 @@ class ErrorLatch {
     if (run_shutdown) shutdown();
   }
 
-  void rethrow_if_set() {
-    std::lock_guard<std::mutex> lock(mutex_);
+  void rethrow_if_set() GNAV_EXCLUDES(mutex_) {
+    const support::MutexLock lock(mutex_);
     if (error_) std::rethrow_exception(error_);
   }
 
  private:
-  std::mutex mutex_;
-  std::exception_ptr error_;
+  support::Mutex mutex_;
+  std::exception_ptr error_ GNAV_GUARDED_BY(mutex_);
 };
 
 }  // namespace detail
@@ -239,7 +244,7 @@ PipelineEpochStats run_pipelined_epoch(std::size_t num_batches,
 
   std::mutex busy_mutex;  // folds per-thread busy timers into `stats`
   std::vector<std::thread> threads;
-  const auto epoch_start = Clock::now();
+  const auto epoch_start = Clock::now();  // gnav-lint(wall-clock): profiler wall
 
   if (chain_sample_and_prepare) {
     // Two stages: one producer runs the serial sample->prepare chain (so
@@ -254,10 +259,10 @@ PipelineEpochStats run_pipelined_epoch(std::size_t num_batches,
         double sample_busy = 0.0;
         double transfer_busy = 0.0;
         for (std::size_t i = 0; i < num_batches; ++i) {
-          auto t0 = Clock::now();
+          auto t0 = Clock::now();  // gnav-lint(wall-clock): profiler wall
           Sampled s = sample(i);
           sample_busy += seconds_since(t0);
-          t0 = Clock::now();
+          t0 = Clock::now();  // gnav-lint(wall-clock): profiler wall
           Prepared p = prepare(i, std::move(s));
           transfer_busy += seconds_since(t0);
           if (!prepared.push({i, std::move(p)})) break;  // shut down
@@ -284,7 +289,7 @@ PipelineEpochStats run_pipelined_epoch(std::size_t num_batches,
         try {
           double sample_busy = 0.0;
           while (const auto ticket = gate.acquire()) {
-            const auto t0 = Clock::now();
+            const auto t0 = Clock::now();  // gnav-lint(wall-clock): profiler wall
             Sampled s = sample(*ticket);
             sample_busy += seconds_since(t0);
             if (!sampled.push({*ticket, std::move(s)})) break;
@@ -315,7 +320,7 @@ PipelineEpochStats run_pipelined_epoch(std::size_t num_batches,
           while (next < num_batches && ring[next % depth].has_value()) {
             GNAV_CHECK(ring[next % depth]->index == next,
                        "pipeline reorder ring out of window");
-            const auto t0 = Clock::now();
+            const auto t0 = Clock::now();  // gnav-lint(wall-clock): profiler wall
             Prepared p = prepare(next, std::move(ring[next % depth]->value));
             transfer_busy += seconds_since(t0);
             ring[next % depth].reset();
@@ -343,7 +348,7 @@ PipelineEpochStats run_pipelined_epoch(std::size_t num_batches,
     while (auto item = prepared.pop()) {
       GNAV_CHECK(item->index == expect,
                  "pipeline delivered batches out of order");
-      const auto t0 = Clock::now();
+      const auto t0 = Clock::now();  // gnav-lint(wall-clock): profiler wall
       consume(item->index, std::move(item->value));
       stats.compute_busy_s += seconds_since(t0);
       ++expect;

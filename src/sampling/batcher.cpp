@@ -73,9 +73,11 @@ MiniBatch MiniBatchLoader::next() {
   std::future<MiniBatch> fut = std::move(pending_.front());
   pending_.pop_front();
   top_up();
+  // gnav-lint(wall-clock): profiler wall — caller-blocked seconds only.
   const auto t0 = std::chrono::steady_clock::now();
   fut.wait();
   wait_s_ += std::chrono::duration<double>(
+                 // gnav-lint(wall-clock): profiler wall — closes t0 above.
                  std::chrono::steady_clock::now() - t0)
                  .count();
   return fut.get();

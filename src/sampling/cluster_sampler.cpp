@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_map>
 
 #include "sampling/build.hpp"
 #include "sampling/sample_scratch.hpp"
@@ -26,7 +25,7 @@ std::vector<int> ClusterSampler::hop_list() const {
 
 std::shared_ptr<const graph::Partitioning> ClusterSampler::partitioning(
     const graph::CsrGraph& g) const {
-  std::lock_guard<std::mutex> lock(cache_mutex_);
+  const support::MutexLock lock(cache_mutex_);
   if (cached_graph_ != &g) {
     const int parts = static_cast<int>(
         std::min<graph::NodeId>(num_parts_, g.num_nodes()));
@@ -44,13 +43,22 @@ MiniBatch ClusterSampler::sample(const graph::CsrGraph& g,
   const auto part_ptr = partitioning(g);
   const graph::Partitioning& part = *part_ptr;
 
-  // Count seeds per cluster, keep the most seed-heavy clusters.
-  std::unordered_map<int, int> seed_count;
+  // Count seeds per cluster, keep the most seed-heavy clusters. Part ids
+  // are dense [0, num_parts), so a flat vector counts them; it used to be
+  // an unordered_map whose iteration fed `ranked` in hash order — only
+  // the total-order sort below kept that deterministic, and the
+  // determinism lint (unordered-iteration rule) now bans the pattern
+  // outright rather than trusting every future edit to preserve the sort.
+  std::vector<int> seed_count(static_cast<std::size_t>(part.num_parts), 0);
   for (graph::NodeId s : seeds) {
-    ++seed_count[part.part_of[static_cast<std::size_t>(s)]];
+    ++seed_count[static_cast<std::size_t>(
+        part.part_of[static_cast<std::size_t>(s)])];
   }
-  std::vector<std::pair<int, int>> ranked(seed_count.begin(),
-                                          seed_count.end());
+  std::vector<std::pair<int, int>> ranked;
+  for (int p = 0; p < part.num_parts; ++p) {
+    const int count = seed_count[static_cast<std::size_t>(p)];
+    if (count > 0) ranked.emplace_back(p, count);
+  }
   std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
     return a.second != b.second ? a.second > b.second : a.first < b.first;
   });

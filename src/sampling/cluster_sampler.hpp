@@ -10,10 +10,10 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 
 #include "graph/partition.hpp"
 #include "sampling/sampler.hpp"
+#include "support/thread_safety.hpp"
 
 namespace gnav::sampling {
 
@@ -34,7 +34,7 @@ class ClusterSampler final : public Sampler {
   /// keeps its partition alive even if another thread switches the
   /// sampler to a different graph.
   std::shared_ptr<const graph::Partitioning> partitioning(
-      const graph::CsrGraph& g) const;
+      const graph::CsrGraph& g) const GNAV_EXCLUDES(cache_mutex_);
 
  private:
   int num_parts_;
@@ -43,9 +43,11 @@ class ClusterSampler final : public Sampler {
   // same parent graph, and rebuilding the partition per batch would
   // dominate runtime. Mutex-guarded so concurrent batch construction
   // (support/parallel) can share one sampler instance.
-  mutable std::mutex cache_mutex_;
-  mutable const graph::CsrGraph* cached_graph_ = nullptr;
-  mutable std::shared_ptr<const graph::Partitioning> cached_partition_;
+  mutable support::Mutex cache_mutex_;
+  mutable const graph::CsrGraph* cached_graph_
+      GNAV_GUARDED_BY(cache_mutex_) = nullptr;
+  mutable std::shared_ptr<const graph::Partitioning> cached_partition_
+      GNAV_GUARDED_BY(cache_mutex_);
 };
 
 }  // namespace gnav::sampling

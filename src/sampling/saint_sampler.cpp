@@ -41,7 +41,7 @@ std::shared_ptr<const support::AliasTable> SaintSampler::node_alias(
   // a plain degree weighting keeps the same hub preference), cached per
   // (graph, bias version) so repeated batches skip the O(|V|) rebuild.
   const std::uint64_t version = bias_.version ? bias_.version() : 0;
-  std::lock_guard<std::mutex> lock(cache_mutex_);
+  const support::MutexLock lock(cache_mutex_);
   // Keyed on the graph's process-unique uid, not its address: a rebuilt
   // graph can legitimately reuse a freed graph's address, and a stale
   // table would then draw from the wrong distribution (or out of range).

@@ -10,7 +10,6 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -19,6 +18,7 @@
 #include "sampling/minibatch.hpp"
 #include "support/alias_table.hpp"
 #include "support/rng.hpp"
+#include "support/thread_safety.hpp"
 
 namespace gnav::sampling {
 
@@ -137,16 +137,18 @@ class SaintSampler final : public Sampler {
   /// (graph, bias version) and shared across batches — the per-call
   /// O(|V|) cumulative-array rebuild was the sampler's dominant cost.
   std::shared_ptr<const support::AliasTable> node_alias(
-      const graph::CsrGraph& g) const;
+      const graph::CsrGraph& g) const GNAV_EXCLUDES(cache_mutex_);
 
   Variant variant_;
   int walk_length_;
   double budget_multiplier_;
   SamplingBias bias_;
-  mutable std::mutex cache_mutex_;
-  mutable std::uint64_t cached_graph_uid_ = 0;  // 0 = nothing cached
-  mutable std::uint64_t cached_version_ = 0;
-  mutable std::shared_ptr<const support::AliasTable> cached_node_alias_;
+  mutable support::Mutex cache_mutex_;
+  mutable std::uint64_t cached_graph_uid_
+      GNAV_GUARDED_BY(cache_mutex_) = 0;  // 0 = nothing cached
+  mutable std::uint64_t cached_version_ GNAV_GUARDED_BY(cache_mutex_) = 0;
+  mutable std::shared_ptr<const support::AliasTable> cached_node_alias_
+      GNAV_GUARDED_BY(cache_mutex_);
 };
 
 }  // namespace gnav::sampling

@@ -79,7 +79,7 @@ AdmissionPrice JobScheduler::price_locked(const JobRequest& request) const {
 }
 
 AdmissionPrice JobScheduler::price(const JobRequest& request) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const support::MutexLock lock(mutex_);
   return price_locked(request);
 }
 
@@ -93,7 +93,7 @@ std::size_t JobScheduler::submit(JobRequest request) {
                  "\" is not a registered compute backend");
   request.config.validate();
 
-  std::lock_guard<std::mutex> lock(mutex_);
+  const support::MutexLock lock(mutex_);
   const std::size_t id = jobs_.size();
   auto job = std::make_unique<JobOutcome>();
   job->id = id;
@@ -188,7 +188,7 @@ void JobScheduler::worker_loop() {
   for (;;) {
     JobOutcome* job = nullptr;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      const support::MutexLock lock(mutex_);
       job = pick_next_locked();
     }
     if (job == nullptr) return;
@@ -200,14 +200,22 @@ DrainStats JobScheduler::drain() {
   support::ThreadPool& pool =
       options_.pool != nullptr ? *options_.pool : support::global_pool();
   std::size_t lanes = 0;
+  std::size_t starts_before = 0;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    // starts_before must be read HERE, under the same lock as the lane
+    // count. It used to be read after this block with no lock at all —
+    // benign while drain() was called from one thread, but an unguarded
+    // read of mutex-guarded state nonetheless, and the first thing
+    // -Wthread-safety flagged when starts_ gained its GUARDED_BY
+    // (regression: ServeScheduler.ConcurrentSubmitDuringDrainIsSafe).
+    const support::MutexLock lock(mutex_);
     lanes = std::min(options_.max_active, queue_.size());
+    starts_before = starts_;
   }
 
   DrainStats stats;
+  // gnav-lint(wall-clock): profiler wall — DrainStats::wall_s only.
   const auto t0 = std::chrono::steady_clock::now();
-  const std::size_t starts_before = starts_;
   if (lanes > 0) {
     // Each lane drains jobs until the queue is empty; the fair-share pick
     // under the mutex decides order, the lanes only provide concurrency.
@@ -222,11 +230,12 @@ DrainStats JobScheduler::drain() {
     }
     for (auto& f : futures) f.get();
   }
+  // gnav-lint(wall-clock): profiler wall — closes t0 above.
   stats.wall_s = std::chrono::duration<double>(
                      std::chrono::steady_clock::now() - t0)
                      .count();
 
-  std::lock_guard<std::mutex> lock(mutex_);
+  const support::MutexLock lock(mutex_);
   stats.started = starts_ - starts_before;
   // Assemble the feedback corpus in job-id order — never completion
   // order — so online refits are deterministic under contention.
@@ -252,14 +261,19 @@ DrainStats JobScheduler::drain() {
 }
 
 std::size_t JobScheduler::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const support::MutexLock lock(mutex_);
   return jobs_.size();
 }
 
 const JobOutcome& JobScheduler::outcome(std::size_t id) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const support::MutexLock lock(mutex_);
   GNAV_CHECK(id < jobs_.size(), "job id out of range");
   return *jobs_[id];
+}
+
+std::vector<estimator::ProfiledRun> JobScheduler::feedback() const {
+  const support::MutexLock lock(mutex_);
+  return feedback_;
 }
 
 }  // namespace gnav::serve

@@ -44,11 +44,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "compute/backend.hpp"
+#include "support/thread_safety.hpp"
 #include "dse/decision_maker.hpp"
 #include "dse/design_space.hpp"
 #include "dse/objectives.hpp"
@@ -175,28 +175,33 @@ class JobScheduler {
 
   /// Pure admission pricing of a request (what submit() consults).
   /// Thread-safe against concurrent submits and against drain's refit.
-  AdmissionPrice price(const JobRequest& request) const;
+  AdmissionPrice price(const JobRequest& request) const
+      GNAV_EXCLUDES(mutex_);
 
   /// Prices and enqueues (or rejects) the job; returns its id.
   /// Thread-safe.
-  std::size_t submit(JobRequest request);
+  std::size_t submit(JobRequest request) GNAV_EXCLUDES(mutex_);
 
   /// Runs every queued job under fair-share order with at most
   /// max_active concurrently active jobs on the shared pool; blocks
   /// until the queue drains, then assembles the feedback corpus (job-id
   /// order) and, when configured, refits the estimator.
-  DrainStats drain();
+  DrainStats drain() GNAV_EXCLUDES(mutex_);
 
-  std::size_t size() const;
+  std::size_t size() const GNAV_EXCLUDES(mutex_);
   /// Outcomes are stable once drain() returned (do not call mid-drain
   /// for running jobs).
-  const JobOutcome& outcome(std::size_t id) const;
+  const JobOutcome& outcome(std::size_t id) const GNAV_EXCLUDES(mutex_);
 
   /// Completed jobs as estimator corpus rows, job-id order. Rebuilt at
-  /// the end of every drain.
-  const std::vector<estimator::ProfiledRun>& feedback() const {
-    return feedback_;
-  }
+  /// the end of every drain. BY VALUE: this used to hand out
+  /// `const std::vector&` into mutex-guarded state — a live alias the
+  /// next drain silently rewrote under the caller (the same hazard class
+  /// as the DeviceCache accessor aliasing fixed in an earlier PR, and
+  /// exactly what the thread-safety annotations flag: a guarded field
+  /// escaping its capability).
+  std::vector<estimator::ProfiledRun> feedback() const
+      GNAV_EXCLUDES(mutex_);
 
  private:
   struct Tenant {
@@ -204,12 +209,17 @@ class JobScheduler {
     double priority = 1.0;
   };
 
-  AdmissionPrice price_locked(const JobRequest& request) const;
+  AdmissionPrice price_locked(const JobRequest& request) const
+      GNAV_REQUIRES(mutex_);
   /// Fair-share pick: dequeues the job of the least-virtual-time tenant,
   /// charges the tenant, marks it running. Returns nullptr when empty.
-  JobOutcome* pick_next_locked();
-  void worker_loop();
-  void run_job(JobOutcome& job);
+  JobOutcome* pick_next_locked() GNAV_REQUIRES(mutex_);
+  void worker_loop() GNAV_EXCLUDES(mutex_);
+  /// Runs WITHOUT the scheduler mutex: between pick (state -> kRunning)
+  /// and completion, the picked JobOutcome is exclusively owned by the
+  /// lane running it — nothing else may touch a kRunning outcome (which
+  /// is why outcome() documents "not mid-drain" for running jobs).
+  void run_job(JobOutcome& job) GNAV_EXCLUDES(mutex_);
 
   const runtime::RuntimeBackend* backend_;
   estimator::PerfEstimator* estimator_;
@@ -217,12 +227,16 @@ class JobScheduler {
   SchedulerOptions options_;
   const dse::DesignSpace* space_;
 
-  mutable std::mutex mutex_;  // jobs_/queue_/tenants_/starts_ + estimator refit
-  std::vector<std::unique_ptr<JobOutcome>> jobs_;  // stable addresses
-  std::vector<std::size_t> queue_;                 // queued ids, id order
-  std::map<std::string, Tenant> tenants_;
-  std::size_t starts_ = 0;
-  std::vector<estimator::ProfiledRun> feedback_;
+  /// Guards the scheduler bookkeeping AND serializes estimator access
+  /// (price queries vs the drain-end refit).
+  mutable support::Mutex mutex_;
+  /// unique_ptr elements so a lane's JobOutcome* survives concurrent
+  /// submit() reallocation of the vector itself.
+  std::vector<std::unique_ptr<JobOutcome>> jobs_ GNAV_GUARDED_BY(mutex_);
+  std::vector<std::size_t> queue_ GNAV_GUARDED_BY(mutex_);  // queued ids
+  std::map<std::string, Tenant> tenants_ GNAV_GUARDED_BY(mutex_);
+  std::size_t starts_ GNAV_GUARDED_BY(mutex_) = 0;
+  std::vector<estimator::ProfiledRun> feedback_ GNAV_GUARDED_BY(mutex_);
 };
 
 }  // namespace gnav::serve

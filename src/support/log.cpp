@@ -2,6 +2,9 @@
 
 #include <atomic>
 #include <cstdio>
+#include <utility>
+
+#include "support/thread_safety.hpp"
 
 namespace gnav {
 namespace {
@@ -22,13 +25,38 @@ const char* level_tag(LogLevel level) {
   }
   return "?";
 }
+
+/// Sink storage. The mutex — not fprintf's internal locking — is what
+/// guarantees whole-line emission and keeps a sink swap from racing an
+/// emit that is mid-call into the sink being replaced.
+struct LoggerState {
+  support::Mutex mu;
+  LogSink sink GNAV_GUARDED_BY(mu);  // null = stderr default
+};
+
+LoggerState& logger_state() {
+  static LoggerState state;
+  return state;
+}
 }  // namespace
 
 void set_log_level(LogLevel level) { g_level = level; }
 LogLevel log_level() { return g_level; }
 
+void set_log_sink(LogSink sink) {
+  LoggerState& state = logger_state();
+  const support::MutexLock lock(state.mu);
+  state.sink = std::move(sink);
+}
+
 namespace detail {
 void log_emit(LogLevel level, const std::string& msg) {
+  LoggerState& state = logger_state();
+  const support::MutexLock lock(state.mu);
+  if (state.sink) {
+    state.sink(level, msg);
+    return;
+  }
   std::fprintf(stderr, "[gnav %s] %s\n", level_tag(level), msg.c_str());
 }
 }  // namespace detail

@@ -1,11 +1,14 @@
 // Minimal leveled logger.
 //
 // Benchmarks and the DSE explorer emit progress through this logger so
-// tests can silence it globally. Thread-safe: the level is atomic and
-// each message is emitted with a single fprintf call, so lines from
-// thread-pool workers (support/parallel) never interleave mid-line.
+// tests can silence it globally. Thread-safe: the level is atomic, and
+// the emit path (sink pointer + write) runs under the logger's internal
+// support::Mutex, so lines from thread-pool workers (support/parallel)
+// never interleave mid-line and a sink swap never tears against an
+// in-flight emit.
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -16,6 +19,16 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 /// Global log threshold; messages below it are dropped.
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+/// Where emitted lines go. The default (and what a null sink restores)
+/// writes "[gnav LEVEL] msg\n" to stderr.
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+
+/// Replaces the process-wide sink (tests capture warnings with this;
+/// pass nullptr to restore stderr). The swap and every emit serialize on
+/// the logger's mutex, so a sink never observes a half-written message
+/// and never runs concurrently with its own replacement.
+void set_log_sink(LogSink sink);
 
 namespace detail {
 void log_emit(LogLevel level, const std::string& msg);

@@ -25,7 +25,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -33,7 +33,7 @@ ThreadPool::~ThreadPool() {
 }
 
 std::size_t ThreadPool::pending() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return queue_.size();
 }
 
@@ -47,7 +47,7 @@ InlineExecutionScope::~InlineExecutionScope() { t_in_worker = previous_; }
 
 void ThreadPool::enqueue(std::function<void()> job) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     GNAV_CHECK(!stop_, "submit on a stopped ThreadPool");
     queue_.push_back(std::move(job));
   }
@@ -59,8 +59,12 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> job;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      // Explicit wait loop (not the predicate overload): the predicate
+      // lambda cannot carry a REQUIRES annotation, so the analysis would
+      // flag its guarded-field reads; the loop body runs with the scoped
+      // capability visibly held.
+      UniqueLock lock(mutex_);
+      while (!stop_ && queue_.empty()) lock.wait(cv_);
       if (queue_.empty()) return;  // stop_ && drained
       job = std::move(queue_.front());
       queue_.pop_front();

@@ -20,11 +20,12 @@
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "support/thread_safety.hpp"
 
 namespace gnav::support {
 
@@ -65,21 +66,21 @@ class ThreadPool {
   /// for load diagnostics (bench_serve reports it while tenants contend
   /// for the shared pool). Instantaneous and racy by nature: by the time
   /// the caller looks, workers may already have drained it.
-  std::size_t pending() const;
+  std::size_t pending() const GNAV_EXCLUDES(mutex_);
 
   /// True on a thread owned by any ThreadPool (or inside an
   /// InlineExecutionScope).
   static bool in_worker();
 
  private:
-  void enqueue(std::function<void()> job);
+  void enqueue(std::function<void()> job) GNAV_EXCLUDES(mutex_);
   void worker_loop();
 
-  std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  mutable std::mutex mutex_;
+  std::vector<std::thread> workers_;  // written only by the constructor
+  mutable Mutex mutex_;
   std::condition_variable cv_;
-  bool stop_ = false;
+  std::deque<std::function<void()>> queue_ GNAV_GUARDED_BY(mutex_);
+  bool stop_ GNAV_GUARDED_BY(mutex_) = false;
 };
 
 /// Marks the current thread as self-executing while alive: parallel_for

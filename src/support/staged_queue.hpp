@@ -21,8 +21,9 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <optional>
+
+#include "support/thread_safety.hpp"
 
 namespace gnav::support {
 
@@ -61,13 +62,11 @@ class StagedQueue {
 
   /// Blocks while the queue is full. Returns false iff the queue was
   /// closed before the item could be enqueued (the item is dropped).
-  bool push(T&& item) {
-    std::unique_lock<std::mutex> lock(mutex_);
+  bool push(T&& item) GNAV_EXCLUDES(mutex_) {
+    UniqueLock lock(mutex_);
     if (items_.size() >= capacity_ && !closed_) {
       ++stats_.push_stalls;
-      not_full_.wait(lock, [this] {
-        return items_.size() < capacity_ || closed_;
-      });
+      while (items_.size() >= capacity_ && !closed_) lock.wait(not_full_);
     }
     if (closed_) return false;
     // Pre-push occupancy sample: the backlog this producer found, not
@@ -82,11 +81,11 @@ class StagedQueue {
 
   /// Blocks while the queue is empty. Returns nullopt iff the queue is
   /// closed and fully drained.
-  std::optional<T> pop() {
-    std::unique_lock<std::mutex> lock(mutex_);
+  std::optional<T> pop() GNAV_EXCLUDES(mutex_) {
+    UniqueLock lock(mutex_);
     if (items_.empty() && !closed_) {
       ++stats_.pop_stalls;
-      not_empty_.wait(lock, [this] { return !items_.empty() || closed_; });
+      while (items_.empty() && !closed_) lock.wait(not_empty_);
     }
     if (items_.empty()) return std::nullopt;  // closed && drained
     std::optional<T> out(std::move(items_.front()));
@@ -99,38 +98,38 @@ class StagedQueue {
 
   /// Ends the stream: wakes every waiter; subsequent pushes fail, pops
   /// drain the buffered items. Idempotent.
-  void close() {
+  void close() GNAV_EXCLUDES(mutex_) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       closed_ = true;
     }
     not_full_.notify_all();
     not_empty_.notify_all();
   }
 
-  bool closed() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  bool closed() const GNAV_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return closed_;
   }
 
-  std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t size() const GNAV_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return items_.size();
   }
 
-  StagedQueueStats stats() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  StagedQueueStats stats() const GNAV_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return stats_;
   }
 
  private:
   const std::size_t capacity_;
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   std::condition_variable not_full_;
   std::condition_variable not_empty_;
-  std::deque<T> items_;
-  StagedQueueStats stats_;
-  bool closed_ = false;
+  std::deque<T> items_ GNAV_GUARDED_BY(mutex_);
+  StagedQueueStats stats_ GNAV_GUARDED_BY(mutex_);
+  bool closed_ GNAV_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace gnav::support

@@ -1,0 +1,145 @@
+// Compile-time concurrency contracts: Clang Thread Safety Analysis
+// attribute macros plus the annotated mutex wrappers the rest of the
+// codebase locks with.
+//
+// The system's headline guarantee — bit-identical TrainReports at any
+// thread count, executor, and backend — rests on a handful of lock
+// disciplines (the pool queue, the staged hand-off queues, the scheduler
+// bookkeeping, the backend registry, the device-cache bookkeeping, the
+// sampler structure caches). TSan can only catch a discipline violation
+// on a schedule that actually interleaves it; `clang -Wthread-safety`
+// proves at compile time that every access to a GNAV_GUARDED_BY field
+// holds the declared capability, on every path. GCC builds compile the
+// exact same code with the attributes expanded away.
+//
+// Usage pattern (see support/staged_queue.hpp for the canonical example):
+//
+//   class Account {
+//     support::Mutex mu_;
+//     double balance_ GNAV_GUARDED_BY(mu_);
+//     void credit_locked(double d) GNAV_REQUIRES(mu_) { balance_ += d; }
+//    public:
+//     void credit(double d) GNAV_EXCLUDES(mu_) {
+//       support::MutexLock lock(mu_);
+//       credit_locked(d);
+//     }
+//   };
+//
+// Private helpers that assume the lock is held take the `_locked` suffix
+// and a GNAV_REQUIRES(mu_) annotation; public entry points lock and are
+// marked GNAV_EXCLUDES(mu_) so a re-entrant call is a compile error, not
+// a deadlock. Enable with -DGNAV_THREAD_SAFETY=ON (clang only; the CI
+// clang leg builds with -Werror=thread-safety).
+//
+// The macro set mirrors the reference mutex.h in the Clang Thread Safety
+// Analysis documentation; only the GNAV_ prefix is ours.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define GNAV_TS_ATTRIBUTE(x) __attribute__((x))
+#endif
+#endif
+#ifndef GNAV_TS_ATTRIBUTE
+#define GNAV_TS_ATTRIBUTE(x)  // no-op on GCC and pre-capability clang
+#endif
+
+/// Marks a class as a lockable capability (names it in diagnostics).
+#define GNAV_CAPABILITY(x) GNAV_TS_ATTRIBUTE(capability(x))
+/// Marks an RAII class whose lifetime equals holding a capability.
+#define GNAV_SCOPED_CAPABILITY GNAV_TS_ATTRIBUTE(scoped_lockable)
+/// Field may only be read/written while holding `x`.
+#define GNAV_GUARDED_BY(x) GNAV_TS_ATTRIBUTE(guarded_by(x))
+/// Pointee (not the pointer) may only be accessed while holding `x`.
+#define GNAV_PT_GUARDED_BY(x) GNAV_TS_ATTRIBUTE(pt_guarded_by(x))
+/// Function requires the capability held on entry (and does not release).
+#define GNAV_REQUIRES(...) \
+  GNAV_TS_ATTRIBUTE(requires_capability(__VA_ARGS__))
+/// Function acquires the capability (must not be held on entry).
+#define GNAV_ACQUIRE(...) GNAV_TS_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+/// Function releases the capability (must be held on entry).
+#define GNAV_RELEASE(...) GNAV_TS_ATTRIBUTE(release_capability(__VA_ARGS__))
+/// Function acquires the capability iff it returns `b`.
+#define GNAV_TRY_ACQUIRE(b, ...) \
+  GNAV_TS_ATTRIBUTE(try_acquire_capability(b, __VA_ARGS__))
+/// Function must NOT be called with the capability held (deadlock guard;
+/// this is how self-locking public methods reject re-entrant callers).
+#define GNAV_EXCLUDES(...) GNAV_TS_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+/// Declares a static lock order: this capability before `...`.
+#define GNAV_ACQUIRED_BEFORE(...) \
+  GNAV_TS_ATTRIBUTE(acquired_before(__VA_ARGS__))
+#define GNAV_ACQUIRED_AFTER(...) \
+  GNAV_TS_ATTRIBUTE(acquired_after(__VA_ARGS__))
+/// Function returns a reference to the given capability (lets accessors
+/// expose a member mutex for caller-side MutexLock + REQUIRES methods).
+#define GNAV_RETURN_CAPABILITY(x) GNAV_TS_ATTRIBUTE(lock_returned(x))
+/// Escape hatch — document WHY at every use site.
+#define GNAV_NO_THREAD_SAFETY_ANALYSIS \
+  GNAV_TS_ATTRIBUTE(no_thread_safety_analysis)
+
+namespace gnav::support {
+
+/// std::mutex with the capability attributes the analysis needs.
+/// libstdc++'s std::mutex carries no annotations, so locking it directly
+/// is invisible to -Wthread-safety; every annotated class holds one of
+/// these instead. Zero overhead: the wrapper is a plain std::mutex with
+/// attributes that expand away outside the analysis.
+class GNAV_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() GNAV_ACQUIRE() { mu_.lock(); }
+  void unlock() GNAV_RELEASE() { mu_.unlock(); }
+  bool try_lock() GNAV_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class UniqueLock;
+  std::mutex mu_;
+};
+
+/// std::lock_guard over a Mutex (scoped capability — the analysis knows
+/// the capability is held for exactly this object's lifetime).
+class GNAV_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) GNAV_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() GNAV_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// std::unique_lock over a Mutex, for condition-variable waits and for
+/// the unlock-before-notify idiom. `wait` keeps the capability held from
+/// the analysis's point of view — the standard approximation: the lock IS
+/// held whenever the caller's code around the wait runs.
+class GNAV_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mu) GNAV_ACQUIRE(mu) : lock_(mu.mu_) {}
+  // std::unique_lock releases iff still held (an explicit unlock() above
+  // already told the analysis the capability is gone).
+  ~UniqueLock() GNAV_RELEASE() {}
+
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  void lock() GNAV_ACQUIRE() { lock_.lock(); }
+  void unlock() GNAV_RELEASE() { lock_.unlock(); }
+
+  /// Blocks on `cv`; the mutex is atomically released while blocked and
+  /// reacquired before returning, exactly like std::condition_variable
+  /// with a std::unique_lock.
+  void wait(std::condition_variable& cv) { cv.wait(lock_); }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+}  // namespace gnav::support

@@ -362,30 +362,39 @@ TEST(DeviceCacheStorage, StaticPreloadGetsSlotsAndAdmissionsRecycle) {
   // admission reported in order.
   const auto r1 = cache.lookup_and_update({0, 1, 2, 3});
   EXPECT_EQ(r1.admitted.size(), 4u);
-  for (graph::NodeId v : {0, 1, 2, 3}) {
-    EXPECT_NE(cache.slot_of(v), cache::DeviceCache::kNoSlot) << v;
-    EXPECT_NE(cache.resident_row(v), nullptr) << v;
+  {
+    // slot_of / resident_row / slot_row REQUIRE the cache mutex; take it
+    // batch-scoped like the executor does (and drop it before the next
+    // lookup_and_update, which EXCLUDES it).
+    const support::MutexLock lock(cache.mutex());
+    for (graph::NodeId v : {0, 1, 2, 3}) {
+      EXPECT_NE(cache.slot_of(v), cache::DeviceCache::kNoSlot) << v;
+      EXPECT_NE(cache.resident_row(v), nullptr) << v;
+    }
+    // Distinct resident vertices own distinct slots.
+    EXPECT_NE(cache.slot_of(0), cache.slot_of(1));
   }
-  // Distinct resident vertices own distinct slots.
-  EXPECT_NE(cache.slot_of(0), cache.slot_of(1));
 
   // A full batch of new vertices evicts all four and recycles their
   // slots; evicted vertices lose theirs.
   const auto r2 = cache.lookup_and_update({10, 11, 12, 13});
   EXPECT_EQ(r2.admitted.size(), 4u);
-  for (graph::NodeId v : {0, 1, 2, 3}) {
-    EXPECT_EQ(cache.slot_of(v), cache::DeviceCache::kNoSlot) << v;
-    EXPECT_EQ(cache.resident_row(v), nullptr) << v;
-  }
-  for (graph::NodeId v : {10, 11, 12, 13}) {
-    EXPECT_NE(cache.slot_of(v), cache::DeviceCache::kNoSlot) << v;
-  }
+  {
+    const support::MutexLock lock(cache.mutex());
+    for (graph::NodeId v : {0, 1, 2, 3}) {
+      EXPECT_EQ(cache.slot_of(v), cache::DeviceCache::kNoSlot) << v;
+      EXPECT_EQ(cache.resident_row(v), nullptr) << v;
+    }
+    for (graph::NodeId v : {10, 11, 12, 13}) {
+      EXPECT_NE(cache.slot_of(v), cache::DeviceCache::kNoSlot) << v;
+    }
 
-  // Rows are per-slot storage: writes land where slot_of points.
-  float* row = cache.resident_row(graph::NodeId{10});
-  ASSERT_NE(row, nullptr);
-  for (std::size_t j = 0; j < 8; ++j) row[j] = static_cast<float>(j);
-  EXPECT_EQ(cache.slot_row(cache.slot_of(10))[7], 7.0f);
+    // Rows are per-slot storage: writes land where slot_of points.
+    float* row = cache.resident_row(graph::NodeId{10});
+    ASSERT_NE(row, nullptr);
+    for (std::size_t j = 0; j < 8; ++j) row[j] = static_cast<float>(j);
+    EXPECT_EQ(cache.slot_row(cache.slot_of(10))[7], 7.0f);
+  }
 }
 
 TEST(DeviceCacheStorage, StaticPolicyAssignsSlotsAtAttach) {
@@ -397,12 +406,15 @@ TEST(DeviceCacheStorage, StaticPolicyAssignsSlotsAtAttach) {
       compute::BackendFactory::create(compute::kArenaBackendId)->allocator();
   cache.attach_storage(alloc, 4);
   std::size_t with_slots = 0;
-  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
-    if (cache.is_resident(v)) {
-      EXPECT_NE(cache.slot_of(v), cache::DeviceCache::kNoSlot) << v;
-      ++with_slots;
-    } else {
-      EXPECT_EQ(cache.slot_of(v), cache::DeviceCache::kNoSlot) << v;
+  {
+    const support::MutexLock lock(cache.mutex());
+    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (cache.is_resident(v)) {
+        EXPECT_NE(cache.slot_of(v), cache::DeviceCache::kNoSlot) << v;
+        ++with_slots;
+      } else {
+        EXPECT_EQ(cache.slot_of(v), cache::DeviceCache::kNoSlot) << v;
+      }
     }
   }
   EXPECT_EQ(with_slots, 6u);

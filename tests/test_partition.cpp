@@ -105,6 +105,35 @@ TEST(ClusterSampler, DeterministicAndCached) {
             sampler.sample(g, seeds, b).nodes);
 }
 
+TEST(ClusterSampler, TiedSeedCountsPickTheLowestPartId) {
+  // Regression for the seed-count ranking: it used to be built by
+  // iterating an unordered_map in hash order, trusting the final sort's
+  // id tie-break for determinism. The ranking is now a dense per-part
+  // count vector; this pins the documented tie-break — equal seed
+  // counts rank by ascending part id — independent of hash order.
+  const auto g = community_graph();
+  sampling::ClusterSampler sampler(/*num_parts=*/16,
+                                   /*max_clusters_per_batch=*/4);
+  const auto part_ptr = sampler.partitioning(g);
+  const auto& part = *part_ptr;
+
+  // One seed in each of four distinct parts: a four-way tie. The target
+  // cluster count for 4 seeds out of 800 nodes rounds to 1, so exactly
+  // one cluster is kept — and it must be the lowest-id seeded part.
+  const std::vector<int> seeded_parts = {14, 11, 7, 3};
+  std::vector<graph::NodeId> seeds;
+  for (int p : seeded_parts) {
+    ASSERT_FALSE(part.members[static_cast<std::size_t>(p)].empty());
+    seeds.push_back(part.members[static_cast<std::size_t>(p)].front());
+  }
+  Rng rng(5);
+  const auto mb = sampler.sample(g, seeds, rng);
+  for (std::size_t i = seeds.size(); i < mb.nodes.size(); ++i) {
+    EXPECT_EQ(part.part_of[static_cast<std::size_t>(mb.nodes[i])], 3)
+        << "node " << mb.nodes[i];
+  }
+}
+
 TEST(ClusterSampler, AvailableThroughFactoryAndConfig) {
   sampling::SamplerSettings s;
   s.kind = sampling::SamplerKind::kCluster;

@@ -18,6 +18,7 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "compute/backend.hpp"
@@ -276,6 +277,39 @@ TEST_F(ServeScheduler, FairShareWeightsTenantsByPriority) {
   }
 }
 
+TEST_F(ServeScheduler, ConcurrentSubmitDuringDrainIsSafe) {
+  // Regression for an unguarded read of starts_ in drain(): the
+  // before-count used to be read outside the mutex, racing with
+  // pick_next_locked()'s starts_++ on the lanes and with concurrent
+  // submit() calls. Run drain() on one thread while another thread
+  // keeps submitting; TSan (CI) pins the data-race half, the
+  // accounting assertions below pin the lost-update half.
+  support::ThreadPool pool(4);
+  SchedulerOptions options;
+  options.pool = &pool;
+  options.seed = 3;
+  options.max_active = 2;
+  JobScheduler sched(*backend_, *est_, *stats_, options);
+  for (int i = 0; i < 3; ++i) sched.submit(sync_request());
+
+  DrainStats first;
+  std::thread drainer([&] { first = sched.drain(); });
+  constexpr std::size_t kLateJobs = 4;
+  for (std::size_t i = 0; i < kLateJobs; ++i) sched.submit(sync_request());
+  drainer.join();
+  // Late jobs may or may not have been picked up by the first drain's
+  // lanes; a second drain finishes whatever is left.
+  const DrainStats second = sched.drain();
+
+  EXPECT_EQ(sched.size(), 3 + kLateJobs);
+  EXPECT_EQ(first.started + second.started, 3 + kLateJobs);
+  EXPECT_EQ(first.completed + second.completed, 3 + kLateJobs);
+  EXPECT_EQ(first.failed + second.failed, 0u);
+  for (std::size_t id = 0; id < sched.size(); ++id) {
+    EXPECT_EQ(sched.outcome(id).state, JobState::kDone) << "job " << id;
+  }
+}
+
 // ----------------------------------------- contention bit-identity suite
 
 using ServeContention = ServeFixture;
@@ -432,6 +466,32 @@ TEST_F(ServeFeedback, DrainRefitsEstimatorAndUpgradesPricing) {
   // value. (The serial stage seconds move too — the whole corpus refit
   // updates every learned component, which is the point of feedback.)
   EXPECT_NE(after.overlap_ratio, before.overlap_ratio);
+}
+
+TEST_F(ServeFeedback, FeedbackReturnsASnapshotNotAnAlias) {
+  // Regression: feedback() used to hand back a const reference into
+  // mutex-guarded state — the caller's "corpus" silently mutated (or
+  // dangled) across the next drain(), which clears and rebuilds
+  // feedback_. It now returns a by-value snapshot taken under the lock.
+  support::ThreadPool pool(2);
+  SchedulerOptions options;
+  options.pool = &pool;
+  JobScheduler sched(*backend_, *est_, *stats_, options);
+
+  sched.submit(sync_request());
+  sched.submit(sync_request());
+  ASSERT_EQ(sched.drain().completed, 2u);
+  // Binding a reference here is deliberate: against the old aliasing
+  // API this reference would observe the second drain's clear+rebuild.
+  const auto& first_corpus = sched.feedback();
+  ASSERT_EQ(first_corpus.size(), 2u);
+
+  sched.submit(sync_request());
+  ASSERT_EQ(sched.drain().completed, 1u);
+  // drain() rebuilds feedback_ from every completed job (3 by now); the
+  // snapshot taken before must be untouched.
+  EXPECT_EQ(first_corpus.size(), 2u);
+  EXPECT_EQ(sched.feedback().size(), 3u);
 }
 
 // ----------------------------------------------------- navigate-then-train

@@ -1,0 +1,46 @@
+// Compile-PASS control for the WILL_FAIL checks next to it: correctly
+// locked code using the same annotation surface (GNAV_GUARDED_BY,
+// GNAV_REQUIRES, GNAV_EXCLUDES, MutexLock, UniqueLock + cv wait) must
+// compile CLEAN under -Werror=thread-safety. If this control fails, the
+// negative tests are "passing" for the wrong reason — a broken include
+// path or a macro typo — not because the analysis caught the bug.
+#include <condition_variable>
+
+#include "support/thread_safety.hpp"
+
+namespace {
+
+class Queue {
+ public:
+  void push(int v) GNAV_EXCLUDES(mu_) {
+    {
+      const gnav::support::MutexLock lock(mu_);
+      tail_ = v;
+      ++size_;
+    }
+    cv_.notify_one();
+  }
+
+  int pop() GNAV_EXCLUDES(mu_) {
+    gnav::support::UniqueLock lock(mu_);
+    while (size_ == 0) lock.wait(cv_);
+    --size_;
+    return pop_locked();
+  }
+
+ private:
+  int pop_locked() GNAV_REQUIRES(mu_) { return tail_; }
+
+  gnav::support::Mutex mu_;
+  std::condition_variable cv_;
+  int tail_ GNAV_GUARDED_BY(mu_) = 0;
+  int size_ GNAV_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Queue q;
+  q.push(7);
+  return q.pop() == 7 ? 0 : 1;
+}

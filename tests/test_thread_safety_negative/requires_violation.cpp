@@ -1,0 +1,36 @@
+// Compile-FAIL check (ctest WILL_FAIL): calling a GNAV_REQUIRES(mu_)
+// method without holding mu_ must be rejected by -Werror=thread-safety.
+// This pins the `_locked` method convention used across the codebase
+// (pick_next_locked, insert_locked, ...): a public entry point that
+// forgets to take the lock before delegating is a compile error, not a
+// latent race.
+//
+// Built with `-fsyntax-only -Wthread-safety -Werror=thread-safety` by
+// the ThreadSafetyNegative ctest entries (Clang configurations only).
+#include "support/thread_safety.hpp"
+
+namespace {
+
+class Queue {
+ public:
+  // BUG (deliberate): public method delegates to the _locked helper
+  // without acquiring mu_ first.
+  int pop() { return pop_locked(); }
+
+ private:
+  int pop_locked() GNAV_REQUIRES(mu_) {
+    const int v = head_;
+    head_ += 1;
+    return v;
+  }
+
+  gnav::support::Mutex mu_;
+  int head_ GNAV_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Queue q;
+  return q.pop();
+}

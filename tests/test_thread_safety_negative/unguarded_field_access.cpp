@@ -1,0 +1,33 @@
+// Compile-FAIL check (ctest WILL_FAIL): reading a GNAV_GUARDED_BY field
+// with no lock held must be rejected by Clang's -Werror=thread-safety.
+// If this file ever compiles cleanly under the analysis, the annotation
+// macros have degraded to no-ops on a compiler that should enforce them.
+//
+// Built with `-fsyntax-only -Wthread-safety -Werror=thread-safety` by
+// the ThreadSafetyNegative ctest entries (Clang configurations only).
+#include "support/thread_safety.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void bump() {
+    const gnav::support::MutexLock lock(mu_);
+    ++value_;
+  }
+  // BUG (deliberate): reads value_ without mu_ — the exact shape of the
+  // unguarded starts_ read this PR fixed in JobScheduler::drain().
+  int peek() const { return value_; }
+
+ private:
+  mutable gnav::support::Mutex mu_;
+  int value_ GNAV_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.bump();
+  return c.peek();
+}

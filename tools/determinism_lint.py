@@ -1,0 +1,402 @@
+#!/usr/bin/env python3
+"""Determinism lint for the gnav source tree.
+
+gnav's contract is bit-identical TrainReports at any thread count,
+executor, or backend (ROADMAP "determinism contract"). The patterns this
+lint bans are the ways that contract historically rots:
+
+  raw-rand
+      rand()/srand(), std::random_device, and time(...) seeding smuggle
+      ambient nondeterminism past the task_seed(base, index) discipline.
+      All randomness must flow through support::Rng streams derived from
+      explicit seeds.
+
+  wall-clock
+      Argless std::chrono::*::now() is legitimate ONLY inside profiler
+      walls (measuring how long something took). A now() that feeds
+      anything data-bearing (a seed, a cache decision, a batch order)
+      breaks replay. Every call site must therefore carry an explicit
+      `gnav-lint(wall-clock)` annotation declaring it a profiler wall —
+      unannotated calls fail the lint.
+
+  unordered-iteration
+      Iterating a std::unordered_map/unordered_set feeds hash-order —
+      which varies across libstdc++ versions and pointer layouts — into
+      whatever consumes the loop. Membership tests are fine; iteration
+      is not. (cluster_sampler's seed-count map was exactly this: only a
+      downstream total-order sort kept it deterministic.)
+
+  nondet-reduction
+      In kernel code (kernels/, nn/, tensor/, compute/), std::reduce and
+      std::transform_reduce permit out-of-order FP accumulation, fused
+      multiply-add intrinsics/std::fma change rounding vs a*b+c, and
+      fast-math pragmas void -ffp-contract=off. All reorder float sums
+      that golden traces pin bitwise.
+
+  mutable-ref-accessor
+      In a class that owns a mutex, a `const T& accessor() const
+      { return member_; }` hands out a live alias into guarded state —
+      the caller keeps reading after the lock is gone (the
+      residency_version()/feedback() bug class). Snapshot by value, or
+      annotate the accessor if the alias is a designed live-read surface.
+
+Suppressing a finding
+    Put `gnav-lint(<rule>)` in a comment on the offending line or within
+    the three lines above it, with a reason:
+
+        const auto t0 = Clock::now();  // gnav-lint(wall-clock): profiler wall
+
+    File-wide or unannotatable exemptions go in ALLOWLIST below, keyed
+    "relative/path.cpp:rule", with a justification string. Both paths are
+    deliberate: every exemption is written down next to a reason.
+
+Usage
+    tools/determinism_lint.py [--self-test] [paths...]
+
+    With no paths, lints src/ relative to the repo root (the directory
+    containing this tools/ dir). --self-test runs every rule against an
+    embedded corpus of known-bad snippets (each must trip exactly its
+    rule) and a known-good snippet (which must stay clean), then exits.
+
+Exit codes: 0 clean / self-test passed, 1 findings / self-test failed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# Files the lint walks: C++ sources and headers.
+CPP_SUFFIXES = {".cpp", ".hpp", ".h", ".cc", ".cxx"}
+
+# Directories whose floating-point accumulation is pinned by golden
+# traces — the nondet-reduction rule applies only here.
+KERNEL_DIRS = ("kernels", "nn", "tensor", "compute")
+
+# path-relative-to-repo:rule -> justification. Prefer inline
+# `gnav-lint(rule)` annotations; use this only when the site cannot carry
+# a comment (generated code, third-party includes).
+ALLOWLIST: dict[str, str] = {
+    # (empty — every current exemption is an inline annotation)
+}
+
+ANNOTATION = re.compile(r"gnav-lint\((?P<rules>[\w,\- ]+)\)")
+# How many lines above a site an annotation comment still applies.
+ANNOTATION_REACH = 3
+
+RULES = {
+    "raw-rand": [
+        re.compile(r"(?<![\w:])s?rand\s*\("),
+        re.compile(r"std::random_device"),
+        re.compile(r"(?<![\w:])time\s*\(\s*(?:NULL|nullptr|0|&)"),
+    ],
+    "wall-clock": [
+        re.compile(
+            r"(?:\w+::)*(?:steady_clock|system_clock|high_resolution_clock"
+            r"|Clock)::now\s*\(\s*\)"
+        ),
+    ],
+    "nondet-reduction": [
+        re.compile(r"std::(?:transform_)?reduce\s*[<(]"),
+        re.compile(r"_mm\w*_(?:fmadd|fmsub|fnmadd|fnmsub)_"),
+        re.compile(r"std::fmaf?\s*\("),
+        re.compile(r"#\s*pragma\s+(?:GCC|clang)\s+optimize|fast-math"),
+    ],
+}
+
+UNORDERED_DECL = re.compile(
+    r"std::unordered_(?:map|set|multimap|multiset)\s*<[^;]*?>\s*\n?"
+    r"\s*(?P<name>\w+)\s*[;({=]"
+)
+RANGE_FOR = re.compile(r"for\s*\([^;)]*?:\s*(?:\*?\s*)?(?P<expr>[\w.\->]+)\s*\)")
+# Only begin(): iteration always needs it, while a bare end() is the
+# membership idiom (`find(x) != end()`), which is deterministic.
+BEGIN_CALL = re.compile(r"(?P<name>\w+)\s*\.\s*c?begin\s*\(\s*\)")
+MUTABLE_REF_ACCESSOR = re.compile(
+    r"&\s+(?P<fn>\w+)\s*\(\s*\)\s*const\s*(?:GNAV_\w+\s*(?:\([^)]*\))?\s*)?"
+    r"\{\s*return\s+(?P<member>\w+_)\s*;"
+)
+MUTEX_MARKER = re.compile(r"\b(?:support::)?Mutex\b|std::mutex\b")
+
+
+class Finding:
+    def __init__(self, path: Path, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        try:
+            rel = self.path.relative_to(REPO_ROOT)
+        except ValueError:
+            rel = self.path
+        return f"{rel}:{self.line}: [{self.rule}] {self.message}"
+
+
+def annotated(lines: list[str], idx: int, rule: str) -> bool:
+    """True when line idx (0-based) carries — or is preceded within
+    ANNOTATION_REACH lines by — a gnav-lint(<rule>) annotation."""
+    lo = max(0, idx - ANNOTATION_REACH)
+    for j in range(idx, lo - 1, -1):
+        m = ANNOTATION.search(lines[j])
+        if m and rule in [r.strip() for r in m.group("rules").split(",")]:
+            return True
+    return False
+
+
+def in_kernel_dir(path: Path) -> bool:
+    return any(part in KERNEL_DIRS for part in path.parts)
+
+
+def lint_file(path: Path, text: str) -> list[Finding]:
+    findings: list[Finding] = []
+    lines = text.splitlines()
+    rel_key = None
+    try:
+        rel_key = str(path.relative_to(REPO_ROOT))
+    except ValueError:
+        rel_key = str(path)
+
+    def allowed(rule: str, idx: int) -> bool:
+        if f"{rel_key}:{rule}" in ALLOWLIST:
+            return True
+        return annotated(lines, idx, rule)
+
+    def code_part(line: str) -> str:
+        # Strip line comments so commented-out examples don't trip rules
+        # (the annotation scan above still sees the full line).
+        return line.split("//", 1)[0]
+
+    # --- simple per-line pattern rules -----------------------------------
+    for rule, patterns in RULES.items():
+        if rule == "nondet-reduction" and not in_kernel_dir(path):
+            continue
+        for i, line in enumerate(lines):
+            code = code_part(line)
+            for pat in patterns:
+                if pat.search(code) and not allowed(rule, i):
+                    findings.append(
+                        Finding(path, i + 1, rule, f"banned pattern: {pat.pattern}")
+                    )
+                    break
+
+    # --- unordered-iteration ---------------------------------------------
+    unordered_names = {m.group("name") for m in UNORDERED_DECL.finditer(text)}
+    # Drop type/parameter-ish captures that are clearly not variables.
+    unordered_names.discard("")
+    if unordered_names:
+        for i, line in enumerate(lines):
+            code = code_part(line)
+            hits = []
+            m = RANGE_FOR.search(code)
+            if m:
+                base = m.group("expr").split(".")[0].split("->")[0].lstrip("*&")
+                if base in unordered_names:
+                    hits.append(
+                        f"range-for over unordered container '{base}' "
+                        "iterates in hash order"
+                    )
+            for b in BEGIN_CALL.finditer(code):
+                if b.group("name") in unordered_names:
+                    hits.append(
+                        f"begin() over unordered container "
+                        f"'{b.group('name')}' iterates in hash order"
+                    )
+            for msg in hits:
+                if not allowed("unordered-iteration", i):
+                    findings.append(Finding(path, i + 1, "unordered-iteration", msg))
+
+    # --- mutable-ref-accessor --------------------------------------------
+    # Only meaningful in files that hold a mutex: that is where a
+    # returned reference outlives the lock that made it coherent.
+    if MUTEX_MARKER.search(text):
+        for m in MUTABLE_REF_ACCESSOR.finditer(text):
+            i = text.count("\n", 0, m.start())
+            if not allowed("mutable-ref-accessor", i):
+                findings.append(
+                    Finding(
+                        path,
+                        i + 1,
+                        "mutable-ref-accessor",
+                        f"'{m.group('fn')}()' returns a reference to member "
+                        f"'{m.group('member')}' from a mutex-holding class; "
+                        "snapshot by value or annotate the designed alias",
+                    )
+                )
+    return findings
+
+
+def lint_paths(paths: list[Path]) -> list[Finding]:
+    findings: list[Finding] = []
+    for root in paths:
+        files = [root] if root.is_file() else sorted(root.rglob("*"))
+        for f in files:
+            if f.suffix in CPP_SUFFIXES and f.is_file():
+                findings.append(None)  # placeholder to keep mypy quiet
+                findings.pop()
+                findings.extend(lint_file(f, f.read_text(encoding="utf-8")))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Self-test corpus: every snippet is (rule-it-must-trip | None, code).
+# None = must stay clean. Each bad snippet exercises one rule; the good
+# snippets pin the suppression mechanisms and non-matches.
+
+SELF_TEST_CORPUS: list[tuple[str | None, str, str] ] = [
+    (
+        "raw-rand",
+        "bad_rand.cpp",
+        "int pick() { return rand() % 7; }\n",
+    ),
+    (
+        "raw-rand",
+        "bad_random_device.cpp",
+        "std::random_device rd;\nunsigned s = rd();\n",
+    ),
+    (
+        "raw-rand",
+        "bad_time_seed.cpp",
+        "auto seed = time(nullptr);\n",
+    ),
+    (
+        "wall-clock",
+        "bad_now.cpp",
+        "auto t = std::chrono::steady_clock::now();\n",
+    ),
+    (
+        "unordered-iteration",
+        "bad_unordered_iter.cpp",
+        "std::unordered_map<int, int> counts;\n"
+        "for (const auto& kv : counts) { use(kv); }\n",
+    ),
+    (
+        "unordered-iteration",
+        "bad_unordered_begin.cpp",
+        "std::unordered_set<int> seen;\n"
+        "std::vector<int> v(seen.begin(), seen.end());\n",
+    ),
+    (
+        "nondet-reduction",
+        "kernels/bad_reduce.cpp",
+        "double s = std::reduce(x.begin(), x.end(), 0.0);\n",
+    ),
+    (
+        "nondet-reduction",
+        "nn/bad_fma.cpp",
+        "__m256 r = _mm256_fmadd_ps(a, b, c);\n",
+    ),
+    (
+        "mutable-ref-accessor",
+        "bad_ref_accessor.hpp",
+        "class C {\n"
+        " public:\n"
+        "  const std::vector<int>& rows() const { return rows_; }\n"
+        " private:\n"
+        "  mutable std::mutex mu_;\n"
+        "  std::vector<int> rows_;\n"
+        "};\n",
+    ),
+    (
+        None,
+        "good_annotated_now.cpp",
+        "// gnav-lint(wall-clock): profiler wall\n"
+        "auto t = std::chrono::steady_clock::now();\n",
+    ),
+    (
+        None,
+        "good_membership.cpp",
+        "std::unordered_set<int> seen;\n"
+        "bool dup = seen.find(3) != seen.end();\n"
+        "seen.insert(4);\n",
+    ),
+    (
+        None,
+        "good_value_accessor.hpp",
+        "class C {\n"
+        " public:\n"
+        "  std::vector<int> rows() const { return rows_; }\n"
+        " private:\n"
+        "  mutable std::mutex mu_;\n"
+        "  std::vector<int> rows_;\n"
+        "};\n",
+    ),
+    (
+        None,
+        "good_reduce_outside_kernels.cpp",
+        # std::reduce outside kernel dirs is out of the rule's scope: the
+        # golden traces only pin kernel-path accumulation order.
+        "double s = std::reduce(x.begin(), x.end(), 0.0);\n",
+    ),
+    (
+        None,
+        "good_runtime_name.cpp",
+        # 'runtime(' and 'wall_time(' must not trip the time( pattern.
+        "double wall_time();\ndouble r = wall_time();\n",
+    ),
+]
+
+
+def self_test() -> int:
+    failures = []
+    for expected_rule, fake_name, code in SELF_TEST_CORPUS:
+        path = REPO_ROOT / "selftest" / fake_name  # fake path, never read
+        found = lint_file(path, code)
+        rules = {f.rule for f in found}
+        if expected_rule is None:
+            if found:
+                failures.append(
+                    f"{fake_name}: expected clean, got {sorted(rules)}"
+                )
+        elif expected_rule not in rules:
+            failures.append(
+                f"{fake_name}: expected [{expected_rule}], got {sorted(rules) or 'clean'}"
+            )
+    if failures:
+        print("determinism_lint self-test FAILED:")
+        for f in failures:
+            print("  " + f)
+        return 1
+    print(f"determinism_lint self-test passed ({len(SELF_TEST_CORPUS)} cases)")
+    return 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("paths", nargs="*", help="files or directories (default: src/)")
+    ap.add_argument(
+        "--self-test",
+        action="store_true",
+        help="run the embedded known-bad corpus against every rule",
+    )
+    args = ap.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    roots = [Path(p).resolve() for p in args.paths] or [REPO_ROOT / "src"]
+    for r in roots:
+        if not r.exists():
+            print(f"determinism_lint: no such path: {r}", file=sys.stderr)
+            return 1
+    findings = lint_paths(roots)
+    for f in findings:
+        print(f)
+    if findings:
+        print(
+            f"\ndeterminism_lint: {len(findings)} finding(s). Suppress a "
+            "deliberate site with a `gnav-lint(<rule>)` comment (same line "
+            "or up to 3 lines above) plus a reason, or an ALLOWLIST entry."
+        )
+        return 1
+    print("determinism_lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
