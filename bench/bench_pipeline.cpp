@@ -28,6 +28,7 @@
 
 #include "estimator/dataset_stats.hpp"
 #include "estimator/overlap_model.hpp"
+#include "obs/export.hpp"
 #include "graph/dataset.hpp"
 #include "hw/platform.hpp"
 #include "runtime/backend.hpp"
@@ -154,18 +155,27 @@ Cell cell_from_report(const runtime::TrainReport& r,
 
 int main(int argc, char** argv) {
   std::string json_path;
+  std::string trace_path;
+  std::string metrics_path;
   int epochs = 2;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      metrics_path = argv[++i];
     } else if (std::strcmp(argv[i], "--epochs") == 0 && i + 1 < argc) {
       epochs = std::atoi(argv[++i]);
     } else {
-      std::fprintf(stderr, "usage: %s [--json out.json] [--epochs N]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--json out.json] [--epochs N] "
+                   "[--trace-out trace.json] [--metrics-out metrics.prom]\n",
                    argv[0]);
       return 1;
     }
   }
+  const obs::ExportScope telemetry(trace_path, metrics_path);
   if (epochs < 1) {
     std::fprintf(stderr, "--epochs must be >= 1\n");
     return 1;

@@ -14,9 +14,13 @@
 //     estimator-priced admission.
 //
 //   ./bench_serve [--json out.json] [--jobs N] [--epochs N] [--tenants N]
+//                 [--trace-out trace.json] [--metrics-out metrics.prom]
 //
 // Emits a JSON document (stdout by default) so CI archives the serving
 // throughput trajectory next to bench_pipeline / bench_overlap_fit.
+// --trace-out / --metrics-out record the whole sweep through the
+// telemetry layer (Chrome trace-event JSON + Prometheus text); CI runs
+// the Release sweep with both and uploads the files as artifacts.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -30,6 +34,7 @@
 #include "compute/backend.hpp"
 #include "estimator/dataset_stats.hpp"
 #include "estimator/profile_collector.hpp"
+#include "obs/export.hpp"
 #include "graph/dataset.hpp"
 #include "hw/platform.hpp"
 #include "runtime/backend.hpp"
@@ -153,12 +158,18 @@ void emit_json(std::FILE* out, int jobs, int epochs,
 
 int main(int argc, char** argv) {
   std::string json_path;
+  std::string trace_path;
+  std::string metrics_path;
   int jobs = 8;
   int epochs = 2;
   int max_tenants = 4;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      metrics_path = argv[++i];
     } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
       jobs = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--epochs") == 0 && i + 1 < argc) {
@@ -168,11 +179,13 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(
           stderr,
-          "usage: %s [--json out.json] [--jobs N] [--epochs N] [--tenants N]\n",
+          "usage: %s [--json out.json] [--jobs N] [--epochs N] [--tenants N] "
+          "[--trace-out trace.json] [--metrics-out metrics.prom]\n",
           argv[0]);
       return 1;
     }
   }
+  const obs::ExportScope telemetry(trace_path, metrics_path);
   if (jobs < 1 || epochs < 1 || max_tenants < 1) {
     std::fprintf(stderr, "--jobs/--epochs/--tenants must be >= 1\n");
     return 1;

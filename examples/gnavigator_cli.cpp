@@ -6,6 +6,7 @@
 //                  [--pipeline sync|async] [--pipeline-depth N]
 //                  [--backend cpu-scalar|cpu-blocked|cpu-arena]
 //                  [--serve-jobs N] [--serve-tenants N]
+//                  [--trace-out trace.json] [--metrics-out metrics.prom]
 //
 // Runs Step 1 (input analysis), Step 2 (guideline generation — reusing a
 // cached profiling corpus when --corpus is given), trains the baseline
@@ -20,6 +21,11 @@
 // serve::JobScheduler under fair-share scheduling with --serve-tenants
 // (default 2) concurrently active jobs; per-job price/state and the
 // aggregate jobs/min are printed.
+//
+// --trace-out FILE records every pipeline/cache/serve span of the whole
+// invocation and writes Chrome trace-event JSON (load in Perfetto or
+// chrome://tracing) at exit; --metrics-out FILE writes the Prometheus
+// text exposition of the metrics registry. Either flag alone works.
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -27,6 +33,7 @@
 
 #include "compute/backend.hpp"
 #include "estimator/corpus_io.hpp"
+#include "obs/export.hpp"
 #include "serve/job_scheduler.hpp"
 #include "support/error.hpp"
 #include "navigator/navigator.hpp"
@@ -91,6 +98,9 @@ void print_report(const char* tag, const runtime::TrainReport& r) {
 int main(int argc, char** argv) {
   try {
     const auto args = parse_args(argc, argv);
+    const obs::ExportScope telemetry(
+        args.contains("trace-out") ? args.at("trace-out") : "",
+        args.contains("metrics-out") ? args.at("metrics-out") : "");
     const std::string dataset_name =
         args.contains("dataset") ? args.at("dataset") : "reddit2";
     const std::string hw_name =

@@ -1,0 +1,118 @@
+// trace_demo — the smallest end-to-end telemetry round trip: a two-tenant
+// JobScheduler drain (one async pipelined job and one sync job per
+// tenant) recorded by the obs layer and exported as Chrome trace-event
+// JSON + Prometheus text.
+//
+//   ./trace_demo [--trace-out trace_demo.json]
+//                [--metrics-out metrics_demo.prom]
+//
+// Load the trace in Perfetto / chrome://tracing: the serve spans sit on
+// the pool-worker tracks ("gnav-pool-N"), each async epoch's
+// sample/transfer/compute spans on the named stage-thread tracks, and
+// cache lookups nest inside the transfer spans. The TraceJsonStrict
+// ctest runs this binary under tools/validate_trace.py and asserts
+// exactly that structure (strict JSON, >= 3 categories, nested spans).
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "estimator/dataset_stats.hpp"
+#include "estimator/perf_estimator.hpp"
+#include "estimator/profile_collector.hpp"
+#include "graph/dataset.hpp"
+#include "hw/platform.hpp"
+#include "obs/export.hpp"
+#include "runtime/backend.hpp"
+#include "runtime/templates.hpp"
+#include "serve/job_scheduler.hpp"
+#include "support/parallel.hpp"
+
+using namespace gnav;
+
+int main(int argc, char** argv) {
+  std::string trace_path = "trace_demo.json";
+  std::string metrics_path = "metrics_demo.prom";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--trace-out trace.json] "
+                   "[--metrics-out metrics.prom]\n",
+                   argv[0]);
+      return 1;
+    }
+  }
+
+  try {
+    const obs::ExportScope telemetry(trace_path, metrics_path);
+
+    graph::SyntheticSpec spec;
+    spec.name = "trace-demo";
+    spec.num_nodes = 600;
+    spec.num_classes = 4;
+    spec.feature_dim = 12;
+    spec.min_degree = 3;
+    spec.max_degree = 60;
+    const graph::Dataset ds = graph::make_synthetic_dataset(spec, 5);
+    const auto hw = hw::make_profile("rtx4090");
+    runtime::RuntimeBackend backend(ds, hw);
+    const estimator::DatasetStats stats =
+        estimator::compute_dataset_stats(ds);
+    // Admission pricing needs a fitted estimator; a small sync-only
+    // corpus (Eq. 4 analytic overlap) is all a telemetry demo needs.
+    estimator::CollectorOptions copts;
+    copts.configs_per_dataset = 8;
+    copts.epochs = 1;
+    copts.seed = 31;
+    estimator::PerfEstimator est(hw);
+    est.fit(estimator::collect_profiles(ds, hw, copts));
+
+    support::ThreadPool pool(2);
+    serve::SchedulerOptions options;
+    options.pool = &pool;
+    options.max_active = 2;
+    options.seed = 3;
+    serve::JobScheduler sched(backend, est, stats, options);
+
+    for (const char* tenant : {"tenant-a", "tenant-b"}) {
+      serve::JobRequest async_req;
+      async_req.tenant = tenant;
+      async_req.config = runtime::template_pagraph_full();
+      async_req.config.pipeline_overlap = true;
+      async_req.config.batch_size = 128;
+      async_req.epochs = 2;
+      async_req.pipeline.mode = runtime::PipelineMode::kAsync;
+      async_req.pipeline.prefetch_depth = 2;
+      async_req.pipeline.sampler_workers = 2;
+      sched.submit(async_req);
+
+      serve::JobRequest sync_req;
+      sync_req.tenant = tenant;
+      sync_req.config = runtime::template_pyg();
+      sync_req.config.batch_size = 128;
+      sync_req.epochs = 1;
+      sched.submit(sync_req);
+    }
+
+    const serve::DrainStats dstats = sched.drain();
+    std::printf("drained %zu job(s): %zu completed, %zu failed, "
+                "wall=%.2fs\n",
+                dstats.started, dstats.completed, dstats.failed,
+                dstats.wall_s);
+    for (std::size_t id = 0; id < sched.size(); ++id) {
+      const serve::JobOutcome& job = sched.outcome(id);
+      std::printf("  job %zu [%s] %s wait=%.3fs run=%.3fs\n", job.id,
+                  job.request.tenant.c_str(),
+                  serve::to_string(job.state).c_str(), job.queue_wait_s,
+                  job.run_s);
+    }
+    return dstats.failed == 0 ? 0 : 1;
+    // ExportScope's destructor writes the trace and metrics files here.
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/error.hpp"
 #include "support/thread_safety.hpp"
 
@@ -38,6 +40,18 @@ DeviceCache::DeviceCache(CachePolicy policy, std::size_t capacity,
       capacity_(capacity),
       graph_(graph),
       resident_(static_cast<std::size_t>(graph.num_nodes()), 0) {
+  {
+    auto& reg = obs::MetricsRegistry::global();
+    const obs::Labels labels{{"policy", to_string(policy_)}};
+    hits_metric_ = &reg.counter("gnav_cache_hits_total", labels,
+                                "Cache lookups served from residency");
+    misses_metric_ = &reg.counter("gnav_cache_misses_total", labels,
+                                  "Cache lookups that must transfer");
+    insertions_metric_ = &reg.counter("gnav_cache_insertions_total", labels,
+                                      "Vertices admitted to the cache");
+    evictions_metric_ = &reg.counter("gnav_cache_evictions_total", labels,
+                                     "Vertices evicted from the cache");
+  }
   if (policy_ == CachePolicy::kNone) capacity_ = 0;
   capacity_ = std::min(capacity_,
                        static_cast<std::size_t>(graph.num_nodes()));
@@ -227,7 +241,12 @@ void DeviceCache::insert_locked(graph::NodeId v, LookupResult& result) {
 
 LookupResult DeviceCache::lookup_and_update(
     const std::vector<graph::NodeId>& batch, std::int64_t sequence) {
+  // The span covers lock acquisition + classification + update, so the
+  // trace shows cache work nested inside the transfer stage span.
+  GNAV_TRACE_SPAN("cache", "lookup_and_update");
   const support::MutexLock lock(mu_);
+  const std::uint64_t insertions_before = stats_.insertions;
+  const std::uint64_t evictions_before = stats_.evictions;
   GNAV_CHECK(sequence < 0 ||
                  static_cast<std::uint64_t>(sequence) == batches_applied_,
              "cache admissions out of order (ordered-admission contract)");
@@ -256,6 +275,12 @@ LookupResult DeviceCache::lookup_and_update(
     }
   }
   GNAV_ASSERT(resident_count_ <= capacity_);
+  // Metrics: per-call deltas onto the policy-labeled counters (atomic
+  // adds; holding mu_ here is harmless — no other lock is taken).
+  hits_metric_->add(result.hits);
+  misses_metric_->add(result.misses.size());
+  insertions_metric_->add(stats_.insertions - insertions_before);
+  evictions_metric_->add(stats_.evictions - evictions_before);
   return result;
 }
 

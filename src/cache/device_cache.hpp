@@ -28,6 +28,10 @@
 #include "graph/csr_graph.hpp"
 #include "support/thread_safety.hpp"
 
+namespace gnav::obs {
+class Counter;
+}  // namespace gnav::obs
+
 namespace gnav::cache {
 
 enum class CachePolicy { kNone, kStatic, kLru, kFifo, kWeightedDegree };
@@ -247,6 +251,15 @@ class DeviceCache {
   CachePolicy policy_;
   std::size_t capacity_;
   const graph::CsrGraph& graph_;
+
+  // Metrics instruments (obs/), labeled by policy. Resolved once in the
+  // constructor — pointers are immutable after construction and the
+  // pointees are atomic, so the per-batch updates need no lock beyond
+  // mu_ already being held.
+  obs::Counter* hits_metric_ = nullptr;
+  obs::Counter* misses_metric_ = nullptr;
+  obs::Counter* insertions_metric_ = nullptr;
+  obs::Counter* evictions_metric_ = nullptr;
 
   /// The deliberate unguarded surface (see is_resident above): written
   /// under mu_ by the eviction/insertion paths, live-read lock-free by

@@ -15,6 +15,7 @@
 #include <sys/mman.h>
 #endif
 
+#include "obs/metrics.hpp"
 #include "support/error.hpp"
 #include "support/thread_safety.hpp"
 
@@ -33,13 +34,44 @@ float* DeviceAllocator::allocate_floats(std::size_t count) {
   while (now > peak &&
          !peak_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
   }
+  if (auto* g = in_use_gauge_.load(std::memory_order_relaxed)) {
+    g->set(static_cast<double>(now));
+  }
+  if (auto* g = peak_gauge_.load(std::memory_order_relaxed)) {
+    g->set(static_cast<double>(peak_.load(std::memory_order_relaxed)));
+  }
   return p;
 }
 
 void DeviceAllocator::deallocate_floats(float* p, std::size_t count) {
   if (p == nullptr) return;
   do_deallocate(p, count);
-  in_use_.fetch_sub(count * sizeof(float), std::memory_order_relaxed);
+  const std::size_t now =
+      in_use_.fetch_sub(count * sizeof(float), std::memory_order_relaxed) -
+      count * sizeof(float);
+  if (auto* g = in_use_gauge_.load(std::memory_order_relaxed)) {
+    g->set(static_cast<double>(now));
+  }
+}
+
+void DeviceAllocator::bind_metrics(const std::string& backend_id) {
+  auto& reg = obs::MetricsRegistry::global();
+  const obs::Labels labels{{"backend", backend_id}};
+  // First-wins: a delegating backend that shares another backend's
+  // allocator must not re-label the owner's byte gauges (or register a
+  // duplicate zero-valued series under its own label).
+  if (in_use_gauge_.load(std::memory_order_relaxed) != nullptr) return;
+  obs::Gauge* expected = nullptr;
+  obs::Gauge* in_use = &reg.gauge(
+      "gnav_device_bytes_in_use", labels,
+      "Device-allocator bytes currently allocated");
+  if (!in_use_gauge_.compare_exchange_strong(expected, in_use,
+                                             std::memory_order_relaxed)) {
+    return;
+  }
+  peak_gauge_.store(&reg.gauge("gnav_device_bytes_peak", labels,
+                               "Device-allocator high-water-mark bytes"),
+                    std::memory_order_relaxed);
 }
 
 // ---------------------------------------------------------------------------
@@ -385,21 +417,37 @@ std::string joined_ids_locked(const Registry& r) GNAV_REQUIRES(r.mu) {
 std::shared_ptr<const ComputeBackend> BackendFactory::create(
     const std::string& id) {
   Registry& r = registry();
-  const support::MutexLock lock(r.mu);
-  const auto it = r.entries.find(id);
-  if (it == r.entries.end()) {
-    throw Error("unknown compute backend \"" + id +
-                "\" (registered: " + joined_ids_locked(r) + ")");
+  std::shared_ptr<const ComputeBackend> instance;
+  bool created = false;
+  {
+    const support::MutexLock lock(r.mu);
+    const auto it = r.entries.find(id);
+    if (it == r.entries.end()) {
+      throw Error("unknown compute backend \"" + id +
+                  "\" (registered: " + joined_ids_locked(r) + ")");
+    }
+    if (!it->second.instance) {
+      it->second.instance = it->second.creator();
+      GNAV_CHECK(it->second.instance != nullptr,
+                 "backend creator for \"" + id + "\" returned null");
+      GNAV_CHECK(it->second.instance->id() == id,
+                 "backend creator for \"" + id +
+                     "\" built a backend named \"" +
+                     it->second.instance->id() + "\"");
+      created = true;
+    }
+    instance = it->second.instance;
   }
-  if (!it->second.instance) {
-    it->second.instance = it->second.creator();
-    GNAV_CHECK(it->second.instance != nullptr,
-               "backend creator for \"" + id + "\" returned null");
-    GNAV_CHECK(it->second.instance->id() == id,
-               "backend creator for \"" + id + "\" built a backend named \"" +
-                   it->second.instance->id() + "\"");
+  if (created) {
+    // Singleton creation is the one point every backend passes exactly
+    // once — wire its allocator's byte gauges to the registry here.
+    // Outside the registry lock: a delegating backend (one whose
+    // allocator() forwards to another backend's) re-enters create(),
+    // which would self-deadlock on r.mu. bind_metrics is first-wins,
+    // so the delegate keeps the owning backend's label.
+    instance->allocator().bind_metrics(id);
   }
-  return it->second.instance;
+  return instance;
 }
 
 bool BackendFactory::is_registered(const std::string& id) {

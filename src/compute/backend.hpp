@@ -53,6 +53,10 @@ namespace gnav::support {
 class ThreadPool;
 }
 
+namespace gnav::obs {
+class Gauge;
+}  // namespace gnav::obs
+
 namespace gnav::compute {
 
 inline constexpr const char* kScalarBackendId = "cpu-scalar";
@@ -105,6 +109,13 @@ class DeviceAllocator {
     return peak_.load(std::memory_order_relaxed);
   }
 
+  /// Publishes this allocator's in-use/peak byte accounting as metrics
+  /// gauges labeled by backend id (gnav_device_bytes_in_use /
+  /// gnav_device_bytes_peak). BackendFactory calls it once when the
+  /// singleton backend is created; never calling it leaves the gauges
+  /// unbound and the allocator purely self-accounting.
+  void bind_metrics(const std::string& backend_id);
+
  protected:
   virtual float* do_allocate(std::size_t count) = 0;
   virtual void do_deallocate(float* p, std::size_t count) = 0;
@@ -112,6 +123,10 @@ class DeviceAllocator {
  private:
   std::atomic<std::size_t> in_use_{0};
   std::atomic<std::size_t> peak_{0};
+  // Set once by bind_metrics before the backend is handed to callers;
+  // atomic so allocation paths can read them without synchronization.
+  std::atomic<obs::Gauge*> in_use_gauge_{nullptr};
+  std::atomic<obs::Gauge*> peak_gauge_{nullptr};
 };
 
 /// Aggregation operators a backend must provide (the Aggregate of Eq. 1;

@@ -1,0 +1,50 @@
+#include "obs/export.hpp"
+
+#include <exception>
+#include <fstream>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "support/log.hpp"
+
+namespace gnav::obs {
+
+ExportScope::ExportScope(std::string trace_path, std::string metrics_path)
+    : trace_path_(std::move(trace_path)),
+      metrics_path_(std::move(metrics_path)) {
+  if (!trace_path_.empty()) set_tracing_enabled(true);
+  if (!metrics_path_.empty()) set_metrics_enabled(true);
+}
+
+ExportScope::~ExportScope() {
+  try {
+    if (!trace_path_.empty()) {
+      // Stop recording first so the drain sees quiescent buffers.
+      set_tracing_enabled(false);
+      std::ofstream out(trace_path_);
+      if (!out) {
+        log_warn("cannot open trace output '", trace_path_, "'");
+      } else {
+        write_chrome_trace(out);
+        log_info("trace written to ", trace_path_, " (",
+                 trace_recorded_spans(), " spans, ", trace_dropped_spans(),
+                 " dropped)");
+      }
+    }
+    if (!metrics_path_.empty()) {
+      std::ofstream out(metrics_path_);
+      if (!out) {
+        log_warn("cannot open metrics output '", metrics_path_, "'");
+      } else {
+        MetricsRegistry::global().write_prometheus(out);
+        log_info("metrics written to ", metrics_path_, " (",
+                 MetricsRegistry::global().series_count(), " series)");
+      }
+    }
+  } catch (const std::exception& e) {
+    log_warn("telemetry export failed: ", e.what());
+  }
+}
+
+}  // namespace gnav::obs

@@ -1,0 +1,33 @@
+// RAII export surface for tool main()s: turns the telemetry layer on for
+// exactly the outputs the user asked for and writes the files on the way
+// out. `gnavigator_cli --trace-out trace.json --metrics-out metrics.prom`
+// is two lines of wiring with this; so are the benches.
+//
+// An empty path leaves the corresponding subsystem untouched (disabled
+// unless something else enabled it), so constructing an ExportScope with
+// two empty strings is a no-op — tools can install one unconditionally.
+#pragma once
+
+#include <string>
+
+namespace gnav::obs {
+
+class ExportScope {
+ public:
+  /// Non-empty `trace_path` enables tracing; non-empty `metrics_path`
+  /// enables metrics. Files are written by the destructor.
+  ExportScope(std::string trace_path, std::string metrics_path);
+
+  /// Writes the Chrome trace and/or Prometheus text files. Never throws:
+  /// export failure at shutdown is logged, not fatal.
+  ~ExportScope();
+
+  ExportScope(const ExportScope&) = delete;
+  ExportScope& operator=(const ExportScope&) = delete;
+
+ private:
+  std::string trace_path_;
+  std::string metrics_path_;
+};
+
+}  // namespace gnav::obs

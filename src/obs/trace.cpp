@@ -1,0 +1,241 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "support/thread_safety.hpp"
+
+namespace gnav::obs {
+
+namespace detail {
+std::atomic<bool> g_tracing_enabled{false};
+}  // namespace detail
+
+namespace {
+
+/// One thread's span storage. The OWNING thread is the only writer of
+/// `spans` and the only thread that advances `count` (release store after
+/// the record write); drainers acquire-load `count` and read that prefix.
+/// `name` is read and written only under the registry mutex.
+struct ThreadBuffer {
+  explicit ThreadBuffer(std::size_t capacity) : spans(capacity) {}
+
+  std::uint32_t tid = 0;
+  std::string name;
+  std::vector<SpanRecord> spans;  // fixed size; never reallocated
+  std::atomic<std::size_t> count{0};
+  std::atomic<std::uint64_t> dropped{0};
+};
+
+struct BufferRegistry {
+  support::Mutex mu;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers GNAV_GUARDED_BY(mu);
+  std::size_t capacity GNAV_GUARDED_BY(mu) = 8192;
+};
+
+BufferRegistry& registry() {
+  static BufferRegistry* r = new BufferRegistry();  // never destroyed:
+  // stage threads may record spans during static destruction order.
+  return *r;
+}
+
+thread_local std::shared_ptr<ThreadBuffer> t_buffer;
+thread_local std::string t_pending_name;
+
+ThreadBuffer& this_thread_buffer() {
+  if (!t_buffer) {
+    BufferRegistry& r = registry();
+    const support::MutexLock lock(r.mu);
+    auto buf = std::make_shared<ThreadBuffer>(r.capacity);
+    buf->tid = static_cast<std::uint32_t>(r.buffers.size() + 1);
+    buf->name = !t_pending_name.empty()
+                    ? t_pending_name
+                    : "thread-" + std::to_string(buf->tid);
+    r.buffers.push_back(buf);
+    t_buffer = std::move(buf);
+  }
+  return *t_buffer;
+}
+
+void json_escape_into(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+/// Microseconds with nanosecond precision, the trace-event `ts` unit.
+void append_us(std::string& out, std::uint64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%llu.%03u",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned>(ns % 1000));
+  out += buf;
+}
+
+}  // namespace
+
+namespace detail {
+
+std::uint64_t trace_now_ns() {
+  // Process-fixed epoch: the first call pins it; every timestamp is an
+  // offset from it, so traces start near ts=0. Wall-clock observable
+  // only — timestamps feed trace files, never data-bearing state.
+  static const auto epoch = std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch)
+          .count());
+}
+
+void record_span(const char* category, const char* name,
+                 std::uint64_t start_ns, std::uint64_t end_ns) {
+  if (!tracing_enabled()) return;  // flipped off mid-span: drop
+  ThreadBuffer& buf = this_thread_buffer();
+  const std::size_t n = buf.count.load(std::memory_order_relaxed);
+  if (n >= buf.spans.size()) {
+    buf.dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  SpanRecord& rec = buf.spans[n];
+  rec.start_ns = start_ns;
+  rec.end_ns = end_ns;
+  rec.category = category;
+  const std::size_t len = std::strlen(name);
+  const std::size_t c =
+      len < sizeof(rec.name) - 1 ? len : sizeof(rec.name) - 1;
+  std::memcpy(rec.name, name, c);
+  rec.name[c] = '\0';
+  buf.count.store(n + 1, std::memory_order_release);
+}
+
+}  // namespace detail
+
+void set_tracing_enabled(bool enabled) {
+  if (enabled) detail::trace_now_ns();  // pin the epoch before first span
+  detail::g_tracing_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void set_thread_name(std::string name) {
+  t_pending_name = std::move(name);
+  if (t_buffer) {
+    BufferRegistry& r = registry();
+    const support::MutexLock lock(r.mu);
+    t_buffer->name = t_pending_name;
+  }
+}
+
+void set_trace_buffer_capacity(std::size_t spans) {
+  BufferRegistry& r = registry();
+  const support::MutexLock lock(r.mu);
+  r.capacity = spans > 0 ? spans : 1;
+}
+
+std::uint64_t trace_dropped_spans() {
+  BufferRegistry& r = registry();
+  const support::MutexLock lock(r.mu);
+  std::uint64_t total = 0;
+  for (const auto& b : r.buffers) {
+    total += b->dropped.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::uint64_t trace_recorded_spans() {
+  BufferRegistry& r = registry();
+  const support::MutexLock lock(r.mu);
+  std::uint64_t total = 0;
+  for (const auto& b : r.buffers) {
+    total += b->count.load(std::memory_order_acquire);
+  }
+  return total;
+}
+
+void write_chrome_trace(std::ostream& os) {
+  BufferRegistry& r = registry();
+  const support::MutexLock lock(r.mu);
+  std::string out;
+  out.reserve(1 << 16);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  out +=
+      "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\","
+      "\"args\":{\"name\":\"gnavigator\"}}";
+  for (const auto& b : r.buffers) {
+    out += ",\n{\"ph\":\"M\",\"pid\":1,\"tid\":";
+    out += std::to_string(b->tid);
+    out += ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
+    json_escape_into(out, b->name.c_str());
+    out += "\"}}";
+  }
+  for (const auto& b : r.buffers) {
+    const std::size_t n = b->count.load(std::memory_order_acquire);
+    for (std::size_t i = 0; i < n; ++i) {
+      const SpanRecord& rec = b->spans[i];
+      out += ",\n{\"ph\":\"X\",\"pid\":1,\"tid\":";
+      out += std::to_string(b->tid);
+      out += ",\"cat\":\"";
+      json_escape_into(out, rec.category);
+      out += "\",\"name\":\"";
+      json_escape_into(out, rec.name);
+      out += "\",\"ts\":";
+      append_us(out, rec.start_ns);
+      out += ",\"dur\":";
+      append_us(out, rec.end_ns >= rec.start_ns
+                         ? rec.end_ns - rec.start_ns
+                         : 0);
+      out += "}";
+      if (out.size() > (1u << 20)) {
+        os << out;
+        out.clear();
+      }
+    }
+  }
+  out += "\n]}\n";
+  os << out;
+}
+
+std::string chrome_trace_json() {
+  std::ostringstream os;
+  write_chrome_trace(os);
+  return os.str();
+}
+
+void reset_trace() {
+  BufferRegistry& r = registry();
+  const support::MutexLock lock(r.mu);
+  for (const auto& b : r.buffers) {
+    b->count.store(0, std::memory_order_release);
+    b->dropped.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace gnav::obs

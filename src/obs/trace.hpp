@@ -1,0 +1,126 @@
+// gnav::obs — scoped trace spans (half two of the telemetry layer; the
+// metrics registry lives in obs/metrics.hpp).
+//
+// GNAV_TRACE_SPAN("pipeline", "transfer") opens a RAII span on the
+// current thread; its destructor records [start, end) into a per-thread
+// span buffer. Buffers are drained by write_chrome_trace() into Chrome
+// trace-event JSON ("ph":"X" complete events plus thread-name metadata),
+// loadable in chrome://tracing or https://ui.perfetto.dev — one artifact
+// showing sample/transfer/compute overlap, cache admissions, and tenant
+// interleaving on a shared timeline.
+//
+// Concurrency model (single-producer per buffer):
+//   - Each thread that records a span while tracing is enabled lazily
+//     registers one ThreadBuffer; the owning thread is its only writer.
+//     The owner writes the record in place and then release-stores the
+//     new count; the drainer acquire-loads the count and reads exactly
+//     that many records. No locks on the hot path, no torn records.
+//   - Buffers are owned by a global registry (shared_ptr), so spans from
+//     threads that have already exited — the pipelined executor spawns
+//     fresh stage threads per epoch — survive until drained.
+//   - A full buffer drops further spans and counts the drops; capacity
+//     is fixed per buffer at registration (set_trace_buffer_capacity).
+//
+// Contracts (same as the metrics half):
+//   - Near-zero disabled path: the ScopedSpan constructor is one relaxed
+//     load when tracing is off — no clock read, no buffer touch.
+//   - No Rng stream is read or advanced; timestamps come from
+//     steady_clock relative to a process-fixed epoch. Enabling tracing
+//     therefore cannot perturb any TrainReport bit (test_obs.cpp).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+namespace gnav::obs {
+
+namespace detail {
+extern std::atomic<bool> g_tracing_enabled;
+/// Nanoseconds since the process-fixed trace epoch (steady clock).
+std::uint64_t trace_now_ns();
+void record_span(const char* category, const char* name,
+                 std::uint64_t start_ns, std::uint64_t end_ns);
+}  // namespace detail
+
+/// Global toggle. Off by default; CLI/bench flags and tests flip it.
+inline bool tracing_enabled() {
+  return detail::g_tracing_enabled.load(std::memory_order_relaxed);
+}
+void set_tracing_enabled(bool enabled);
+
+/// Display name for the calling thread in trace output ("gnav-pool-3",
+/// "gnav-stage-transfer"). Applies to this thread's buffer (existing or
+/// future); unnamed threads show as "thread-<tid>".
+void set_thread_name(std::string name);
+
+/// Spans recorded per-thread; name is captured by copy (truncated) so
+/// dynamic names need not outlive the span.
+struct SpanRecord {
+  std::uint64_t start_ns = 0;
+  std::uint64_t end_ns = 0;
+  const char* category = nullptr;  // must have static storage duration
+  char name[40] = {};
+};
+
+/// RAII span. `category` must be a string literal (static storage);
+/// `name` is copied. Construction outside an enabled tracing session is
+/// one relaxed atomic load.
+class ScopedSpan {
+ public:
+  ScopedSpan(const char* category, std::string_view name) {
+    if (!tracing_enabled()) return;
+    category_ = category;
+    const std::size_t n = name.size() < sizeof(name_) - 1
+                              ? name.size()
+                              : sizeof(name_) - 1;
+    std::memcpy(name_, name.data(), n);
+    name_[n] = '\0';
+    start_ns_ = detail::trace_now_ns();
+  }
+  ~ScopedSpan() {
+    if (category_ == nullptr) return;
+    detail::record_span(category_, name_, start_ns_, detail::trace_now_ns());
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* category_ = nullptr;
+  std::uint64_t start_ns_ = 0;
+  char name_[40] = {};
+};
+
+#define GNAV_OBS_CONCAT2(a, b) a##b
+#define GNAV_OBS_CONCAT(a, b) GNAV_OBS_CONCAT2(a, b)
+/// Opens a scoped trace span covering the rest of the enclosing block.
+#define GNAV_TRACE_SPAN(category, name)                             \
+  const ::gnav::obs::ScopedSpan GNAV_OBS_CONCAT(gnav_trace_span_,   \
+                                                __COUNTER__)(        \
+      category, name)
+
+/// Spans dropped because a thread buffer was full (across all threads).
+std::uint64_t trace_dropped_spans();
+/// Spans currently buffered (across all threads).
+std::uint64_t trace_recorded_spans();
+
+/// Per-buffer capacity (span records) applied to buffers registered
+/// AFTER the call; default 8192. Mainly for tests and long benches.
+void set_trace_buffer_capacity(std::size_t spans);
+
+/// Drains every thread buffer into Chrome trace-event JSON. Safe to call
+/// while tracing is enabled (records are read up to each buffer's
+/// published count), but a coherent artifact wants quiescence: disable
+/// tracing and join traced work first.
+void write_chrome_trace(std::ostream& os);
+std::string chrome_trace_json();
+
+/// Clears every buffer's spans and drop counts but keeps thread
+/// registrations. Only call while no traced work is in flight (tests).
+void reset_trace();
+
+}  // namespace gnav::obs

@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <cstring>
 #include <utility>
 
 #include "nn/loss.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "nn/optim.hpp"
 #include "sampling/batcher.hpp"
 #include "sampling/sampler_factory.hpp"
@@ -123,6 +126,19 @@ TrainReport RuntimeBackend::run(const TrainConfig& config,
       compute::BackendFactory::create(options.backend_id);
   const compute::BackendScope backend_scope(run_backend);
 
+  // Telemetry (obs/): the run-level span nests every epoch/stage span
+  // recorded on this thread, and the sampler counter is resolved once so
+  // the per-batch hot path is a single gated atomic add. Neither half
+  // consumes an Rng stream or any data-bearing state, so the report is
+  // bit-identical with tracing/metrics on or off (pinned by
+  // test_obs.cpp).
+  GNAV_TRACE_SPAN("runtime", "run:" + config.name);
+  obs::Counter& sampler_batches_metric =
+      obs::MetricsRegistry::global().counter(
+          "gnav_sampler_batches_total",
+          {{"sampler", sampling::to_string(config.sampler)}},
+          "Mini-batches built, by sampler kind");
+
   const graph::Dataset& ds = *dataset_;
   Rng rng(options.seed);
   Rng eval_rng(options.seed ^ 0xE7A1ULL);
@@ -235,6 +251,10 @@ TrainReport RuntimeBackend::run(const TrainConfig& config,
 
   // --- Algo. 1 main loop ------------------------------------------------
   for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    char epoch_span_name[32];
+    std::snprintf(epoch_span_name, sizeof epoch_span_name, "epoch-%d",
+                  epoch);
+    GNAV_TRACE_SPAN("pipeline", epoch_span_name);
     profiler.reset_epoch();
     double epoch_loss = 0.0;
     std::size_t correct = 0;
@@ -253,8 +273,14 @@ TrainReport RuntimeBackend::run(const TrainConfig& config,
       // stage (async sampler workers are fresh threads with no ambient
       // scope; pool workers may carry another job's scope).
       const compute::BackendScope stage_scope(run_backend);
+      GNAV_TRACE_SPAN("pipeline", "sample");
+      const auto t0 = detail::Clock::now();  // gnav-lint(wall-clock): profiler wall
       Rng batch_rng(support::task_seed(epoch_seed, i));
-      return sampler->sample(ds.graph, seed_batches[i], batch_rng);
+      auto mb = sampler->sample(ds.graph, seed_batches[i], batch_rng);
+      profiler.add_measured_stage(Profiler::Stage::kSample,
+                                  detail::seconds_since(t0));
+      sampler_batches_metric.add(1);
+      return mb;
     };
 
     // Component 2: transmission (cache lookup -> transfer misses) plus
@@ -266,6 +292,8 @@ TrainReport RuntimeBackend::run(const TrainConfig& config,
       // Same per-stage pin as sample_batch: the transfer stage runs on
       // its own thread under the async executor.
       const compute::BackendScope stage_scope(run_backend);
+      GNAV_TRACE_SPAN("pipeline", "transfer");
+      const auto stage_t0 = detail::Clock::now();  // gnav-lint(wall-clock): profiler wall
       const cache::LookupResult lookup = device_cache.lookup_and_update(
           mb.nodes, static_cast<std::int64_t>(
                         static_cast<std::uint64_t>(epoch) * num_batches +
@@ -366,6 +394,8 @@ TrainReport RuntimeBackend::run(const TrainConfig& config,
         labels[s] = ds.labels[static_cast<std::size_t>(
             mb.nodes[static_cast<std::size_t>(mb.seed_local[s])])];
       }
+      profiler.add_measured_stage(Profiler::Stage::kTransfer,
+                                  detail::seconds_since(stage_t0));
       return PreparedBatch{std::move(mb), std::move(x), std::move(labels)};
     };
 
@@ -373,6 +403,8 @@ TrainReport RuntimeBackend::run(const TrainConfig& config,
     // strict batch order — the optimizer state and the dropout RNG
     // stream are serialized by batch index under both executors.
     auto consume_batch = [&](std::size_t, PreparedBatch&& p) {
+      GNAV_TRACE_SPAN("pipeline", "compute");
+      const auto stage_t0 = detail::Clock::now();  // gnav-lint(wall-clock): profiler wall
       tensor::Tensor logits = model.forward(p.mb.subgraph, p.x, true, rng);
       const nn::LossResult loss =
           nn::softmax_cross_entropy(logits, p.mb.seed_local, p.labels);
@@ -389,6 +421,8 @@ TrainReport RuntimeBackend::run(const TrainConfig& config,
         report.per_batch_nodes.push_back(
             static_cast<double>(p.mb.num_nodes()));
       }
+      profiler.add_measured_stage(Profiler::Stage::kCompute,
+                                  detail::seconds_since(stage_t0));
     };
 
     PipelineEpochStats epoch_measured;
@@ -446,6 +480,10 @@ TrainReport RuntimeBackend::run(const TrainConfig& config,
       epoch_measured.wall_s = detail::seconds_since(epoch_start);
     }
     profiler.record_epoch_measured(epoch_measured);
+    // The async executor publishes its epoch metrics itself; the two
+    // synchronous paths publish here so every executor feeds the same
+    // instruments.
+    if (!async_executor) detail::publish_epoch_metrics(epoch_measured);
     run_measured.accumulate(epoch_measured);
     report.pipeline.modeled_overlapped_s +=
         profiler.epoch_modeled_overlapped_s() * time_scale;
@@ -473,7 +511,7 @@ TrainReport RuntimeBackend::run(const TrainConfig& config,
     }
 
     // Phase breakdown: keep the running average across epochs.
-    const auto& ph = profiler.epoch_phases();
+    const PhaseBreakdown ph = profiler.epoch_phases();
     report.epoch_phases.sample_s += ph.sample_s * time_scale;
     report.epoch_phases.transfer_s += ph.transfer_s * time_scale;
     report.epoch_phases.replace_s += ph.replace_s * time_scale;

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdlib>
 
+#include "obs/metrics.hpp"
 #include "support/log.hpp"
 #include "support/parallel.hpp"
 
@@ -107,6 +108,41 @@ void TicketGate::abort() {
     aborted_ = true;
   }
   cv_.notify_all();
+}
+
+void publish_epoch_metrics(const PipelineEpochStats& stats) {
+  auto& reg = obs::MetricsRegistry::global();
+  // Resolved once per process; the registry hands out stable references.
+  static obs::Counter& epochs =
+      reg.counter("gnav_pipeline_epochs_total", {},
+                  "Epochs executed by the staged epoch executors");
+  static obs::Counter& batches =
+      reg.counter("gnav_pipeline_batches_total", {},
+                  "Mini-batches moved through the epoch executors");
+  static obs::Counter& push_stalls = reg.counter(
+      "gnav_pipeline_push_stalls_total", {},
+      "Queue-full waits across both hand-off queues (backpressure)");
+  static obs::Counter& pop_stalls = reg.counter(
+      "gnav_pipeline_pop_stalls_total", {},
+      "Queue-empty waits across both hand-off queues (starvation)");
+  static obs::Histogram& occupancy = reg.histogram(
+      "gnav_pipeline_queue_occupancy", {},
+      "Mean prepared-queue backlog per epoch (near depth-1 = "
+      "compute-bound, 0 = sample/transfer-bound)",
+      {0.5, 1.0, 2.0, 4.0, 8.0, 16.0});
+  static obs::Gauge& wall = reg.gauge(
+      "gnav_pipeline_epoch_wall_seconds", {},
+      "Measured wall seconds of the most recent epoch");
+  static obs::Gauge& efficiency = reg.gauge(
+      "gnav_pipeline_overlap_efficiency", {},
+      "Fraction of hideable stage time actually hidden, last epoch");
+  epochs.add(1);
+  batches.add(stats.batches);
+  push_stalls.add(stats.push_stalls);
+  pop_stalls.add(stats.pop_stalls);
+  occupancy.observe(stats.mean_prepared_occupancy);
+  wall.set(stats.wall_s);
+  efficiency.set(stats.overlap_efficiency());
 }
 
 }  // namespace detail

@@ -53,6 +53,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "support/error.hpp"
 #include "support/parallel.hpp"
 #include "support/staged_queue.hpp"
@@ -191,6 +192,11 @@ class ErrorLatch {
   std::exception_ptr error_ GNAV_GUARDED_BY(mutex_);
 };
 
+/// Publishes one epoch's measured stats to the obs metrics registry
+/// (stall counters, occupancy histogram, wall/overlap gauges). No-op
+/// cost when metrics are disabled beyond a relaxed load per instrument.
+void publish_epoch_metrics(const PipelineEpochStats& stats);
+
 }  // namespace detail
 
 /// Runs one epoch of `num_batches` mini-batches as an asynchronous
@@ -255,6 +261,7 @@ PipelineEpochStats run_pipelined_epoch(std::size_t num_batches,
       // Self-execute nested pool work: the global pool's workers may be
       // blocked inside nested runs waiting on this very pipeline.
       const support::InlineExecutionScope inline_scope;
+      obs::set_thread_name("gnav-stage-producer");
       try {
         double sample_busy = 0.0;
         double transfer_busy = 0.0;
@@ -284,8 +291,9 @@ PipelineEpochStats run_pipelined_epoch(std::size_t num_batches,
          depth, num_batches});
     stats.sampler_workers = std::max<std::size_t>(1, workers);
     for (std::size_t w = 0; w < stats.sampler_workers; ++w) {
-      threads.emplace_back([&] {
+      threads.emplace_back([&, w] {
         const support::InlineExecutionScope inline_scope;
+        obs::set_thread_name("gnav-stage-sample-" + std::to_string(w));
         try {
           double sample_busy = 0.0;
           while (const auto ticket = gate.acquire()) {
@@ -303,6 +311,7 @@ PipelineEpochStats run_pipelined_epoch(std::size_t num_batches,
     }
     threads.emplace_back([&] {
       const support::InlineExecutionScope inline_scope;
+      obs::set_thread_name("gnav-stage-transfer");
       try {
         // Reorder ring: in-flight indices form a consecutive window of at
         // most `depth` (TicketGate invariant), so residues mod depth are
@@ -369,6 +378,7 @@ PipelineEpochStats run_pipelined_epoch(std::size_t num_batches,
   stats.pop_stalls = sq.pop_stalls + pq.pop_stalls;
   stats.mean_prepared_occupancy = pq.mean_occupancy();
   stats.wall_s = seconds_since(epoch_start);
+  detail::publish_epoch_metrics(stats);
   return stats;
 }
 

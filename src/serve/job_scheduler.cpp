@@ -2,15 +2,53 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <exception>
 #include <future>
 #include <limits>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/error.hpp"
+#include "support/log.hpp"
 #include "support/parallel.hpp"
 
 namespace gnav::serve {
+namespace {
+
+/// Per-tenant serve instruments, resolved find-or-create per call (the
+/// registry lookup is a map find under a leaf mutex — negligible next to
+/// running a job). Totals are gauges fed by add(): Prometheus-side they
+/// read as monotone totals, and reset_values() zeroes them with the rest.
+struct TenantInstruments {
+  obs::Counter& jobs_done;
+  obs::Counter& jobs_failed;
+  obs::Gauge& queue_wait_s;
+  obs::Gauge& run_s;
+  obs::Gauge& price_s;
+};
+
+TenantInstruments tenant_instruments(const std::string& tenant) {
+  auto& reg = obs::MetricsRegistry::global();
+  return TenantInstruments{
+      reg.counter("gnav_serve_jobs_total", {{"tenant", tenant},
+                                            {"state", "done"}},
+                  "Jobs finished by the scheduler, by tenant and outcome"),
+      reg.counter("gnav_serve_jobs_total", {{"tenant", tenant},
+                                            {"state", "failed"}},
+                  "Jobs finished by the scheduler, by tenant and outcome"),
+      reg.gauge("gnav_serve_queue_wait_seconds_total", {{"tenant", tenant}},
+                "Total submit-to-pick wait, by tenant"),
+      reg.gauge("gnav_serve_run_seconds_total", {{"tenant", tenant}},
+                "Total pick-to-completion run time, by tenant"),
+      reg.gauge("gnav_serve_price_seconds_total", {{"tenant", tenant}},
+                "Total admission price (predicted wall seconds) of jobs "
+                "run, by tenant"),
+  };
+}
+
+}  // namespace
 
 std::string to_string(JobState state) {
   switch (state) {
@@ -100,6 +138,8 @@ std::size_t JobScheduler::submit(JobRequest request) {
   job->seed = request.seed != 0
                   ? request.seed
                   : support::task_seed(options_.seed, static_cast<std::uint64_t>(id));
+  // gnav-lint(wall-clock): profiler wall — JobOutcome::queue_wait_s only.
+  job->submitted_at = std::chrono::steady_clock::now();
   job->request = std::move(request);
   job->price = price_locked(job->request);
   if (options_.max_price_s > 0.0 &&
@@ -141,11 +181,21 @@ JobOutcome* JobScheduler::pick_next_locked() {
       std::max(job->price.predicted_wall_s, 1e-9) / tenant.priority;
   job->state = JobState::kRunning;
   job->start_order = starts_++;
+  // gnav-lint(wall-clock): profiler wall — JobOutcome::queue_wait_s only.
+  job->queue_wait_s = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - job->submitted_at)
+                          .count();
   return job;
 }
 
 void JobScheduler::run_job(JobOutcome& job) {
   const JobRequest& request = job.request;
+  char span_name[40];
+  std::snprintf(span_name, sizeof(span_name), "job-%zu %s", job.id,
+                job.request.tenant.c_str());
+  GNAV_TRACE_SPAN("serve", span_name);
+  // gnav-lint(wall-clock): profiler wall — JobOutcome::run_s only.
+  const auto run_t0 = std::chrono::steady_clock::now();
   try {
     if (request.kind == JobKind::kNavigateTrain) {
       // Step 2 for this tenant: explore the scheduler's design space
@@ -182,6 +232,15 @@ void JobScheduler::run_job(JobOutcome& job) {
     job.error = e.what();
     job.state = JobState::kFailed;
   }
+  // gnav-lint(wall-clock): profiler wall — JobOutcome::run_s only.
+  job.run_s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            run_t0)
+                  .count();
+  const TenantInstruments ins = tenant_instruments(job.request.tenant);
+  (job.state == JobState::kDone ? ins.jobs_done : ins.jobs_failed).add(1);
+  ins.queue_wait_s.add(job.queue_wait_s);
+  ins.run_s.add(job.run_s);
+  ins.price_s.add(job.price.predicted_wall_s);
 }
 
 void JobScheduler::worker_loop() {
@@ -256,6 +315,41 @@ DrainStats JobScheduler::drain() {
     std::vector<estimator::ProfiledRun> corpus = *options_.base_corpus;
     corpus.insert(corpus.end(), feedback_.begin(), feedback_.end());
     estimator_->fit(corpus);
+  }
+
+  if (obs::metrics_enabled()) {
+    auto& reg = obs::MetricsRegistry::global();
+    static obs::Counter& drains =
+        reg.counter("gnav_serve_drains_total", {},
+                    "drain() calls that ran to completion");
+    static obs::Gauge& drain_wall =
+        reg.gauge("gnav_serve_drain_wall_seconds", {},
+                  "Wall seconds of the most recent drain()");
+    drains.add(1);
+    drain_wall.set(stats.wall_s);
+    // Per-tenant drain summary: std::map keeps tenant order deterministic.
+    struct TenantDrain {
+      std::size_t done = 0, failed = 0;
+      double wait_s = 0.0, run_s = 0.0, price_s = 0.0;
+    };
+    std::map<std::string, TenantDrain> by_tenant;
+    for (const auto& job : jobs_) {
+      if (job->start_order < starts_before ||
+          (job->state != JobState::kDone &&
+           job->state != JobState::kFailed)) {
+        continue;
+      }
+      TenantDrain& t = by_tenant[job->request.tenant];
+      (job->state == JobState::kDone ? t.done : t.failed) += 1;
+      t.wait_s += job->queue_wait_s;
+      t.run_s += job->run_s;
+      t.price_s += job->price.predicted_wall_s;
+    }
+    for (const auto& [tenant, t] : by_tenant) {
+      log_info("drain tenant=", tenant, " done=", t.done,
+                        " failed=", t.failed, " queue_wait_s=", t.wait_s,
+                        " run_s=", t.run_s, " price_s=", t.price_s);
+    }
   }
   return stats;
 }

@@ -41,6 +41,7 @@
 // pool sizes 1/2/8).
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -126,8 +127,17 @@ struct JobOutcome {
   /// Config that actually trained: request.config for kTrain, the DSE
   /// winner for kNavigateTrain.
   runtime::TrainConfig decided_config;
+  /// Wall-clock observables of this job's ride through the scheduler —
+  /// measured, NOT part of the bit-identity contract (same class as
+  /// DrainStats::wall_s). queue_wait_s: submit → fair-share pick;
+  /// run_s: pick → completion (either state).
+  double queue_wait_s = 0.0;
+  double run_s = 0.0;
   runtime::TrainReport report;  // valid when state == kDone
   std::string error;            // set when state == kFailed
+
+  /// Internal bookkeeping for queue_wait_s (set by submit()).
+  std::chrono::steady_clock::time_point submitted_at{};
 };
 
 struct SchedulerOptions {

@@ -7,19 +7,42 @@
 #include <set>
 #include <string>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/error.hpp"
 #include "support/log.hpp"
 
 namespace gnav::support {
 namespace {
 thread_local bool t_in_worker = false;
+
+/// Pool instruments. One process-wide pair shared by every pool: the
+/// gauge reflects the most recently active pool's backlog (a process
+/// diagnostic, not per-pool accounting), the counter totals across all
+/// pools.
+struct PoolInstruments {
+  obs::Gauge& pending;
+  obs::Counter& jobs;
+};
+
+PoolInstruments& pool_instruments() {
+  auto& reg = obs::MetricsRegistry::global();
+  static PoolInstruments ins{
+      reg.gauge("gnav_pool_pending_jobs", {},
+                "Jobs enqueued but unclaimed on the most recently active "
+                "thread pool"),
+      reg.counter("gnav_pool_jobs_total", {},
+                  "Jobs enqueued across every thread pool"),
+  };
+  return ins;
+}
 }  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) num_threads = default_thread_count();
   workers_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -46,18 +69,25 @@ InlineExecutionScope::InlineExecutionScope() : previous_(t_in_worker) {
 InlineExecutionScope::~InlineExecutionScope() { t_in_worker = previous_; }
 
 void ThreadPool::enqueue(std::function<void()> job) {
+  std::size_t backlog = 0;
   {
     MutexLock lock(mutex_);
     GNAV_CHECK(!stop_, "submit on a stopped ThreadPool");
     queue_.push_back(std::move(job));
+    backlog = queue_.size();
   }
   cv_.notify_one();
+  auto& ins = pool_instruments();
+  ins.jobs.add(1);
+  ins.pending.set(static_cast<double>(backlog));
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t worker_index) {
+  obs::set_thread_name("gnav-pool-" + std::to_string(worker_index));
   t_in_worker = true;
   for (;;) {
     std::function<void()> job;
+    std::size_t backlog = 0;
     {
       // Explicit wait loop (not the predicate overload): the predicate
       // lambda cannot carry a REQUIRES annotation, so the analysis would
@@ -68,7 +98,9 @@ void ThreadPool::worker_loop() {
       if (queue_.empty()) return;  // stop_ && drained
       job = std::move(queue_.front());
       queue_.pop_front();
+      backlog = queue_.size();
     }
+    pool_instruments().pending.set(static_cast<double>(backlog));
     job();  // packaged_task-style jobs never throw out of operator()
   }
 }

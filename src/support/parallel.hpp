@@ -74,7 +74,7 @@ class ThreadPool {
 
  private:
   void enqueue(std::function<void()> job) GNAV_EXCLUDES(mutex_);
-  void worker_loop();
+  void worker_loop(std::size_t worker_index);
 
   std::vector<std::thread> workers_;  // written only by the constructor
   mutable Mutex mutex_;

@@ -17,7 +17,11 @@ lint bans are the ways that contract historically rots:
       anything data-bearing (a seed, a cache decision, a batch order)
       breaks replay. Every call site must therefore carry an explicit
       `gnav-lint(wall-clock)` annotation declaring it a profiler wall —
-      unannotated calls fail the lint.
+      unannotated calls fail the lint. Two telemetry surfaces count as
+      annotated by construction: any file under an obs/ directory (the
+      whole layer exists to timestamp spans; its TrainReport-neutrality
+      is pinned by test instead), and a line within annotation reach of a
+      GNAV_TRACE_SPAN (a span body is a profiler wall by definition).
 
   unordered-iteration
       Iterating a std::unordered_map/unordered_set feeds hash-order —
@@ -87,6 +91,10 @@ ALLOWLIST: dict[str, str] = {
 ANNOTATION = re.compile(r"gnav-lint\((?P<rules>[\w,\- ]+)\)")
 # How many lines above a site an annotation comment still applies.
 ANNOTATION_REACH = 3
+
+# A trace span within reach makes a clock read a profiler wall by
+# definition (the span exists to measure that region).
+TRACE_SPAN = re.compile(r"\bGNAV_TRACE_SPAN\s*\(")
 
 RULES = {
     "raw-rand": [
@@ -162,9 +170,20 @@ def lint_file(path: Path, text: str) -> list[Finding]:
     except ValueError:
         rel_key = str(path)
 
+    # The obs/ telemetry layer IS the profiler-wall infrastructure: every
+    # clock read there feeds spans or metrics, never data. Exempt by
+    # directory part (not substring — src/obs/, never src/obs_foo/).
+    obs_layer = "obs" in path.parts
+
     def allowed(rule: str, idx: int) -> bool:
         if f"{rel_key}:{rule}" in ALLOWLIST:
             return True
+        if rule == "wall-clock":
+            if obs_layer:
+                return True
+            lo = max(0, idx - ANNOTATION_REACH)
+            if any(TRACE_SPAN.search(lines[j]) for j in range(lo, idx + 1)):
+                return True
         return annotated(lines, idx, rule)
 
     def code_part(line: str) -> str:
@@ -301,6 +320,27 @@ SELF_TEST_CORPUS: list[tuple[str | None, str, str] ] = [
         "  mutable std::mutex mu_;\n"
         "  std::vector<int> rows_;\n"
         "};\n",
+    ),
+    (
+        None,
+        "obs/good_obs_layer_now.cpp",
+        # Clock reads inside an obs/ directory are the telemetry layer's
+        # own profiler walls — exempt by construction.
+        "auto t = std::chrono::steady_clock::now();\n",
+    ),
+    (
+        "wall-clock",
+        "obs_lookalike/bad_not_obs_now.cpp",
+        # The exemption matches the path PART 'obs', never a substring.
+        "auto t = std::chrono::steady_clock::now();\n",
+    ),
+    (
+        None,
+        "good_span_reach_now.cpp",
+        # A GNAV_TRACE_SPAN within annotation reach declares the region a
+        # profiler wall.
+        'GNAV_TRACE_SPAN("pipeline", "sample");\n'
+        "auto t = std::chrono::steady_clock::now();\n",
     ),
     (
         None,

@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Strict validator for gnav Chrome trace-event exports.
+
+Checks that a trace file produced by `gnav::obs::write_chrome_trace` (or
+any tool flag built on it, e.g. `gnavigator_cli --trace-out`) is loadable
+by chrome://tracing / Perfetto and structurally sane:
+
+  - The file parses as STRICT JSON (json.load, no trailing garbage).
+  - Top level is an object with a `traceEvents` array.
+  - Every event is an object with a string `ph`; complete events
+    ("ph": "X") carry string `name`/`cat`, integer-or-float `ts`/`dur`
+    with dur >= 0, and integer `pid`/`tid`.
+  - Metadata events ("ph": "M") carry an `args` object.
+
+Optional structural assertions (what the CI trace job pins):
+
+  --min-categories N    at least N distinct complete-event categories
+  --require-category C  category C must appear (repeatable)
+  --require-nested      at least one pair of complete events on the SAME
+                        tid where one strictly contains the other in time
+                        (proves span nesting survived the export)
+
+`--emit-cmd CMD...` (must come last) runs CMD first — the emitter that
+writes the trace — then validates. This lets one ctest entry own the
+whole produce-and-check round trip.
+
+Exit codes: 0 valid, 1 invalid / emitter failed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+
+def fail(msg: str) -> int:
+    print(f"validate_trace: FAIL: {msg}", file=sys.stderr)
+    return 1
+
+
+def validate(path: Path, min_categories: int, required: list[str],
+             require_nested: bool) -> int:
+    try:
+        with path.open(encoding="utf-8") as f:
+            doc = json.load(f)
+    except FileNotFoundError:
+        return fail(f"no such file: {path}")
+    except json.JSONDecodeError as e:
+        return fail(f"{path} is not strict JSON: {e}")
+
+    if not isinstance(doc, dict):
+        return fail("top level must be an object")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return fail("missing or non-array traceEvents")
+
+    complete = []  # (tid, ts, dur, cat, name)
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict) or not isinstance(ev.get("ph"), str):
+            return fail(f"traceEvents[{i}] lacks a string 'ph'")
+        ph = ev["ph"]
+        if ph == "M":
+            if not isinstance(ev.get("args"), dict):
+                return fail(f"traceEvents[{i}] metadata without args object")
+            continue
+        if ph != "X":
+            continue  # other phases are legal Chrome JSON; we only pin X
+        for key in ("name", "cat"):
+            if not isinstance(ev.get(key), str):
+                return fail(f"traceEvents[{i}] X event lacks string '{key}'")
+        for key in ("ts", "dur"):
+            if not isinstance(ev.get(key), (int, float)):
+                return fail(f"traceEvents[{i}] X event lacks numeric '{key}'")
+        for key in ("pid", "tid"):
+            if not isinstance(ev.get(key), int):
+                return fail(f"traceEvents[{i}] X event lacks integer '{key}'")
+        if ev["dur"] < 0:
+            return fail(f"traceEvents[{i}] has negative dur")
+        complete.append((ev["tid"], float(ev["ts"]), float(ev["dur"]),
+                         ev["cat"], ev["name"]))
+
+    categories = sorted({c for (_, _, _, c, _) in complete})
+    if len(categories) < min_categories:
+        return fail(
+            f"need >= {min_categories} span categories, got "
+            f"{len(categories)}: {categories}"
+        )
+    for cat in required:
+        if cat not in categories:
+            return fail(f"required category '{cat}' absent (got {categories})")
+
+    if require_nested:
+        by_tid: dict[int, list[tuple[float, float]]] = {}
+        for tid, ts, dur, _, _ in complete:
+            by_tid.setdefault(tid, []).append((ts, ts + dur))
+        found = False
+        for spans in by_tid.values():
+            spans.sort()
+            for j in range(1, len(spans)):
+                # After the sort a strict container precedes (or equals the
+                # start of) the contained span; scan a bounded window back.
+                for k in range(j - 1, max(-1, j - 64), -1):
+                    s0, e0 = spans[k]
+                    s1, e1 = spans[j]
+                    if s0 <= s1 and e1 <= e0 and (s0, e0) != (s1, e1):
+                        found = True
+                        break
+                if found:
+                    break
+            if found:
+                break
+        if not found:
+            return fail("no nested span pair on any single tid")
+
+    print(
+        f"validate_trace: OK: {len(events)} events, {len(complete)} complete "
+        f"spans, {len(categories)} categories {categories}, "
+        f"{len({t for (t, *_ ) in complete})} span tids"
+    )
+    return 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--file", required=True, help="trace JSON to validate")
+    ap.add_argument("--min-categories", type=int, default=0)
+    ap.add_argument("--require-category", action="append", default=[],
+                    help="category that must appear (repeatable)")
+    ap.add_argument("--require-nested", action="store_true",
+                    help="require a strictly nested same-tid span pair")
+    ap.add_argument("--emit-cmd", nargs=argparse.REMAINDER, default=None,
+                    help="command to run first (the trace emitter); "
+                         "must be the last option")
+    args = ap.parse_args()
+
+    if args.emit_cmd:
+        proc = subprocess.run(args.emit_cmd)
+        if proc.returncode != 0:
+            return fail(f"emitter exited {proc.returncode}: {args.emit_cmd}")
+
+    return validate(Path(args.file), args.min_categories,
+                    args.require_category, args.require_nested)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
