@@ -417,8 +417,7 @@ std::string joined_ids_locked(const Registry& r) GNAV_REQUIRES(r.mu) {
 std::shared_ptr<const ComputeBackend> BackendFactory::create(
     const std::string& id) {
   Registry& r = registry();
-  std::shared_ptr<const ComputeBackend> instance;
-  bool created = false;
+  Creator creator = nullptr;
   {
     const support::MutexLock lock(r.mu);
     const auto it = r.entries.find(id);
@@ -426,14 +425,31 @@ std::shared_ptr<const ComputeBackend> BackendFactory::create(
       throw Error("unknown compute backend \"" + id +
                   "\" (registered: " + joined_ids_locked(r) + ")");
     }
+    if (it->second.instance) return it->second.instance;
+    creator = it->second.creator;
+  }
+  // Run the user-supplied creator OUTSIDE the registry lock. A creator
+  // is arbitrary code: a delegating backend constructs its delegate by
+  // re-entering create(), which self-deadlocks on r.mu if the creator
+  // runs under it — the same re-entry class the bind_metrics call below
+  // already dodges. Two racing first-creates may both run the creator;
+  // the second install loses and its instance is discarded (first-wins,
+  // like bind_metrics).
+  std::shared_ptr<const ComputeBackend> fresh = creator();
+  GNAV_CHECK(fresh != nullptr,
+             "backend creator for \"" + id + "\" returned null");
+  GNAV_CHECK(fresh->id() == id, "backend creator for \"" + id +
+                                    "\" built a backend named \"" +
+                                    fresh->id() + "\"");
+  std::shared_ptr<const ComputeBackend> instance;
+  bool created = false;
+  {
+    const support::MutexLock lock(r.mu);
+    const auto it = r.entries.find(id);
+    GNAV_CHECK(it != r.entries.end(),
+               "backend \"" + id + "\" vanished during create");
     if (!it->second.instance) {
-      it->second.instance = it->second.creator();
-      GNAV_CHECK(it->second.instance != nullptr,
-                 "backend creator for \"" + id + "\" returned null");
-      GNAV_CHECK(it->second.instance->id() == id,
-                 "backend creator for \"" + id +
-                     "\" built a backend named \"" +
-                     it->second.instance->id() + "\"");
+      it->second.instance = std::move(fresh);
       created = true;
     }
     instance = it->second.instance;

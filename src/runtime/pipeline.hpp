@@ -158,9 +158,9 @@ class TicketGate {
 
 using Clock = std::chrono::steady_clock;
 
-// gnav-lint(wall-clock): profiler wall — measured stage seconds are
-// wall-clock observables by definition, never data-bearing state.
 inline double seconds_since(Clock::time_point t0) {
+  // gnav-lint(wall-clock): profiler wall — measured stage seconds are
+  // wall-clock observables by definition, never data-bearing state.
   return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 

@@ -182,9 +182,9 @@ JobOutcome* JobScheduler::pick_next_locked() {
   job->state = JobState::kRunning;
   job->start_order = starts_++;
   // gnav-lint(wall-clock): profiler wall — JobOutcome::queue_wait_s only.
-  job->queue_wait_s = std::chrono::duration<double>(
-                          std::chrono::steady_clock::now() - job->submitted_at)
-                          .count();
+  const auto picked_at = std::chrono::steady_clock::now();
+  job->queue_wait_s =
+      std::chrono::duration<double>(picked_at - job->submitted_at).count();
   return job;
 }
 
@@ -290,9 +290,8 @@ DrainStats JobScheduler::drain() {
     for (auto& f : futures) f.get();
   }
   // gnav-lint(wall-clock): profiler wall — closes t0 above.
-  stats.wall_s = std::chrono::duration<double>(
-                     std::chrono::steady_clock::now() - t0)
-                     .count();
+  const auto drain_end = std::chrono::steady_clock::now();
+  stats.wall_s = std::chrono::duration<double>(drain_end - t0).count();
 
   const support::MutexLock lock(mutex_);
   stats.started = starts_ - starts_before;
@@ -359,7 +358,7 @@ std::size_t JobScheduler::size() const {
   return jobs_.size();
 }
 
-const JobOutcome& JobScheduler::outcome(std::size_t id) const {
+JobOutcome JobScheduler::outcome(std::size_t id) const {
   const support::MutexLock lock(mutex_);
   GNAV_CHECK(id < jobs_.size(), "job id out of range");
   return *jobs_[id];

@@ -199,9 +199,13 @@ class JobScheduler {
   DrainStats drain() GNAV_EXCLUDES(mutex_);
 
   std::size_t size() const GNAV_EXCLUDES(mutex_);
-  /// Outcomes are stable once drain() returned (do not call mid-drain
-  /// for running jobs).
-  const JobOutcome& outcome(std::size_t id) const GNAV_EXCLUDES(mutex_);
+  /// Snapshot of one job's outcome, BY VALUE. Stable once drain()
+  /// returned (do not call mid-drain for running jobs). This used to
+  /// return `const JobOutcome&` into the mutex-guarded `jobs_` storage —
+  /// the same guarded-ref-escape class as the old feedback() accessor
+  /// below: a live alias a later submit/drain could invalidate or
+  /// rewrite under the caller.
+  JobOutcome outcome(std::size_t id) const GNAV_EXCLUDES(mutex_);
 
   /// Completed jobs as estimator corpus rows, job-id order. Rebuilt at
   /// the end of every drain. BY VALUE: this used to hand out

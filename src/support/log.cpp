@@ -26,11 +26,16 @@ const char* level_tag(LogLevel level) {
   return "?";
 }
 
-/// Sink storage. The mutex — not fprintf's internal locking — is what
-/// guarantees whole-line emission and keeps a sink swap from racing an
-/// emit that is mid-call into the sink being replaced.
+/// Sink storage. `mu` guards the sink object itself (swap vs. copy);
+/// `emit_mu` guards no data at all — it only serializes delivery so
+/// lines from thread-pool workers never interleave mid-line. The two
+/// are separate on purpose: user sink code must never run under the
+/// mutex that set_log_sink() needs, or a sink that installs/clears a
+/// sink (or any callback re-entering the logger) self-deadlocks — the
+/// same lock-held-reentry class as the BackendFactory creator.
 struct LoggerState {
   support::Mutex mu;
+  support::Mutex emit_mu;
   LogSink sink GNAV_GUARDED_BY(mu);  // null = stderr default
 };
 
@@ -52,9 +57,34 @@ void set_log_sink(LogSink sink) {
 namespace detail {
 void log_emit(LogLevel level, const std::string& msg) {
   LoggerState& state = logger_state();
-  const support::MutexLock lock(state.mu);
-  if (state.sink) {
-    state.sink(level, msg);
+  // A sink that itself logs would re-acquire emit_mu on this thread;
+  // route the nested emit straight to stderr instead of deadlocking.
+  static thread_local bool t_in_emit = false;
+  if (t_in_emit) {
+    std::fprintf(stderr, "[gnav %s] %s\n", level_tag(level), msg.c_str());
+    return;
+  }
+  LogSink sink;
+  {
+    // Copy the sink out so user code never runs under state.mu: the
+    // copied std::function keeps the callable alive even if another
+    // thread (or the sink itself) swaps the sink mid-call.
+    const support::MutexLock lock(state.mu);
+    sink = state.sink;
+  }
+  const support::MutexLock emit_lock(state.emit_mu);
+  t_in_emit = true;
+  struct ClearFlag {
+    bool& flag;
+    ~ClearFlag() { flag = false; }
+  } clear{t_in_emit};
+  if (sink) {
+    // emit_mu guards no state — it only serializes delivery (the
+    // no-tear contract). Same-thread re-entry short-circuits to stderr
+    // above, and set_log_sink() takes only state.mu, so a sink may log
+    // or swap sinks without deadlock.
+    // gnav-analyzer(lock-held-reentry): emit_mu is delivery-only; re-entry is safe (see above).
+    sink(level, msg);
     return;
   }
   std::fprintf(stderr, "[gnav %s] %s\n", level_tag(level), msg.c_str());

@@ -1,11 +1,12 @@
 // Minimal leveled logger.
 //
 // Benchmarks and the DSE explorer emit progress through this logger so
-// tests can silence it globally. Thread-safe: the level is atomic, and
-// the emit path (sink pointer + write) runs under the logger's internal
-// support::Mutex, so lines from thread-pool workers (support/parallel)
-// never interleave mid-line and a sink swap never tears against an
-// in-flight emit.
+// tests can silence it globally. Thread-safe: the level is atomic; the
+// sink is copied out under the logger's state mutex and invoked under a
+// separate delivery mutex, so lines from thread-pool workers
+// (support/parallel) never interleave mid-line, and user sink code
+// never runs under the mutex set_log_sink() needs — a sink may log or
+// swap sinks without deadlocking.
 #pragma once
 
 #include <functional>
@@ -25,9 +26,10 @@ LogLevel log_level();
 using LogSink = std::function<void(LogLevel, const std::string&)>;
 
 /// Replaces the process-wide sink (tests capture warnings with this;
-/// pass nullptr to restore stderr). The swap and every emit serialize on
-/// the logger's mutex, so a sink never observes a half-written message
-/// and never runs concurrently with its own replacement.
+/// pass nullptr to restore stderr). Each emit copies the installed sink
+/// before calling it, so an in-flight delivery keeps its callable alive
+/// across a concurrent swap; deliveries themselves are serialized, so a
+/// sink never observes a half-written or interleaved message.
 void set_log_sink(LogSink sink);
 
 namespace detail {

@@ -311,6 +311,69 @@ TEST(BackendRegistration, CustomBackendRegistersAndResolves) {
   EXPECT_TRUE(bit_identical(y_ref, via_scope));
 }
 
+// A backend that resolves its delegate AT CREATION TIME — the creator
+// itself re-enters BackendFactory::create. Under the pre-fix factory the
+// creator ran while the registry mutex was held, so this exact shape
+// self-deadlocked (the lock-held-reentry class gnav_analyzer flags);
+// the factory now runs creators outside the lock with a first-wins
+// install.
+class DelegatingCreatorBackend final : public compute::ComputeBackend {
+ public:
+  explicit DelegatingCreatorBackend(
+      std::shared_ptr<const compute::ComputeBackend> delegate)
+      : delegate_(std::move(delegate)) {}
+  const std::string& id() const override {
+    static const std::string kId = "test-delegating-creator";
+    return kId;
+  }
+  compute::BackendCapabilities capabilities() const override {
+    return delegate_->capabilities();
+  }
+  compute::DeviceAllocator& allocator() const override {
+    return delegate_->allocator();
+  }
+  using compute::ComputeBackend::spmm;
+  void spmm(const graph::CsrGraph& g, const Tensor& x, Tensor& y,
+            const kernels::SpmmScales& scales,
+            support::ThreadPool* pool = nullptr) const override {
+    delegate_->spmm(g, x, y, scales, pool);
+  }
+
+ private:
+  std::shared_ptr<const compute::ComputeBackend> delegate_;
+};
+
+std::shared_ptr<compute::ComputeBackend> make_delegating_creator_backend() {
+  return std::make_shared<DelegatingCreatorBackend>(
+      compute::BackendFactory::create(compute::kScalarBackendId));
+}
+
+TEST(BackendRegistration, CreatorMayReenterFactoryWithoutDeadlock) {
+  compute::BackendCapabilities declared;
+  declared.simd_tier = "portable";
+  compute::BackendFactory::register_backend("test-delegating-creator",
+                                            declared,
+                                            &make_delegating_creator_backend);
+  const auto backend =
+      compute::BackendFactory::create("test-delegating-creator");
+  ASSERT_NE(backend, nullptr);
+  EXPECT_EQ(backend->id(), "test-delegating-creator");
+  // Still a process-wide singleton after the outside-the-lock rebuild.
+  EXPECT_EQ(backend.get(),
+            compute::BackendFactory::create("test-delegating-creator").get());
+  // And it behaves: bitwise-identical to its scalar delegate.
+  Rng grng(11);
+  const auto g = graph::barabasi_albert(80, 2, grng);
+  Rng rng(12);
+  const Tensor x =
+      Tensor::uniform(static_cast<std::size_t>(g.num_nodes()), 8, -1, 1, rng);
+  Tensor y(x.rows(), x.cols());
+  backend->spmm(g, x, y, kernels::SpmmScales{});
+  Tensor y_ref(x.rows(), x.cols());
+  kernels::spmm(g, x, y_ref, kernels::SpmmScales{}, kernels::SpmmImpl::kScalar);
+  EXPECT_TRUE(bit_identical(y_ref, y));
+}
+
 // ------------------------------------------------- allocator accounting
 
 TEST(DeviceAllocator, TracksInUseAndPeakBytes) {

@@ -239,6 +239,30 @@ TEST_F(ServeScheduler, PerJobSeedsAreDerivedDeterministically) {
   EXPECT_EQ(sched.size(), 2u);
 }
 
+TEST_F(ServeScheduler, OutcomeIsAValueSnapshotNotALiveAlias) {
+  support::ThreadPool pool(2);
+  SchedulerOptions options;
+  options.pool = &pool;
+  options.seed = 7;
+  JobScheduler sched(*backend_, *est_, *stats_, options);
+  const std::size_t first = sched.submit(sync_request());
+  // Bind the accessor's result by reference-to-const: with the old
+  // `const JobOutcome&` signature this was a live alias into the
+  // mutex-guarded job table, and the drain below rewrote it under us
+  // (state flipping to kDone). By value it is a lifetime-extended
+  // snapshot that the churn must not touch.
+  const auto& before = sched.outcome(first);
+  EXPECT_EQ(before.state, JobState::kQueued);
+  for (int i = 0; i < 4; ++i) sched.submit(sync_request());
+  sched.drain();
+  EXPECT_EQ(before.state, JobState::kQueued);
+  EXPECT_EQ(before.seed, support::task_seed(7, 0));
+  const JobOutcome after = sched.outcome(first);
+  EXPECT_EQ(after.state, JobState::kDone);
+  EXPECT_EQ(after.seed, before.seed);
+  EXPECT_EQ(after.start_order, 0u);
+}
+
 TEST_F(ServeScheduler, FairShareWeightsTenantsByPriority) {
   support::ThreadPool pool(2);
   SchedulerOptions options;

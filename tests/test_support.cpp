@@ -83,6 +83,44 @@ TEST(Log, ConcurrentEmitsNeverTearAcrossTheSink) {
   }
 }
 
+TEST(Log, ReentrantSinkDoesNotDeadlock) {
+  // A sink that itself logs used to re-acquire the logger mutex on the
+  // same thread (the lock-held-reentry class gnav_analyzer flags). The
+  // nested emit must short-circuit to stderr, and the outer message must
+  // still be captured exactly once.
+  const LogLevel saved = log_level();
+  std::vector<std::string> captured;
+  set_log_sink([&captured](LogLevel, const std::string& msg) {
+    captured.push_back(msg);
+    log_error("nested emit from inside the sink");
+  });
+  set_log_level(LogLevel::kWarn);
+  log_warn("outer");
+  set_log_sink(nullptr);
+  set_log_level(saved);
+
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_EQ(captured[0], "outer");
+}
+
+TEST(Log, SinkMaySwapSinksMidDeliveryWithoutDeadlock) {
+  // set_log_sink takes only the state mutex, never the delivery mutex,
+  // so a sink may replace (or clear) itself while its own call is in
+  // flight; the in-flight delivery runs on a copied std::function.
+  const LogLevel saved = log_level();
+  int calls = 0;
+  set_log_sink([&calls](LogLevel, const std::string&) {
+    ++calls;
+    set_log_sink(nullptr);  // self-uninstall during delivery
+  });
+  set_log_level(LogLevel::kWarn);
+  log_warn("first");   // captured; uninstalls the sink
+  log_warn("second");  // stderr default — capture must have stopped
+  set_log_level(saved);
+
+  EXPECT_EQ(calls, 1);
+}
+
 TEST(Rng, DeterministicAcrossInstances) {
   Rng a(42);
   Rng b(42);

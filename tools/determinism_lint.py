@@ -23,12 +23,14 @@ lint bans are the ways that contract historically rots:
       is pinned by test instead), and a line within annotation reach of a
       GNAV_TRACE_SPAN (a span body is a profiler wall by definition).
 
-  unordered-iteration
+  unordered-iteration  (superseded — runs only with --include-superseded)
       Iterating a std::unordered_map/unordered_set feeds hash-order —
       which varies across libstdc++ versions and pointer layouts — into
       whatever consumes the loop. Membership tests are fine; iteration
       is not. (cluster_sampler's seed-count map was exactly this: only a
-      downstream total-order sort kept it deterministic.)
+      downstream total-order sort kept it deterministic.) Graduated to
+      the gnav_analyzer AST check of the same name, which sees types
+      instead of guessing from declarations in the same file.
 
   nondet-reduction
       In kernel code (kernels/, nn/, tensor/, compute/), std::reduce and
@@ -37,25 +39,40 @@ lint bans are the ways that contract historically rots:
       fast-math pragmas void -ffp-contract=off. All reorder float sums
       that golden traces pin bitwise.
 
-  mutable-ref-accessor
+  mutable-ref-accessor  (superseded — runs only with --include-superseded)
       In a class that owns a mutex, a `const T& accessor() const
       { return member_; }` hands out a live alias into guarded state —
       the caller keeps reading after the lock is gone (the
       residency_version()/feedback() bug class). Snapshot by value, or
       annotate the accessor if the alias is a designed live-read surface.
+      Graduated to gnav_analyzer's guarded-ref-escape AST check, which
+      resolves GNAV_GUARDED_BY fields instead of pattern-matching.
+
+Relationship to tools/gnav_analyzer
+    This lint is the regex layer; gnav_analyzer is the AST layer. Rules
+    that graduated to AST checks are demoted here behind
+    --include-superseded so machines without libclang (where the
+    analyzer SKIPs) can still run full coverage:
+
+        tools/determinism_lint.py --include-superseded
 
 Suppressing a finding
-    Put `gnav-lint(<rule>)` in a comment on the offending line or within
-    the three lines above it, with a reason:
+    Put `gnav-lint(<rule>)` in a comment on the offending line, or on an
+    annotation line directly above it (blank/comment lines may sit in
+    between, other code may not, and never more than three lines up):
 
         const auto t0 = Clock::now();  // gnav-lint(wall-clock): profiler wall
+
+    An annotation blesses only the next code line — it cannot reach past
+    an intervening statement to an unrelated site further down. The same
+    adjacency governs the GNAV_TRACE_SPAN wall-clock exemption.
 
     File-wide or unannotatable exemptions go in ALLOWLIST below, keyed
     "relative/path.cpp:rule", with a justification string. Both paths are
     deliberate: every exemption is written down next to a reason.
 
 Usage
-    tools/determinism_lint.py [--self-test] [paths...]
+    tools/determinism_lint.py [--self-test] [--include-superseded] [paths...]
 
     With no paths, lints src/ relative to the repo root (the directory
     containing this tools/ dir). --self-test runs every rule against an
@@ -89,8 +106,16 @@ ALLOWLIST: dict[str, str] = {
 }
 
 ANNOTATION = re.compile(r"gnav-lint\((?P<rules>[\w,\- ]+)\)")
-# How many lines above a site an annotation comment still applies.
+# Outer bound on how many lines above a site an annotation comment can
+# sit. Within that window adjacency is strict: an annotation blesses its
+# own line and the next code line only — an intervening statement cuts
+# the reach (see `annotated`).
 ANNOTATION_REACH = 3
+
+# Rules that graduated to gnav_analyzer AST checks (which resolve real
+# types instead of pattern-matching). They run here only with
+# --include-superseded, the fallback for machines without libclang.
+SUPERSEDED_RULES = frozenset({"unordered-iteration", "mutable-ref-accessor"})
 
 # A trace span within reach makes a clock read a profiler wall by
 # definition (the span exists to measure that region).
@@ -146,14 +171,29 @@ class Finding:
         return f"{rel}:{self.line}: [{self.rule}] {self.message}"
 
 
+def _code_part(line: str) -> str:
+    """The line with any trailing // comment stripped."""
+    return line.split("//", 1)[0]
+
+
 def annotated(lines: list[str], idx: int, rule: str) -> bool:
-    """True when line idx (0-based) carries — or is preceded within
-    ANNOTATION_REACH lines by — a gnav-lint(<rule>) annotation."""
+    """True when line idx (0-based) carries a gnav-lint(<rule>)
+    annotation, or is the first code line below one.
+
+    The nearest annotation above decides, and only if no code line sits
+    between it and the site: an annotation (including one trailing an
+    earlier statement) must not reach past intervening code to bless an
+    unrelated site further down. ANNOTATION_REACH bounds the upward
+    scan so a blank/comment block cannot stretch the window forever.
+    """
     lo = max(0, idx - ANNOTATION_REACH)
     for j in range(idx, lo - 1, -1):
         m = ANNOTATION.search(lines[j])
         if m and rule in [r.strip() for r in m.group("rules").split(",")]:
-            return True
+            if j == idx:
+                return True
+            between = lines[j + 1: idx]
+            return all(not _code_part(l).strip() for l in between)
     return False
 
 
@@ -161,7 +201,8 @@ def in_kernel_dir(path: Path) -> bool:
     return any(part in KERNEL_DIRS for part in path.parts)
 
 
-def lint_file(path: Path, text: str) -> list[Finding]:
+def lint_file(path: Path, text: str,
+              include_superseded: bool = False) -> list[Finding]:
     findings: list[Finding] = []
     lines = text.splitlines()
     rel_key = None
@@ -175,21 +216,34 @@ def lint_file(path: Path, text: str) -> list[Finding]:
     # directory part (not substring — src/obs/, never src/obs_foo/).
     obs_layer = "obs" in path.parts
 
+    def span_blessed(idx: int) -> bool:
+        # A GNAV_TRACE_SPAN declares the clock read directly below it a
+        # profiler wall. Same strict adjacency as annotations: the
+        # nearest span above decides, and an intervening code line cuts
+        # the reach — a span must not bless an unrelated now() two
+        # statements later.
+        lo = max(0, idx - ANNOTATION_REACH)
+        for j in range(idx, lo - 1, -1):
+            if TRACE_SPAN.search(lines[j]):
+                if j == idx:
+                    return True
+                between = lines[j + 1: idx]
+                return all(not _code_part(l).strip() for l in between)
+        return False
+
     def allowed(rule: str, idx: int) -> bool:
         if f"{rel_key}:{rule}" in ALLOWLIST:
             return True
         if rule == "wall-clock":
             if obs_layer:
                 return True
-            lo = max(0, idx - ANNOTATION_REACH)
-            if any(TRACE_SPAN.search(lines[j]) for j in range(lo, idx + 1)):
+            if span_blessed(idx):
                 return True
         return annotated(lines, idx, rule)
 
-    def code_part(line: str) -> str:
-        # Strip line comments so commented-out examples don't trip rules
-        # (the annotation scan above still sees the full line).
-        return line.split("//", 1)[0]
+    # Strip line comments so commented-out examples don't trip rules
+    # (the annotation scan above still sees the full line).
+    code_part = _code_part
 
     # --- simple per-line pattern rules -----------------------------------
     for rule, patterns in RULES.items():
@@ -204,7 +258,10 @@ def lint_file(path: Path, text: str) -> list[Finding]:
                     )
                     break
 
-    # --- unordered-iteration ---------------------------------------------
+    if not include_superseded:
+        return findings
+
+    # --- unordered-iteration (superseded by the AST check) ----------------
     unordered_names = {m.group("name") for m in UNORDERED_DECL.finditer(text)}
     # Drop type/parameter-ish captures that are clearly not variables.
     unordered_names.discard("")
@@ -230,7 +287,7 @@ def lint_file(path: Path, text: str) -> list[Finding]:
                 if not allowed("unordered-iteration", i):
                     findings.append(Finding(path, i + 1, "unordered-iteration", msg))
 
-    # --- mutable-ref-accessor --------------------------------------------
+    # --- mutable-ref-accessor (superseded by guarded-ref-escape) ----------
     # Only meaningful in files that hold a mutex: that is where a
     # returned reference outlives the lock that made it coherent.
     if MUTEX_MARKER.search(text):
@@ -250,15 +307,17 @@ def lint_file(path: Path, text: str) -> list[Finding]:
     return findings
 
 
-def lint_paths(paths: list[Path]) -> list[Finding]:
+def lint_paths(paths: list[Path],
+               include_superseded: bool = False) -> list[Finding]:
     findings: list[Finding] = []
     for root in paths:
         files = [root] if root.is_file() else sorted(root.rglob("*"))
         for f in files:
             if f.suffix in CPP_SUFFIXES and f.is_file():
-                findings.append(None)  # placeholder to keep mypy quiet
-                findings.pop()
-                findings.extend(lint_file(f, f.read_text(encoding="utf-8")))
+                findings.extend(
+                    lint_file(f, f.read_text(encoding="utf-8"),
+                              include_superseded=include_superseded)
+                )
     return findings
 
 
@@ -337,16 +396,48 @@ SELF_TEST_CORPUS: list[tuple[str | None, str, str] ] = [
     (
         None,
         "good_span_reach_now.cpp",
-        # A GNAV_TRACE_SPAN within annotation reach declares the region a
+        # A GNAV_TRACE_SPAN directly above declares the clock read a
         # profiler wall.
         'GNAV_TRACE_SPAN("pipeline", "sample");\n'
         "auto t = std::chrono::steady_clock::now();\n",
+    ),
+    (
+        "wall-clock",
+        "bad_span_reach_cut_by_code.cpp",
+        # Strict adjacency: the span blesses the now() directly below it,
+        # but must NOT reach past an intervening statement to bless an
+        # unrelated now() two statements later.
+        'GNAV_TRACE_SPAN("pipeline", "sample");\n'
+        "auto t0 = std::chrono::steady_clock::now();\n"
+        "do_data_bearing_work(t0);\n"
+        "auto t1 = std::chrono::steady_clock::now();\n",
     ),
     (
         None,
         "good_annotated_now.cpp",
         "// gnav-lint(wall-clock): profiler wall\n"
         "auto t = std::chrono::steady_clock::now();\n",
+    ),
+    (
+        None,
+        "good_annotation_through_comment.cpp",
+        # Blank and comment lines do not cut the reach (ANNOTATION_REACH
+        # still bounds the window).
+        "// gnav-lint(wall-clock): profiler wall\n"
+        "// measures the sample stage\n"
+        "\n"
+        "auto t = std::chrono::steady_clock::now();\n",
+    ),
+    (
+        "wall-clock",
+        "bad_annotation_cut_by_code.cpp",
+        # An annotation (here trailing an earlier, legitimately blessed
+        # read) must not reach past intervening code to an unrelated
+        # now() further down.
+        "auto t0 = std::chrono::steady_clock::now();  "
+        "// gnav-lint(wall-clock): profiler wall\n"
+        "seed_rng_from(t0);\n"
+        "auto t1 = std::chrono::steady_clock::now();\n",
     ),
     (
         None,
@@ -386,7 +477,9 @@ def self_test() -> int:
     failures = []
     for expected_rule, fake_name, code in SELF_TEST_CORPUS:
         path = REPO_ROOT / "selftest" / fake_name  # fake path, never read
-        found = lint_file(path, code)
+        # Superseded rules stay in the corpus: they must keep working as
+        # the --include-superseded fallback.
+        found = lint_file(path, code, include_superseded=True)
         rules = {f.rule for f in found}
         if expected_rule is None:
             if found:
@@ -414,6 +507,13 @@ def main() -> int:
         action="store_true",
         help="run the embedded known-bad corpus against every rule",
     )
+    ap.add_argument(
+        "--include-superseded",
+        action="store_true",
+        help="also run rules that graduated to gnav_analyzer AST checks "
+             f"({', '.join(sorted(SUPERSEDED_RULES))}) — the fallback for "
+             "machines without libclang",
+    )
     args = ap.parse_args()
 
     if args.self_test:
@@ -424,7 +524,7 @@ def main() -> int:
         if not r.exists():
             print(f"determinism_lint: no such path: {r}", file=sys.stderr)
             return 1
-    findings = lint_paths(roots)
+    findings = lint_paths(roots, include_superseded=args.include_superseded)
     for f in findings:
         print(f)
     if findings:

@@ -1,0 +1,14 @@
+"""Entry point for `python3 tools/gnav_analyzer` (directory execution)
+and `python3 -m gnav_analyzer`. Directory execution puts the package
+dir itself on sys.path, so bootstrap the parent before importing."""
+
+import sys
+from pathlib import Path
+
+if __package__ in (None, ""):
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from gnav_analyzer.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,201 @@
+"""Command-line entry point.
+
+Exit codes (the CTest wiring depends on these):
+  0   clean (or --self-test passed / --list-checks)
+  1   active findings (or --self-test failed)
+  2   configuration error: missing compile db, bad allowlist entry,
+      suppression without a justification, unknown check name
+  77  libclang unavailable — ctest SKIP_RETURN_CODE, not a failure
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from gnav_analyzer import (
+    CHECK_DESCRIPTIONS,
+    EXIT_CLEAN,
+    EXIT_CONFIG_ERROR,
+    EXIT_FINDINGS,
+    EXIT_SKIP,
+)
+from gnav_analyzer import compiledb, suppress
+from gnav_analyzer import report as report_mod
+
+
+def _default_repo_root() -> Path:
+    return Path(__file__).resolve().parent.parent.parent
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="gnav_analyzer",
+        description=(
+            "AST-accurate concurrency/determinism checks over the "
+            "exported compile database (see tools/gnav_analyzer/"
+            "__init__.py for the check catalogue)."
+        ),
+    )
+    parser.add_argument("--compile-db", type=Path, default=None,
+                        help="explicit compile_commands.json path")
+    parser.add_argument("--repo-root", type=Path, default=None,
+                        help="repository root (default: two levels up)")
+    parser.add_argument("--checks",
+                        default=",".join(sorted(CHECK_DESCRIPTIONS)),
+                        help="comma-separated subset of checks to run")
+    parser.add_argument("--json", type=Path, dest="json_out", default=None,
+                        help="write the JSON report here")
+    parser.add_argument("--sarif", type=Path, dest="sarif_out",
+                        default=None, help="write the SARIF report here")
+    parser.add_argument("--allowlist", type=Path, default=None,
+                        help="allowlist file (default: package ALLOWLIST)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run every check against the bundled corpus")
+    parser.add_argument("--list-checks", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.list_checks:
+        for name in sorted(CHECK_DESCRIPTIONS):
+            print(f"{name}: {CHECK_DESCRIPTIONS[name]}")
+        return EXIT_CLEAN
+
+    check_names = [c.strip() for c in args.checks.split(",") if c.strip()]
+    unknown = set(check_names) - set(CHECK_DESCRIPTIONS)
+    if unknown:
+        print(f"error: unknown checks: {', '.join(sorted(unknown))}",
+              file=sys.stderr)
+        return EXIT_CONFIG_ERROR
+
+    from gnav_analyzer import engine
+
+    available, detail = engine.libclang_status()
+    if not available:
+        print(
+            f"SKIP: {detail}; the regex fallback is "
+            "`tools/determinism_lint.py --include-superseded`",
+            file=sys.stderr,
+        )
+        return EXIT_SKIP
+
+    if args.self_test:
+        from gnav_analyzer import selftest
+
+        return selftest.run()
+
+    repo_root = (args.repo_root or _default_repo_root()).resolve()
+    try:
+        db_path = compiledb.discover(repo_root, args.compile_db)
+    except compiledb.CompileDbError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return EXIT_CONFIG_ERROR
+    if db_path is None:
+        print(
+            "error: no compile_commands.json found under "
+            f"{repo_root} — configure with CMAKE_EXPORT_COMPILE_COMMANDS"
+            "=ON (the repo default) or pass --compile-db",
+            file=sys.stderr,
+        )
+        return EXIT_CONFIG_ERROR
+
+    src_root = repo_root / "src"
+    try:
+        commands = compiledb.load(db_path, source_filter=src_root)
+    except compiledb.CompileDbError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return EXIT_CONFIG_ERROR
+    if not commands:
+        print(f"error: {db_path} holds no TUs under {src_root}",
+              file=sys.stderr)
+        return EXIT_CONFIG_ERROR
+
+    allowlist_path = args.allowlist or Path(__file__).parent / "ALLOWLIST"
+    try:
+        allowlist = suppress.load_allowlist(
+            allowlist_path, set(CHECK_DESCRIPTIONS)
+        )
+    except suppress.SuppressionError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return EXIT_CONFIG_ERROR
+
+    report = report_mod.Report(
+        compile_db=str(db_path), checks=check_names
+    )
+    seen: set = set()
+    suppression_cache: dict[Path, dict[int, set[str]]] = {}
+    config_errors: list[str] = []
+    parse_problems: list[str] = []
+    parsed_ok = 0
+
+    for cmd in commands:
+        tu, fatal = engine.parse_tu(cmd)
+        if fatal:
+            parse_problems.extend(
+                f"{cmd.file}: {d.spelling}" for d in fatal[:5]
+            )
+        else:
+            parsed_ok += 1
+        for finding in engine.run_checks(tu, [src_root], check_names):
+            abs_path = Path(finding.file).resolve()
+            try:
+                rel = str(abs_path.relative_to(repo_root))
+            except ValueError:
+                rel = finding.file
+            finding.file = rel.replace("\\", "/")
+            if abs_path not in suppression_cache:
+                try:
+                    text = abs_path.read_text()
+                except OSError:
+                    text = ""
+                lines, errors = suppress.inline_suppressions(text)
+                suppression_cache[abs_path] = lines
+                config_errors.extend(f"{finding.file}: {e}"
+                                     for e in errors)
+            inline = suppression_cache[abs_path]
+            entry = suppress.allowlisted(allowlist, finding.file,
+                                         finding.check)
+            if finding.check in inline.get(finding.line, ()):
+                finding.suppressed = True
+                finding.suppression_reason = "inline gnav-analyzer note"
+            elif entry is not None:
+                finding.suppressed = True
+                finding.suppression_reason = (
+                    f"ALLOWLIST: {entry.justification}"
+                )
+            report.add(finding, seen)
+
+    if parsed_ok == 0:
+        print("error: every TU failed to parse — the analyzer is blind; "
+              "first diagnostics:", file=sys.stderr)
+        for p in parse_problems[:10]:
+            print(f"  {p}", file=sys.stderr)
+        return EXIT_CONFIG_ERROR
+    if parse_problems:
+        print(f"warning: {len(parse_problems)} parse diagnostic(s) "
+              "(checks still ran on the parsed portions):",
+              file=sys.stderr)
+        for p in parse_problems[:10]:
+            print(f"  {p}", file=sys.stderr)
+
+    if args.json_out:
+        report_mod.write_json(report, args.json_out)
+    if args.sarif_out:
+        report_mod.write_sarif(report, args.sarif_out)
+
+    if config_errors:
+        print("configuration errors:", file=sys.stderr)
+        for e in config_errors:
+            print(f"  {e}", file=sys.stderr)
+        return EXIT_CONFIG_ERROR
+
+    active = report.active()
+    suppressed = len(report.findings) - len(active)
+    print(
+        f"gnav-analyzer: {len(commands)} TU(s), "
+        f"{len(check_names)} check(s), {len(active)} active finding(s), "
+        f"{suppressed} suppressed"
+    )
+    for f in active:
+        print(f"{f.file}:{f.line}:{f.column}: [{f.check}] {f.message}")
+    return EXIT_FINDINGS if active else EXIT_CLEAN

@@ -1,0 +1,128 @@
+"""Compile-database discovery and loading. Pure Python — no libclang.
+
+The analyzer is driven by the compile database CMake exports
+(CMAKE_EXPORT_COMPILE_COMMANDS, on by default for this repo), so every
+TU is parsed with the exact flags it builds with.
+"""
+
+from __future__ import annotations
+
+import json
+import shlex
+from dataclasses import dataclass, field
+from pathlib import Path
+
+
+class CompileDbError(Exception):
+    """Malformed or missing compile database (CLI exit: config error)."""
+
+
+@dataclass
+class CompileCommand:
+    file: Path
+    directory: Path
+    args: list[str] = field(default_factory=list)
+
+
+def discover(repo_root: Path, explicit: Path | None = None) -> Path | None:
+    """Locate compile_commands.json.
+
+    An explicit path always wins (and must exist). Otherwise search the
+    conventional spots in order: build/, any build*/ sibling (sorted for
+    determinism), then the repo root itself.
+    """
+    if explicit is not None:
+        if not explicit.is_file():
+            raise CompileDbError(f"compile database not found: {explicit}")
+        return explicit
+    preferred = repo_root / "build" / "compile_commands.json"
+    if preferred.is_file():
+        return preferred
+    for build_dir in sorted(repo_root.glob("build*")):
+        candidate = build_dir / "compile_commands.json"
+        if candidate.is_file():
+            return candidate
+    fallback = repo_root / "compile_commands.json"
+    if fallback.is_file():
+        return fallback
+    return None
+
+
+def _strip_for_parse(argv: list[str], source: Path) -> list[str]:
+    """Reduce a build command line to flags libclang can parse with.
+
+    Drops the compiler (and a ccache/sccache launcher prefix), -c, the
+    -o output pair, and the source file itself; keeps includes, defines,
+    and language-mode flags.
+    """
+    args = list(argv)
+    while args and Path(args[0]).name in ("ccache", "sccache"):
+        args.pop(0)
+    if args:
+        args.pop(0)  # the compiler itself
+    out: list[str] = []
+    skip_next = False
+    for a in args:
+        if skip_next:
+            skip_next = False
+            continue
+        if a == "-c":
+            continue
+        if a == "-o":
+            skip_next = True
+            continue
+        if a.startswith("-o") and len(a) > 2 and not a.startswith("-of"):
+            continue
+        try:
+            if Path(a).name == source.name and not a.startswith("-"):
+                continue
+        except (OSError, ValueError):
+            pass
+        out.append(a)
+    return out
+
+
+def load(db_path: Path, source_filter: Path | None = None) -> list[CompileCommand]:
+    """Load compile commands, optionally keeping only TUs under a root.
+
+    `source_filter` is how full-repo runs restrict to src/ — the project
+    contracts the checks encode apply to library code; tests and benches
+    exercise them instead.
+    """
+    try:
+        entries = json.loads(db_path.read_text())
+    except (OSError, json.JSONDecodeError) as e:
+        raise CompileDbError(f"cannot read compile database {db_path}: {e}")
+    if not isinstance(entries, list):
+        raise CompileDbError(f"{db_path}: expected a JSON array of entries")
+    commands: list[CompileCommand] = []
+    for entry in entries:
+        if not isinstance(entry, dict) or "file" not in entry:
+            raise CompileDbError(f"{db_path}: malformed entry: {entry!r}")
+        directory = Path(entry.get("directory", "."))
+        source = Path(entry["file"])
+        if not source.is_absolute():
+            source = directory / source
+        source = source.resolve()
+        if source_filter is not None:
+            try:
+                source.relative_to(source_filter.resolve())
+            except ValueError:
+                continue
+        if "arguments" in entry:
+            argv = list(entry["arguments"])
+        elif "command" in entry:
+            argv = shlex.split(entry["command"])
+        else:
+            raise CompileDbError(
+                f"{db_path}: entry for {source} has neither 'arguments' "
+                "nor 'command'"
+            )
+        commands.append(
+            CompileCommand(
+                file=source,
+                directory=directory,
+                args=_strip_for_parse(argv, source),
+            )
+        )
+    return commands

@@ -1,0 +1,19 @@
+// Known-bad: public methods hand out a reference and a pointer into a
+// GNAV_GUARDED_BY field — live aliases the next locked mutation
+// rewrites under the caller (the JobScheduler::outcome()/feedback()
+// bug class).
+#include "gnav_stub.hpp"
+
+class Tally {
+ public:
+  const int& live_count() const {
+    return count_;  // expect-finding(guarded-ref-escape)
+  }
+  const int* raw_count() const {
+    return &count_;  // expect-finding(guarded-ref-escape)
+  }
+
+ private:
+  mutable gnav::support::Mutex mu_;
+  int count_ GNAV_GUARDED_BY(mu_) = 0;
+};

@@ -1,0 +1,23 @@
+// Known-good: guarded state leaves the class only as a value snapshot
+// taken under the lock, or through a GNAV_REQUIRES accessor that makes
+// the caller hold the capability (the DeviceCache per-row pattern).
+#include "gnav_stub.hpp"
+
+class SafeTally {
+ public:
+  int snapshot() const {
+    gnav::support::MutexLock lock(mu_);
+    return count_;
+  }
+  const int& count_locked() const GNAV_REQUIRES(mu_) {
+    return count_;
+  }
+  int bump() {
+    gnav::support::MutexLock lock(mu_);
+    return ++count_;
+  }
+
+ private:
+  mutable gnav::support::Mutex mu_;
+  int count_ GNAV_GUARDED_BY(mu_) = 0;
+};

@@ -1,0 +1,33 @@
+// Known-bad: arbitrary user code runs while a support::Mutex is held —
+// virtual dispatch, std::function callbacks, raw function pointers, and
+// BackendFactory::create are each one re-entrant call away from
+// self-deadlock (the factory-creator and log-sink bug class).
+#include "gnav_stub.hpp"
+
+struct Device {
+  virtual ~Device();
+  virtual void poll();
+};
+
+using Hook = void (*)();
+
+void virtual_under_lock(Device& dev, gnav::support::Mutex& mu) {
+  gnav::support::MutexLock lock(mu);
+  dev.poll();  // expect-finding(lock-held-reentry)
+}
+
+void callback_under_lock(const std::function<void()>& notify,
+                         gnav::support::Mutex& mu) {
+  gnav::support::MutexLock lock(mu);
+  notify();  // expect-finding(lock-held-reentry)
+}
+
+void pointer_under_lock(Hook hook, gnav::support::Mutex& mu) {
+  gnav::support::MutexLock lock(mu);
+  hook();  // expect-finding(lock-held-reentry)
+}
+
+void factory_under_lock(gnav::support::Mutex& mu) {
+  gnav::support::MutexLock lock(mu);
+  gnav::compute::BackendFactory::create("x");  // expect-finding(lock-held-reentry)
+}

@@ -1,0 +1,34 @@
+// Known-good: the callback is copied out under the lock and invoked
+// after it drops; virtual dispatch and factory calls happen before the
+// lock is taken. This is the exact shape of the fixed log_emit and
+// BackendFactory::create.
+#include "gnav_stub.hpp"
+
+struct Device {
+  virtual ~Device();
+  virtual void poll();
+};
+
+void copy_out_then_call(const std::function<void()>& notify,
+                        gnav::support::Mutex& mu) {
+  std::function<void()> pending;
+  {
+    gnav::support::MutexLock lock(mu);
+    pending = notify;
+  }
+  pending();
+}
+
+void virtual_before_lock(Device& dev, gnav::support::Mutex& mu) {
+  dev.poll();
+  gnav::support::MutexLock lock(mu);
+  int generation = 0;
+  (void)generation;
+}
+
+void factory_outside_lock(gnav::support::Mutex& mu) {
+  const gnav::compute::ComputeBackend* backend =
+      gnav::compute::BackendFactory::create("cpu-scalar");
+  gnav::support::MutexLock lock(mu);
+  (void)backend;
+}

@@ -1,0 +1,20 @@
+// Known-bad: parallel task bodies share one Rng stream (draw order =
+// schedule order ⇒ nondeterministic results) or copy a stream
+// (duplicate draws). Per-task streams must be derived from task_seed.
+#include "gnav_stub.hpp"
+
+void shared_stream(gnav::support::ThreadPool& pool,
+                   gnav::support::Rng& rng) {
+  pool.parallel_for(8, [&rng](std::size_t i) {
+    (void)i;
+    rng.next_u64();  // expect-finding(rng-stream-discipline)
+  });
+}
+
+void copied_stream(gnav::support::ThreadPool& pool,
+                   gnav::support::Rng& rng) {
+  pool.submit([rng]() mutable {
+    gnav::support::Rng dup = rng;  // expect-finding(rng-stream-discipline)
+    dup.next_u64();
+  });
+}

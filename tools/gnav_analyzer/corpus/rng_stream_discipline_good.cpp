@@ -1,0 +1,21 @@
+// Known-good: each task constructs its own stream from task_seed(base,
+// index) — draws are a pure function of (base seed, task index), so the
+// result is identical at any worker count or schedule (the batcher /
+// sampler pattern).
+#include "gnav_stub.hpp"
+
+void per_task_streams(gnav::support::ThreadPool& pool,
+                      unsigned long long seed) {
+  pool.parallel_for(8, [seed](std::size_t i) {
+    gnav::support::Rng rng(gnav::support::task_seed(seed, i));
+    rng.next_u64();
+  });
+}
+
+void submit_with_fresh_stream(gnav::support::ThreadPool& pool,
+                              unsigned long long seed) {
+  pool.submit([seed] {
+    gnav::support::Rng rng(gnav::support::task_seed(seed, 0));
+    rng.next_u64();
+  });
+}

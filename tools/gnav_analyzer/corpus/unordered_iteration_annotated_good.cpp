@@ -1,0 +1,13 @@
+// Known-good via escape hatch: the violation is real but justified
+// inline — the annotation (with its mandatory reason) blesses the line
+// directly below it, exactly like determinism_lint's gnav-lint notes.
+#include "gnav_stub.hpp"
+
+int blessed_fold(std::unordered_map<int, int>& m) {
+  int sum = 0;
+  // gnav-analyzer(unordered-iteration): integer sum — commutative fold, order cannot escape.
+  for (auto& kv : m) {
+    sum += kv.second;
+  }
+  return sum;
+}

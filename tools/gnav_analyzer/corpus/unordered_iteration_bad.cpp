@@ -1,0 +1,21 @@
+// Known-bad: range-for over unordered containers — iteration is
+// hash-order, which varies across libstdc++ versions and insert
+// histories, so anything order-sensitive downstream loses
+// bit-reproducibility (the cluster-sampler bug class).
+#include "gnav_stub.hpp"
+
+int sum_values(std::unordered_map<int, int>& m) {
+  int sum = 0;
+  for (auto& kv : m) {  // expect-finding(unordered-iteration)
+    sum += kv.second;
+  }
+  return sum;
+}
+
+int count_large(std::unordered_set<int>& s) {
+  int n = 0;
+  for (int v : s) {  // expect-finding(unordered-iteration)
+    if (v > 10) ++n;
+  }
+  return n;
+}

@@ -1,0 +1,21 @@
+// Known-good: ordered carriers drive the iteration; the unordered
+// container is only used for keyed lookups, where hash order never
+// matters.
+#include "gnav_stub.hpp"
+
+int sum_vector(const std::vector<int>& values) {
+  int sum = 0;
+  for (int v : values) {
+    sum += v;
+  }
+  return sum;
+}
+
+int keyed_lookups(std::unordered_map<int, int>& m,
+                  const std::vector<int>& keys) {
+  int sum = 0;
+  for (int k : keys) {
+    sum += m[k];
+  }
+  return sum;
+}

@@ -1,0 +1,124 @@
+"""libclang loading, TU parsing, and the check-run loop.
+
+Everything that touches clang.cindex funnels through here. Import of
+clang.cindex is lazy and guarded: `libclang_status()` reports whether
+the bindings AND a loadable libclang shared object are present, and the
+CLI turns "absent" into exit 77 (the ctest SKIP_RETURN_CODE) instead of
+a failure — the regex lint (tools/determinism_lint.py
+--include-superseded) is the fallback on such hosts.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+from pathlib import Path
+
+_CINDEX = None  # populated by libclang_status() on success
+
+
+def libclang_status() -> tuple[bool, str]:
+    """(available, detail). Caches the loaded cindex module on success."""
+    global _CINDEX
+    if os.environ.get("GNAV_ANALYZER_FORCE_NO_LIBCLANG"):
+        return False, "forced off via GNAV_ANALYZER_FORCE_NO_LIBCLANG"
+    if _CINDEX is not None:
+        return True, "ok"
+    try:
+        from clang import cindex
+    except ImportError as e:
+        return False, f"clang.cindex not importable ({e})"
+    try:
+        cindex.Index.create()
+        _CINDEX = cindex
+        return True, "ok"
+    except Exception as first_error:  # LibclangError: .so not found
+        candidates: list[str] = []
+        for pattern in (
+            "/usr/lib/llvm-*/lib/libclang.so*",
+            "/usr/lib/llvm-*/lib/libclang-*.so*",
+            "/usr/lib/*/libclang.so*",
+            "/usr/lib/*/libclang-*.so*",
+            "/usr/local/lib/libclang*.so*",
+        ):
+            candidates.extend(glob.glob(pattern))
+        for candidate in sorted(set(candidates)):
+            try:
+                cindex.Config.set_library_file(candidate)
+                cindex.Index.create()
+                _CINDEX = cindex
+                return True, f"ok (libclang at {candidate})"
+            except Exception:
+                continue
+        return False, f"libclang shared library not loadable ({first_error})"
+
+
+def cindex():
+    ok, detail = libclang_status()
+    if not ok:
+        raise RuntimeError(f"libclang unavailable: {detail}")
+    return _CINDEX
+
+
+class TuContext:
+    """Per-TU state shared by the checks: scope filter + cursor utils.
+
+    `roots` limits findings (and most walking) to files under the given
+    directories — the full-repo run passes <repo>/src so system headers
+    and tests are never walked; the self-test passes the corpus dir.
+    """
+
+    def __init__(self, tu, roots: list[Path]):
+        self.tu = tu
+        self.roots = [str(r.resolve()) for r in roots]
+        self._file_ok: dict[str, bool] = {}
+
+    def in_scope(self, cursor) -> bool:
+        f = cursor.location.file
+        if f is None:
+            return False
+        name = f.name
+        cached = self._file_ok.get(name)
+        if cached is None:
+            resolved = str(Path(name).resolve())
+            cached = any(
+                resolved == r or resolved.startswith(r + os.sep)
+                for r in self.roots
+            )
+            self._file_ok[name] = cached
+        return cached
+
+
+def parse_tu(cmd):
+    """Parse one compile command; returns (tu, fatal_diagnostics)."""
+    cx = cindex()
+    index = cx.Index.create()
+    tu = index.parse(str(cmd.file), args=cmd.args)
+    fatal = [
+        d
+        for d in tu.diagnostics
+        if d.severity >= cx.Diagnostic.Error
+    ]
+    return tu, fatal
+
+
+def run_checks(tu, roots: list[Path], check_names: list[str]):
+    """Run the named checks over one TU; yields Finding objects with
+    absolute file paths (the CLI relativizes and applies suppressions).
+    """
+    from gnav_analyzer import CHECK_DESCRIPTIONS
+    from gnav_analyzer import checks as checks_mod
+
+    registry = checks_mod.registry()
+    unknown = set(check_names) - set(registry)
+    if unknown:
+        raise ValueError(f"unknown checks: {', '.join(sorted(unknown))}")
+    missing = set(CHECK_DESCRIPTIONS) - set(registry)
+    if missing:
+        raise AssertionError(
+            "checks.py lacks implementations for documented checks: "
+            + ", ".join(sorted(missing))
+        )
+    ctx = TuContext(tu, roots)
+    for name in check_names:
+        yield from registry[name](ctx)

@@ -1,0 +1,134 @@
+"""Finding model and JSON / SARIF 2.1.0 writers. Pure Python.
+
+SARIF is what CI uploads (and what code-scanning UIs ingest); the JSON
+report is the compact human/form for local runs. The plumbing tests
+validate the SARIF writer against the schema's required fields without
+needing libclang.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from gnav_analyzer import CHECK_DESCRIPTIONS, __version__
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+@dataclass
+class Finding:
+    check: str
+    file: str  # repo-relative, forward slashes
+    line: int
+    column: int
+    message: str
+    suppressed: bool = False
+    suppression_reason: str = ""
+
+    def key(self) -> tuple:
+        # Headers are walked once per including TU; findings dedupe on
+        # location + message.
+        return (self.check, self.file, self.line, self.column, self.message)
+
+
+@dataclass
+class Report:
+    compile_db: str = ""
+    checks: list[str] = field(default_factory=list)
+    findings: list[Finding] = field(default_factory=list)
+
+    def active(self) -> list[Finding]:
+        return [f for f in self.findings if not f.suppressed]
+
+    def add(self, finding: Finding, seen: set | None = None) -> None:
+        if seen is not None:
+            if finding.key() in seen:
+                return
+            seen.add(finding.key())
+        self.findings.append(finding)
+
+
+def write_json(report: Report, path: Path) -> None:
+    doc = {
+        "tool": "gnav-analyzer",
+        "version": __version__,
+        "compile_db": report.compile_db,
+        "checks": sorted(report.checks),
+        "finding_count": len(report.findings),
+        "active_count": len(report.active()),
+        "findings": [asdict(f) for f in sorted(report.findings,
+                                               key=lambda f: f.key())],
+    }
+    path.write_text(json.dumps(doc, indent=2) + "\n")
+
+
+def sarif_document(report: Report) -> dict:
+    rule_ids = sorted(CHECK_DESCRIPTIONS)
+    rule_index = {rid: i for i, rid in enumerate(rule_ids)}
+    rules = [
+        {
+            "id": rid,
+            "shortDescription": {"text": rid},
+            "fullDescription": {"text": CHECK_DESCRIPTIONS[rid]},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for rid in rule_ids
+    ]
+    results = []
+    for f in sorted(report.findings, key=lambda f: f.key()):
+        results.append(
+            {
+                "ruleId": f.check,
+                "ruleIndex": rule_index[f.check],
+                "level": "error",
+                "message": {"text": f.message},
+                "suppressions": (
+                    [{"kind": "inSource",
+                      "justification": f.suppression_reason}]
+                    if f.suppressed
+                    else []
+                ),
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": f.file,
+                                "uriBaseId": "SRCROOT",
+                            },
+                            "region": {
+                                "startLine": max(1, f.line),
+                                "startColumn": max(1, f.column),
+                            },
+                        }
+                    }
+                ],
+            }
+        )
+    return {
+        "version": SARIF_VERSION,
+        "$schema": SARIF_SCHEMA,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "gnav-analyzer",
+                        "version": __version__,
+                        "informationUri":
+                            "tools/gnav_analyzer/__init__.py",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def write_sarif(report: Report, path: Path) -> None:
+    path.write_text(json.dumps(sarif_document(report), indent=2) + "\n")

@@ -1,0 +1,138 @@
+"""Self-test: every check against its known-bad and known-good corpus.
+
+Corpus convention (tools/gnav_analyzer/corpus/):
+  <check_name_with_underscores>_bad.cpp        must be flagged
+  <check_name_with_underscores>_good.cpp       must pass clean
+  <check>_annotated_good.cpp                   violation + inline
+                                               annotation → clean
+Expected findings are declared in-file with `// expect-finding(<check>)`
+on the exact line the finding lands; the self-test fails on any
+mismatch in either direction, so a check that rots into a no-op (or
+starts over-flagging) is caught the same way determinism_lint's
+embedded corpus catches regex rot.
+
+The corpus TUs are parsed through a fixture compile db written to a
+temp dir, so the compiledb → engine path is exercised end to end.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import tempfile
+from pathlib import Path
+
+from gnav_analyzer import CHECK_DESCRIPTIONS, EXIT_CLEAN, EXIT_FINDINGS
+from gnav_analyzer import compiledb, engine, suppress
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+_EXPECT_RE = re.compile(r"//\s*expect-finding\((?P<check>[a-z0-9-]+)\)")
+
+
+def check_for_case(stem: str) -> str | None:
+    for suffix in ("_bad", "_good"):
+        if stem.endswith(suffix):
+            stem = stem[: -len(suffix)]
+            break
+    else:
+        return None
+    if stem.endswith("_annotated"):
+        stem = stem[: -len("_annotated")]
+    name = stem.replace("_", "-")
+    return name if name in CHECK_DESCRIPTIONS else None
+
+
+def run() -> int:
+    cases = sorted(CORPUS_DIR.glob("*.cpp"))
+    if not cases:
+        print(f"FAIL: no corpus files under {CORPUS_DIR}")
+        return EXIT_FINDINGS
+    failures: list[str] = []
+    covered_bad: set[str] = set()
+    covered_good: set[str] = set()
+
+    with tempfile.TemporaryDirectory() as tmp:
+        db_path = Path(tmp) / "compile_commands.json"
+        db_path.write_text(
+            json.dumps(
+                [
+                    {
+                        "directory": str(CORPUS_DIR),
+                        "file": str(case),
+                        "arguments": [
+                            "clang++",
+                            "-std=c++17",
+                            f"-I{CORPUS_DIR}",
+                            "-c",
+                            str(case),
+                        ],
+                    }
+                    for case in cases
+                ]
+            )
+        )
+        for cmd in compiledb.load(db_path):
+            stem = cmd.file.stem
+            check = check_for_case(stem)
+            if check is None:
+                failures.append(
+                    f"{cmd.file.name}: filename does not map to a check "
+                    "(<check>_bad.cpp / <check>_good.cpp)"
+                )
+                continue
+            tu, fatal = engine.parse_tu(cmd)
+            if fatal:
+                failures.append(
+                    f"{cmd.file.name}: parse errors: "
+                    + "; ".join(d.spelling for d in fatal[:3])
+                )
+                continue
+            findings = list(
+                engine.run_checks(tu, [CORPUS_DIR], [check])
+            )
+            text = cmd.file.read_text()
+            inline, sup_errors = suppress.inline_suppressions(text)
+            if sup_errors:
+                failures.append(
+                    f"{cmd.file.name}: " + "; ".join(sup_errors)
+                )
+            active = [
+                f
+                for f in findings
+                if check not in inline.get(f.line, set())
+            ]
+            expected = {
+                lineno
+                for lineno, line in enumerate(text.splitlines(), start=1)
+                if _EXPECT_RE.search(line)
+            }
+            actual = {f.line for f in active}
+            if actual != expected:
+                failures.append(
+                    f"{cmd.file.name} [{check}]: expected findings on "
+                    f"lines {sorted(expected)}, got {sorted(actual)}"
+                )
+            else:
+                verdict = "flags" if expected else "passes"
+                print(
+                    f"PASS {cmd.file.name} [{check}] — {verdict} "
+                    f"{len(expected) or 'zero'} site(s)"
+                )
+            (covered_bad if stem.endswith("_bad") else covered_good).add(
+                check
+            )
+
+    for check in sorted(CHECK_DESCRIPTIONS):
+        if check not in covered_bad:
+            failures.append(f"corpus has no known-bad case for {check}")
+        if check not in covered_good:
+            failures.append(f"corpus has no known-good case for {check}")
+
+    if failures:
+        print(f"FAIL: {len(failures)} self-test failure(s):")
+        for f in failures:
+            print(f"  {f}")
+        return EXIT_FINDINGS
+    print(f"self-test OK: {len(cases)} corpus file(s), "
+          f"{len(CHECK_DESCRIPTIONS)} check(s) covered bad+good")
+    return EXIT_CLEAN

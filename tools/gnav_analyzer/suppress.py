@@ -1,0 +1,106 @@
+"""Escape hatches: inline annotations and the justified allowlist.
+
+Pure Python — no libclang. Both hatches REQUIRE a human-readable
+justification; a bare suppression is a config error, not a silent pass
+(same policy as determinism_lint's `gnav-lint(<rule>): <reason>`).
+
+Inline form, on the flagged line or the line directly above:
+
+    // gnav-analyzer(<check-name>): <reason>
+
+Allowlist form (tools/gnav_analyzer/ALLOWLIST), one entry per line:
+
+    <repo-relative-path>:<check-name>: <justification>
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+_INLINE_RE = re.compile(
+    r"//\s*gnav-analyzer\((?P<check>[a-z0-9-]+)\)(?P<rest>.*)"
+)
+_ALLOWLIST_RE = re.compile(
+    r"^(?P<path>[^:#\s][^:]*):(?P<check>[a-z0-9-]+):\s*(?P<why>.*)$"
+)
+
+
+class SuppressionError(Exception):
+    """A suppression without a justification (CLI exit: config error)."""
+
+
+@dataclass(frozen=True)
+class AllowlistEntry:
+    path: str  # repo-relative, forward slashes
+    check: str
+    justification: str
+
+
+def inline_suppressions(text: str) -> tuple[dict[int, set[str]], list[str]]:
+    """Map 1-based line number -> checks suppressed AT that line.
+
+    An annotation blesses its own line and the line directly below it
+    (annotation-above style), never further — the same adjacency the
+    lint's reach fix enforces. Returns (suppressions, errors); an
+    annotation with no reason is an error, not a suppression.
+    """
+    by_line: dict[int, set[str]] = {}
+    errors: list[str] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        m = _INLINE_RE.search(line)
+        if not m:
+            continue
+        rest = m.group("rest").strip()
+        if not rest.startswith(":") or not rest[1:].strip():
+            errors.append(
+                f"line {lineno}: gnav-analyzer({m.group('check')}) "
+                "annotation needs a justification — "
+                "'// gnav-analyzer(<check>): <reason>'"
+            )
+            continue
+        for target in (lineno, lineno + 1):
+            by_line.setdefault(target, set()).add(m.group("check"))
+    return by_line, errors
+
+
+def load_allowlist(path: Path, known_checks: set[str]) -> list[AllowlistEntry]:
+    """Parse the allowlist; every entry must carry a justification."""
+    if not path.is_file():
+        return []
+    entries: list[AllowlistEntry] = []
+    for lineno, raw in enumerate(path.read_text().splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        m = _ALLOWLIST_RE.match(line)
+        if not m or not m.group("why").strip():
+            raise SuppressionError(
+                f"{path}:{lineno}: allowlist entry needs "
+                "'<path>:<check>: <justification>' — got: " + line
+            )
+        check = m.group("check")
+        if check not in known_checks:
+            raise SuppressionError(
+                f"{path}:{lineno}: unknown check '{check}' "
+                f"(known: {', '.join(sorted(known_checks))})"
+            )
+        entries.append(
+            AllowlistEntry(
+                path=m.group("path").strip().replace("\\", "/"),
+                check=check,
+                justification=m.group("why").strip(),
+            )
+        )
+    return entries
+
+
+def allowlisted(
+    entries: list[AllowlistEntry], rel_path: str, check: str
+) -> AllowlistEntry | None:
+    rel = rel_path.replace("\\", "/")
+    for e in entries:
+        if e.check == check and e.path == rel:
+            return e
+    return None

